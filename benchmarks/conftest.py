@@ -1,0 +1,32 @@
+"""Shared benchmark configuration.
+
+Figure benchmarks regenerate the paper's experiments at reduced scale
+(``BENCH_SCALE``); measured reproduction values are attached to each
+benchmark's ``extra_info`` so `pytest benchmarks/ --benchmark-only`
+doubles as a results report. Every figure/table of the paper has a
+benchmark here; micro- and ablation benchmarks cover the substrate and the
+design choices called out in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import ExperimentConfig
+
+BENCH_SCALE = 256
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ExperimentConfig:
+    return ExperimentConfig(scale=BENCH_SCALE, iterations=1, sample_timeline=False)
+
+
+@pytest.fixture(scope="session")
+def bench_config_timeline() -> ExperimentConfig:
+    return ExperimentConfig(scale=BENCH_SCALE, iterations=1, sample_timeline=True)
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

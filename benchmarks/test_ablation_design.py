@@ -1,0 +1,184 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Each ablation re-runs a paper experiment with one design knob changed and
+records the outcome delta in ``extra_info`` — quantifying how much each
+choice matters:
+
+* 2LM cache line size (simulation granularity),
+* copy-engine thread count (the Optane write-collapse trade-off),
+* ``archive`` hints on/off (how much the LRU relies on them),
+* GC trigger volume (how Figure 3's cliff moves),
+* allocator fit policy under the real CNN trace.
+"""
+
+import pytest
+
+from conftest import BENCH_SCALE, run_once
+from repro.experiments.common import ExperimentConfig, run_mode, run_trace_mode
+from repro.nn.models import MODEL_REGISTRY
+from repro.workloads.annotate import annotate
+
+
+def fresh_config(**kwargs) -> ExperimentConfig:
+    base = dict(scale=BENCH_SCALE, iterations=1, sample_timeline=False)
+    base.update(kwargs)
+    return ExperimentConfig(**base)
+
+
+@pytest.mark.parametrize("line_size", [1024, 4096, 16384])
+def test_ablation_2lm_line_size(benchmark, line_size):
+    """Hit/miss ratios should be nearly line-size invariant for streaming
+    CNN traffic — the justification for simulating at 4 KiB (DESIGN.md §2)."""
+    config = fresh_config(line_size=line_size)
+    result = run_once(benchmark, run_mode, "resnet200-large", "2LM:M", config)
+    cache = result.iteration.cache
+    benchmark.extra_info["line_size"] = line_size
+    benchmark.extra_info["hit_rate"] = round(cache.hit_rate, 3)
+    benchmark.extra_info["dirty_miss_rate"] = round(cache.dirty_miss_rate, 3)
+    assert 0.4 < cache.hit_rate < 0.95
+
+
+@pytest.mark.parametrize("threads", [2, 8, 28])
+def test_ablation_copy_engine_threads(benchmark, threads):
+    """More copy threads is NOT better: Optane write bandwidth collapses."""
+    from repro.core.session import Session, SessionConfig
+    from repro.policies.modes import mode
+    from repro.runtime.executor import CachedArraysAdapter, Executor
+
+    config = fresh_config()
+    trace = annotate(
+        MODEL_REGISTRY["resnet200-large"].builder().training_trace().scaled(
+            config.scale
+        ),
+        memopt=True,
+    )
+
+    def run():
+        session = Session(
+            SessionConfig(
+                devices=[config.build_dram(), config.build_nvram()],
+                copy_threads=threads,
+            ),
+            policy=mode("CA:LM").make_policy("DRAM", "NVRAM"),
+        )
+        executor = Executor(CachedArraysAdapter(session, config.params))
+        return executor.run(trace).steady_state()
+
+    iteration = run_once(benchmark, run)
+    benchmark.extra_info["copy_threads"] = threads
+    benchmark.extra_info["movement_seconds"] = round(
+        iteration.movement_seconds * BENCH_SCALE, 1
+    )
+
+
+@pytest.mark.parametrize("archive_hints", [True, False])
+def test_ablation_archive_hints(benchmark, archive_hints):
+    """Dropping archive hints degrades victim selection (more writebacks)."""
+    config = fresh_config()
+    trace = annotate(
+        MODEL_REGISTRY["densenet264-large"].builder().training_trace().scaled(
+            config.scale
+        ),
+        memopt=True,
+        archive_hints=archive_hints,
+    )
+    result = run_once(
+        benchmark, run_trace_mode, trace, "CA:LM", config, model_label="densenet"
+    )
+    _, nvram_writes = result.traffic_gb("NVRAM")
+    benchmark.extra_info["archive_hints"] = archive_hints
+    benchmark.extra_info["nvram_writes_gb"] = round(nvram_writes)
+    benchmark.extra_info["iteration_seconds"] = round(
+        result.iteration.seconds * BENCH_SCALE, 1
+    )
+
+
+@pytest.mark.parametrize("fraction", [0.4, 0.85, 1.3])
+def test_ablation_gc_trigger(benchmark, fraction):
+    """GC trigger volume moves Figure 3's cliff and the dirty-miss rate."""
+    config = fresh_config(gc_trigger_fraction=fraction)
+    result = run_once(benchmark, run_mode, "resnet200-large", "2LM:0", config)
+    benchmark.extra_info["trigger_fraction_of_footprint"] = fraction
+    benchmark.extra_info["collections"] = result.iteration.gc_collections
+    benchmark.extra_info["dirty_miss_rate"] = round(
+        result.iteration.cache.dirty_miss_rate, 3
+    )
+
+
+@pytest.mark.parametrize("fit", ["first", "best"])
+def test_ablation_allocator_fit(benchmark, fit):
+    """First-fit vs best-fit under the FILO CNN allocation pattern."""
+    from repro.memory.allocator import FreeListAllocator
+    from repro.workloads.trace import Alloc, Free, GcDefer, Retire
+
+    config = fresh_config()
+    trace = annotate(
+        MODEL_REGISTRY["vgg416-large"].builder().training_trace().scaled(
+            config.scale
+        ),
+        memopt=True,
+    )
+
+    def replay():
+        allocator = FreeListAllocator(config.scaled_nvram(), fit=fit)
+        offsets = {}
+        worst_fragmentation = 0.0
+        for event in trace.events:
+            if isinstance(event, Alloc):
+                offsets[event.tensor] = allocator.allocate(
+                    trace.tensors[event.tensor].nbytes
+                )
+            elif isinstance(event, (Free, Retire, GcDefer)):
+                allocator.free(offsets.pop(event.tensor))
+                stats = allocator.stats()
+                worst_fragmentation = max(
+                    worst_fragmentation, stats.external_fragmentation
+                )
+        return worst_fragmentation
+
+    fragmentation = run_once(benchmark, replay)
+    benchmark.extra_info["fit"] = fit
+    benchmark.extra_info["worst_external_fragmentation"] = round(fragmentation, 3)
+
+
+@pytest.mark.parametrize("ways", [1, 2, 4])
+def test_ablation_cache_associativity(benchmark, ways):
+    """What if Memory Mode's cache were set-associative?
+
+    Quantifies how much of 2LM's cost is the direct mapping versus the
+    fundamental writeback/write-allocate traffic (the answer informs the
+    paper's claim that semantic information, not cache geometry, is the
+    missing ingredient)."""
+    from repro.memory.device import MemoryDevice
+    from repro.runtime.executor import Executor, TwoLMAdapter
+    from repro.twolm.system import TwoLMSystem
+
+    config = fresh_config()
+    trace = annotate(
+        MODEL_REGISTRY["resnet200-large"].builder().training_trace().scaled(
+            config.scale
+        ),
+        memopt=False,
+    )
+
+    def run():
+        system = TwoLMSystem(
+            config.build_dram(),
+            config.build_nvram(),
+            line_size=config.line_size,
+            ways=ways,
+        )
+        executor = Executor(
+            TwoLMAdapter(system, config.scaled_params()), sample_timeline=False
+        )
+        return executor.run(trace, iterations=2).steady_state()
+
+    iteration = run_once(benchmark, run)
+    benchmark.extra_info["ways"] = ways
+    benchmark.extra_info["iteration_seconds"] = round(
+        iteration.seconds * BENCH_SCALE, 1
+    )
+    benchmark.extra_info["hit_rate"] = round(iteration.cache.hit_rate, 3)
+    benchmark.extra_info["dirty_miss_rate"] = round(
+        iteration.cache.dirty_miss_rate, 3
+    )

@@ -1,0 +1,63 @@
+"""Ablation: policy flexibility on DLRM-style workloads (Section VI).
+
+Compares the paper's LRU policy against the frequency/regret-adaptive
+extension on skewed random-reuse workloads — the case the paper's outlook
+says demands "flexibility in the data movement policy".
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.core.session import Session, SessionConfig
+from repro.policies.adaptive import AdaptivePolicy
+from repro.policies.optimizing import OptimizingPolicy
+from repro.runtime.executor import CachedArraysAdapter, Executor
+from repro.runtime.kernel import ExecutionParams
+from repro.units import MiB
+from repro.units import KiB
+from repro.workloads.annotate import annotate
+from repro.workloads.dlrm import dlrm_trace
+from repro.workloads.synthetic import random_reuse_trace, shifting_reuse_trace
+
+WORKLOADS = {
+    "stable-hotset": lambda: random_reuse_trace(
+        working_set=64, kernels=600, tensor_bytes=MiB, seed=1
+    ),
+    "shifting-hotset": lambda: shifting_reuse_trace(
+        working_set=64, kernels_per_phase=200, phases=3, tensor_bytes=MiB, seed=1
+    ),
+    "dlrm": lambda: dlrm_trace(
+        tables=8, chunks_per_table=32, chunk_bytes=512 * KiB,
+        lookups_per_table=3, zipf_exponent=1.5, seed=1,
+    ),
+}
+
+POLICIES = {
+    "lru": lambda: OptimizingPolicy(local_alloc=True, prefetch=True),
+    "adaptive": lambda: AdaptivePolicy(local_alloc=True, prefetch=True),
+}
+
+
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+@pytest.mark.parametrize("policy_name", sorted(POLICIES))
+def test_dlrm_policy(benchmark, workload, policy_name):
+    trace = annotate(WORKLOADS[workload](), memopt=True)
+    policy = POLICIES[policy_name]()
+
+    def run():
+        session = Session(
+            SessionConfig(dram=16 * MiB, nvram=256 * MiB), policy=policy
+        )
+        executor = Executor(CachedArraysAdapter(session, ExecutionParams()))
+        iteration = executor.run(trace, iterations=2).steady_state()
+        session.close()
+        return iteration
+
+    iteration = run_once(benchmark, run)
+    benchmark.extra_info["nvram_read_mib"] = round(
+        iteration.traffic["NVRAM"].read_bytes / MiB
+    )
+    benchmark.extra_info["evictions"] = iteration.policy_stats["evictions"]
+    if hasattr(policy, "alpha"):
+        benchmark.extra_info["final_alpha"] = round(policy.alpha, 2)
+        benchmark.extra_info["regrets"] = policy.regrets

@@ -1,0 +1,51 @@
+"""Extension benchmark: three-tier DRAM+CXL+NVRAM platforms (Section VI)."""
+
+import pytest
+
+from conftest import BENCH_SCALE, run_once
+from repro.core.session import Session, SessionConfig
+from repro.experiments.common import ExperimentConfig
+from repro.memory.device import MemoryDevice
+from repro.nn.models import MODEL_REGISTRY
+from repro.policies import MultiTierPolicy, OptimizingPolicy
+from repro.runtime.executor import CachedArraysAdapter, Executor
+from repro.units import GB
+
+
+@pytest.mark.parametrize("platform", ["dram+nvram", "dram+cxl+nvram"])
+def test_platform_comparison(benchmark, platform):
+    config = ExperimentConfig(
+        scale=BENCH_SCALE, iterations=2, sample_timeline=False
+    )
+    trace_source = MODEL_REGISTRY["resnet200-large"].builder().training_trace()
+    from repro.workloads.annotate import annotate
+
+    trace = annotate(trace_source.scaled(config.scale), memopt=True)
+    if platform == "dram+nvram":
+        devices = [config.build_dram(), config.build_nvram()]
+        policy = OptimizingPolicy(local_alloc=True)
+    else:
+        devices = [
+            config.build_dram(),
+            MemoryDevice.cxl(512 * GB // config.scale, name="CXL"),
+            config.build_nvram(),
+        ]
+        policy = MultiTierPolicy(["DRAM", "CXL", "NVRAM"])
+
+    def run():
+        session = Session(SessionConfig(devices=devices), policy=policy)
+        executor = Executor(
+            CachedArraysAdapter(session, config.scaled_params()),
+            sample_timeline=False,
+        )
+        iteration = executor.run(trace, iterations=2).steady_state()
+        session.close()
+        return iteration
+
+    iteration = run_once(benchmark, run)
+    benchmark.extra_info["iteration_seconds_paper_scale"] = round(
+        iteration.seconds * BENCH_SCALE, 1
+    )
+    for device, snap in iteration.traffic.items():
+        benchmark.extra_info[f"{device}_total_gb"] = round(snap.total_bytes
+                                                           * BENCH_SCALE / 1e9)

@@ -1,0 +1,56 @@
+"""Extension benchmark: OS-NUMA baselines vs CachedArrays.
+
+App-Direct "extra NUMA node" usage (Section IV-A) with the OS's transparent
+placement policies — no hints, no migration — against the hint-driven
+CachedArrays policy on the same large-model trace.
+"""
+
+import pytest
+
+from conftest import BENCH_SCALE, run_once
+from repro.core.session import Session, SessionConfig
+from repro.experiments.common import ExperimentConfig
+from repro.nn.models import MODEL_REGISTRY
+from repro.policies import OptimizingPolicy
+from repro.policies.interleave import FirstTouchPolicy, InterleavePolicy
+from repro.runtime.executor import CachedArraysAdapter, Executor
+from repro.workloads.annotate import annotate
+
+POLICIES = {
+    "ca-lm": lambda: OptimizingPolicy(local_alloc=True),
+    "numa-interleave": lambda: InterleavePolicy(),
+    "numa-first-touch": lambda: FirstTouchPolicy(["DRAM", "NVRAM"]),
+}
+
+
+@pytest.mark.parametrize("policy_name", sorted(POLICIES))
+def test_numa_baseline(benchmark, policy_name):
+    config = ExperimentConfig(scale=BENCH_SCALE, iterations=2, sample_timeline=False)
+    trace = annotate(
+        MODEL_REGISTRY["resnet200-large"].builder().training_trace().scaled(
+            config.scale
+        ),
+        memopt=True,
+    )
+
+    def run():
+        session = Session(
+            SessionConfig(devices=[config.build_dram(), config.build_nvram()]),
+            policy=POLICIES[policy_name](),
+        )
+        executor = Executor(
+            CachedArraysAdapter(session, config.scaled_params()),
+            sample_timeline=False,
+        )
+        iteration = executor.run(trace, iterations=2).steady_state()
+        session.close()
+        return iteration
+
+    iteration = run_once(benchmark, run)
+    benchmark.extra_info["iteration_seconds_paper_scale"] = round(
+        iteration.seconds * BENCH_SCALE, 1
+    )
+    nvram = iteration.traffic["NVRAM"]
+    benchmark.extra_info["nvram_total_gb"] = round(
+        nvram.total_bytes * BENCH_SCALE / 1e9
+    )

@@ -1,0 +1,101 @@
+"""Extension benchmark: transformer & MoE training under the six modes.
+
+Applies the paper's evaluation matrix to the Section VI workload classes.
+The transformer's quadratic attention tensors give a different
+lifetime/size profile than CNNs; the MoE run shows cold experts sinking to
+NVRAM while hot ones stay fast.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.experiments.common import ExperimentConfig, run_trace_mode
+from repro.nn.transformer import moe_transformer, transformer
+from repro.units import GB
+from repro.workloads.annotate import annotate
+
+MODES = ("2LM:0", "2LM:M", "CA:0", "CA:LM", "CA:LMP")
+
+
+def big_transformer_trace():
+    # ~340 GB footprint at full scale: 24 layers, batch 16, seq 4096, d=2048.
+    return transformer(
+        layers=24, batch=16, seq=4096, dim=2048, heads=16, name="GPT-ish"
+    ).training_trace()
+
+
+@pytest.fixture(scope="module")
+def scaled_trace():
+    config = ExperimentConfig(scale=512)
+    return big_transformer_trace().scaled(config.scale)
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_transformer_modes(benchmark, mode, scaled_trace):
+    config = ExperimentConfig(scale=512, iterations=2, sample_timeline=False)
+    annotated = annotate(scaled_trace, memopt=mode.endswith(("M", "P")))
+    result = run_once(
+        benchmark, run_trace_mode, annotated, mode, config, model_label="gpt-ish"
+    )
+    benchmark.extra_info["iteration_seconds_paper_scale"] = round(
+        result.iteration.seconds * config.scale, 1
+    )
+    benchmark.extra_info["footprint_gb"] = round(
+        result.footprint_bytes * config.scale / GB
+    )
+
+
+def test_transformer_ca_still_beats_2lm(benchmark, scaled_trace):
+    config = ExperimentConfig(scale=512, iterations=2, sample_timeline=False)
+
+    def run():
+        base = run_trace_mode(
+            annotate(scaled_trace, memopt=False), "2LM:0", config, model_label="g"
+        )
+        best = run_trace_mode(
+            annotate(scaled_trace, memopt=True), "CA:LM", config, model_label="g"
+        )
+        return base.iteration.seconds / best.iteration.seconds
+
+    speedup = run_once(benchmark, run)
+    benchmark.extra_info["ca_lm_speedup_over_2lm"] = round(speedup, 2)
+    assert speedup > 1.0  # the paper's framework generalises to transformers
+
+
+def test_moe_expert_tiering(benchmark):
+    config = ExperimentConfig(scale=64, iterations=2, sample_timeline=False)
+    graph = moe_transformer(
+        layers=16, batch=8, seq=1024, dim=1024, heads=16,
+        experts=32, active_per_layer=2, zipf_exponent=1.5, seed=7,
+    )
+    trace = annotate(graph.training_trace().scaled(config.scale), memopt=True)
+
+    def run():
+        from repro.core.session import Session, SessionConfig
+        from repro.policies import OptimizingPolicy
+        from repro.runtime.executor import CachedArraysAdapter, Executor
+
+        session = Session(
+            SessionConfig(devices=[config.build_dram(), config.build_nvram()]),
+            policy=OptimizingPolicy(local_alloc=True),
+        )
+        executor = Executor(
+            CachedArraysAdapter(session, config.scaled_params()),
+            sample_timeline=False,
+        )
+        result = executor.run(trace, iterations=2).steady_state()
+        cold = sum(
+            1
+            for name, obj in executor.adapter.objects.items()
+            if "w_expert" in name
+            and obj.primary is not None
+            and obj.primary.device_name == "NVRAM"
+        )
+        session.close()
+        return result, cold
+
+    iteration, cold_experts = run_once(benchmark, run)
+    benchmark.extra_info["iteration_seconds_paper_scale"] = round(
+        iteration.seconds * config.scale, 1
+    )
+    benchmark.extra_info["cold_expert_halves_in_nvram"] = cold_experts

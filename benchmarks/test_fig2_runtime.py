@@ -1,0 +1,40 @@
+"""Figure 2 benchmark: one (large network, mode) cell per benchmark.
+
+The benchmark time is the simulator's wall cost; ``extra_info`` carries the
+reproduced figure value — the modelled iteration time at paper magnitude —
+and the CA:LM speedup so the benchmark report reads like Figure 2.
+"""
+
+import pytest
+
+from conftest import BENCH_SCALE, run_once
+from repro.experiments.common import run_mode
+
+MODELS = ("densenet264-large", "resnet200-large", "vgg416-large")
+MODES = ("2LM:0", "2LM:M", "CA:0", "CA:L", "CA:LM", "CA:LMP")
+
+
+@pytest.mark.parametrize("model", MODELS)
+@pytest.mark.parametrize("mode", MODES)
+def test_fig2_cell(benchmark, bench_config, model, mode):
+    result = run_once(benchmark, run_mode, model, mode, bench_config)
+    benchmark.extra_info["iteration_seconds_paper_scale"] = round(
+        result.iteration.seconds * BENCH_SCALE, 1
+    )
+    benchmark.extra_info["movement_seconds"] = round(
+        result.iteration.movement_seconds * BENCH_SCALE, 1
+    )
+
+
+@pytest.mark.parametrize("model", MODELS)
+def test_fig2_headline_speedup(benchmark, bench_config, model):
+    """CA:LM vs the 2LM baseline (paper: 1.4x-2.03x)."""
+
+    def both():
+        base = run_mode(model, "2LM:0", bench_config)
+        best = run_mode(model, "CA:LM", bench_config)
+        return base.iteration.seconds / best.iteration.seconds
+
+    speedup = run_once(benchmark, both)
+    benchmark.extra_info["ca_lm_speedup_over_2lm"] = round(speedup, 2)
+    assert speedup > 1.1

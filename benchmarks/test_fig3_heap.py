@@ -1,0 +1,20 @@
+"""Figure 3 benchmark: heap-occupancy timelines for the 2LM ResNet runs."""
+
+from conftest import BENCH_SCALE, run_once
+from repro.experiments import fig3_heap
+from repro.units import GB
+
+
+def test_fig3_heap_timeline(benchmark, bench_config_timeline):
+    result = run_once(benchmark, fig3_heap.run, bench_config_timeline)
+    peak_gc = result.peak_gb(result.unoptimized)
+    peak_m = result.peak_gb(result.optimized)
+    benchmark.extra_info["peak_heap_gb_2lm0"] = round(peak_gc, 1)
+    benchmark.extra_info["peak_heap_gb_2lmM"] = round(peak_m, 1)
+    benchmark.extra_info["gc_collections_2lm0"] = (
+        result.unoptimized.iteration.gc_collections
+    )
+    # The paper's Figure 3 shape: GC-managed heap overshoots the footprint.
+    footprint_gb = result.unoptimized.footprint_bytes * BENCH_SCALE / GB
+    assert peak_gc > footprint_gb * 1.1
+    assert peak_m < footprint_gb * 1.05

@@ -1,0 +1,22 @@
+"""Figure 4 benchmark: DRAM-cache tag statistics for the 2LM ResNet runs."""
+
+from conftest import run_once
+from repro.experiments import fig4_cachestats
+
+
+def test_fig4_cache_statistics(benchmark, bench_config):
+    result = run_once(benchmark, fig4_cachestats.run, bench_config)
+    base = result.stats(result.unoptimized)
+    opt = result.stats(result.optimized)
+    benchmark.extra_info["hit_rate_2lm0"] = round(base.hit_rate, 3)
+    benchmark.extra_info["hit_rate_2lmM"] = round(opt.hit_rate, 3)
+    benchmark.extra_info["dirty_miss_rate_2lm0"] = round(base.dirty_miss_rate, 3)
+    benchmark.extra_info["dirty_miss_rate_2lmM"] = round(opt.dirty_miss_rate, 3)
+    benchmark.extra_info["hit_uplift_paper_18pct"] = round(
+        result.hit_rate_uplift, 3
+    )
+    benchmark.extra_info["dirty_drop_paper_50pct"] = round(
+        result.dirty_miss_drop, 3
+    )
+    assert opt.hit_rate > base.hit_rate
+    assert opt.dirty_miss_rate < base.dirty_miss_rate

@@ -1,0 +1,31 @@
+"""Figure 5 benchmark: data moved per iteration (GB at paper magnitude)."""
+
+import pytest
+
+from conftest import run_once
+from repro.experiments import fig5_traffic
+
+MODELS = ("densenet264-large", "vgg416-large")  # the two panels of Figure 5
+
+
+@pytest.mark.parametrize("model", MODELS)
+def test_fig5_traffic_breakdown(benchmark, bench_config, model):
+    result = run_once(
+        benchmark, fig5_traffic.run, bench_config, models=(model,)
+    )
+    for mode in result.results[model]:
+        dram_r, dram_w = result.gb(model, mode, "DRAM")
+        nvram_r, nvram_w = result.gb(model, mode, "NVRAM")
+        key = mode.replace(":", "_")
+        benchmark.extra_info[f"{key}_nvram_rw_gb"] = (
+            round(nvram_r), round(nvram_w)
+        )
+        benchmark.extra_info[f"{key}_dram_rw_gb"] = (round(dram_r), round(dram_w))
+    benchmark.extra_info["memopt_nvram_write_cut"] = round(
+        result.nvram_write_drop_with_memopt(model), 2
+    )
+    benchmark.extra_info["prefetch_nvram_read_cut"] = round(
+        result.nvram_read_drop_with_prefetch(model), 2
+    )
+    assert result.nvram_write_drop_with_memopt(model) > 1.0
+    assert result.nvram_read_drop_with_prefetch(model) > 1.0

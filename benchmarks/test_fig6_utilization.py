@@ -1,0 +1,26 @@
+"""Figure 6 benchmark: average DRAM bus utilisation (ResNet + VGG panels)."""
+
+import pytest
+
+from conftest import run_once
+from repro.experiments import fig6_utilization
+
+MODELS = ("resnet200-large", "vgg416-large")
+
+
+@pytest.mark.parametrize("model", MODELS)
+def test_fig6_dram_utilisation(benchmark, bench_config, model):
+    result = run_once(
+        benchmark, fig6_utilization.run, bench_config, models=(model,)
+    )
+    for mode in result.results[model]:
+        benchmark.extra_info[mode.replace(":", "_")] = round(
+            result.utilization(model, mode), 3
+        )
+    ca0 = result.utilization(model, "CA:0")
+    hw = result.utilization(model, "2LM:0")
+    # Paper: CA:∅ utilisation beats 2LM:∅ for ResNet, reversed for VGG.
+    if model.startswith("resnet"):
+        assert ca0 > hw
+    else:
+        assert ca0 < hw

@@ -1,0 +1,33 @@
+"""Figure 7 benchmark: DRAM-budget sweep for the small networks."""
+
+import pytest
+
+from conftest import run_once
+from repro.experiments import fig7_sensitivity
+
+BUDGETS = (180, 45, 20, 0)
+MODELS = ("densenet264-small", "resnet200-small", "vgg116-small")
+
+
+@pytest.mark.parametrize("model", MODELS)
+def test_fig7_dram_sweep(benchmark, bench_config, model):
+    result = run_once(
+        benchmark,
+        fig7_sensitivity.run,
+        bench_config,
+        models=(model,),
+        budgets_gb=BUDGETS,
+    )
+    for budget in BUDGETS:
+        benchmark.extra_info[f"wall_{budget}gb_s"] = round(
+            result.seconds(model, budget), 1
+        )
+        benchmark.extra_info[f"async_{budget}gb_s"] = round(
+            result.async_seconds(model, budget), 1
+        )
+    penalty = result.nvram_only_penalty(model)
+    benchmark.extra_info["nvram_only_penalty_paper_3to4x"] = round(penalty, 2)
+    assert penalty > 1.5
+    # Monotone: less DRAM is never faster.
+    walls = [result.seconds(model, budget) for budget in BUDGETS]
+    assert walls == sorted(walls)

@@ -1,0 +1,28 @@
+"""Table III benchmark: build each network and lower it to a trace.
+
+``extra_info`` records the measured footprint next to the paper's number.
+"""
+
+import pytest
+
+from repro.nn.models import MODEL_REGISTRY
+from repro.units import GB
+
+
+@pytest.mark.parametrize("key", sorted(MODEL_REGISTRY))
+def test_table3_build_and_lower(benchmark, key):
+    spec = MODEL_REGISTRY[key]
+
+    def build():
+        return spec.builder().training_trace()
+
+    trace = benchmark(build)
+    measured = trace.peak_live_bytes()
+    benchmark.extra_info["model"] = spec.model
+    benchmark.extra_info["batch"] = spec.batch
+    benchmark.extra_info["measured_footprint_gb"] = round(measured / GB, 1)
+    if spec.paper_footprint:
+        benchmark.extra_info["paper_footprint_gb"] = round(
+            spec.paper_footprint / GB, 1
+        )
+    benchmark.extra_info["kernels_per_iteration"] = sum(1 for _ in trace.kernels())

@@ -1,0 +1,88 @@
+"""Write your own data-movement policy.
+
+The paper's separation of concerns means a policy is just a class reacting
+to hints with data-management API calls. This example implements a
+*pin-weights* policy: tensors named like parameters are kept in fast memory
+permanently; everything else lives in slow memory and is only brought up on
+an explicit ``will_use``. It then compares that policy against the paper's
+LRU policy on a DLRM-ish random-reuse workload, where access skew — not
+recency — is what matters.
+
+Run:  python examples/custom_policy.py
+"""
+
+from repro.core import AccessIntent, MemObject, Policy, Region
+from repro.experiments.common import ExperimentConfig
+from repro.policies import OptimizingPolicy, evict_object, prefetch_object
+from repro.runtime import CachedArraysAdapter, Executor
+from repro.core.session import Session, SessionConfig
+from repro.units import MiB
+from repro.workloads import annotate, random_reuse_trace
+
+
+class PinHotPolicy(Policy):
+    """Keep 'hot' (name-matched) objects in fast memory; stream the rest."""
+
+    def __init__(self, fast: str = "DRAM", slow: str = "NVRAM", prefix: str = "e"):
+        super().__init__()
+        self.fast = fast
+        self.slow = slow
+        self.prefix = prefix
+
+    def _is_hot(self, obj: MemObject) -> bool:
+        # Hot embeddings: e0..e12 (the skewed head of the table).
+        return obj.name.startswith(self.prefix) and obj.name[1:].isdigit() and \
+            int(obj.name[1:]) < 13
+
+    def place(self, obj: MemObject) -> Region:
+        device = self.fast if self._is_hot(obj) else self.slow
+        region = self.manager.try_allocate(device, obj.size)
+        if region is None:
+            region = self.manager.allocate(self.slow, obj.size)
+        self.manager.setprimary(obj, region)
+        return region
+
+    def ensure_resident(self, obj: MemObject, intent: AccessIntent) -> Region:
+        return self.manager.getprimary(obj)
+
+    def will_use(self, obj: MemObject) -> None:
+        if self._is_hot(obj):
+            prefetch_object(self.manager, obj, self.fast, self.slow)
+
+    def archive(self, obj: MemObject) -> None:
+        if not self._is_hot(obj):
+            evict_object(self.manager, obj, self.fast, self.slow)
+
+
+def run(policy: Policy, label: str) -> None:
+    trace = annotate(
+        random_reuse_trace(working_set=64, kernels=400, tensor_bytes=MiB),
+        memopt=True,
+    )
+    session = Session(
+        SessionConfig(dram=16 * MiB, nvram=256 * MiB), policy=policy
+    )
+    executor = Executor(CachedArraysAdapter(session, ExperimentConfig().params))
+    result = executor.run(trace, iterations=2)
+    iteration = result.steady_state()
+    nvram = iteration.traffic["NVRAM"]
+    print(
+        f"{label:12s} iteration {iteration.seconds * 1e3:7.1f} ms | "
+        f"NVRAM read {nvram.read_bytes / MiB:7.1f} MiB, "
+        f"write {nvram.write_bytes / MiB:7.1f} MiB"
+    )
+    session.close()
+
+
+def main() -> None:
+    print("DLRM-style skewed random reuse over a 64-tensor working set:\n")
+    run(OptimizingPolicy(local_alloc=True), "paper LRU")
+    run(PinHotPolicy(), "pin-hot")
+    print(
+        "\nThe hint API is identical for both — only the policy changed,\n"
+        "which is exactly the separation of concerns the paper argues for."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""Three-tier memory: DRAM + CXL-attached DRAM + NVRAM (Section VI).
+
+The paper argues the framework is "agnostic to the compute/interconnect
+framework surrounding the memory" — here the same ResNet training trace runs
+on a three-tier platform under :class:`MultiTierPolicy`, with eviction
+victims demoted one tier at a time and hot data promoted back to the top.
+Compare against the two-tier paper platform: the CXL middle tier absorbs
+spill traffic that would otherwise pay NVRAM's write penalty.
+
+Run:  python examples/cxl_three_tier.py
+"""
+
+from repro.experiments.common import ExperimentConfig
+from repro.core.session import Session, SessionConfig
+from repro.memory.device import MemoryDevice
+from repro.nn.models import MODEL_REGISTRY
+from repro.policies import MultiTierPolicy, OptimizingPolicy
+from repro.runtime import CachedArraysAdapter, Executor
+from repro.runtime.gc import GcConfig
+from repro.units import GB, format_size
+from repro.workloads.annotate import annotate
+
+SCALE = 64
+
+
+def run(devices, policy, trace, params):
+    session = Session(SessionConfig(devices=devices), policy=policy)
+    executor = Executor(
+        CachedArraysAdapter(session, params),
+        gc_config=GcConfig(trigger_bytes=1 << 60),
+        sample_timeline=False,
+    )
+    iteration = executor.run(trace, iterations=2).steady_state()
+    session.close()
+    return iteration
+
+
+def main() -> None:
+    config = ExperimentConfig(scale=SCALE, iterations=2)
+    trace = annotate(
+        MODEL_REGISTRY["resnet200-large"].builder().training_trace().scaled(SCALE),
+        memopt=True,
+    )
+    params = config.scaled_params()
+
+    two_tier = run(
+        [config.build_dram(), config.build_nvram()],
+        OptimizingPolicy(local_alloc=True),
+        trace,
+        params,
+    )
+    three_tier = run(
+        [
+            config.build_dram(),
+            MemoryDevice.cxl(512 * GB // SCALE, name="CXL"),
+            config.build_nvram(),
+        ],
+        MultiTierPolicy(["DRAM", "CXL", "NVRAM"]),
+        trace,
+        params,
+    )
+
+    print("ResNet 200 training iteration (values at paper magnitude):\n")
+    for label, iteration in (("DRAM+NVRAM", two_tier), ("DRAM+CXL+NVRAM", three_tier)):
+        print(f"{label}: {iteration.seconds * SCALE:.1f} s/iteration")
+        for device, snap in sorted(iteration.traffic.items()):
+            print(
+                f"  {device:5s} read {format_size(snap.read_bytes * SCALE)}, "
+                f"wrote {format_size(snap.write_bytes * SCALE)}"
+            )
+    speedup = two_tier.seconds / three_tier.seconds
+    print(f"\nadding the CXL middle tier: {speedup:.2f}x speedup — spill traffic "
+          "lands on CXL's ~40 GB/s instead of NVRAM's ~11 GB/s write path")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""DLRM-style recommendation training on tiered memory (Section VI / [15]).
+
+Embedding tables dwarf DRAM; per-batch lookups touch a Zipf-skewed sliver of
+them. The example runs the same DLRM trace under three policies — the
+paper's LRU policy, the frequency-adaptive extension, and an OS-NUMA
+baseline — and shows where the embedding chunks end up and what it costs.
+
+Run:  python examples/dlrm_recommender.py
+"""
+
+from repro.core.session import Session, SessionConfig
+from repro.policies import AdaptivePolicy, InterleavePolicy, OptimizingPolicy
+from repro.runtime import CachedArraysAdapter, Executor
+from repro.runtime.kernel import ExecutionParams
+from repro.units import KiB, MiB, format_size
+from repro.workloads.annotate import annotate
+from repro.workloads.dlrm import dlrm_trace
+
+
+def run(policy, label: str, trace) -> None:
+    session = Session(
+        SessionConfig(dram=24 * MiB, nvram=512 * MiB), policy=policy
+    )
+    executor = Executor(
+        CachedArraysAdapter(session, ExecutionParams()), sample_timeline=False
+    )
+    result = executor.run(trace, iterations=3)
+    iteration = result.steady_state()
+    hot = touched_in_dram = 0
+    touched = {
+        name for k in trace.kernels() if k.name.startswith("lookup_")
+        for name in k.reads
+    }
+    for name, obj in executor.adapter.objects.items():
+        if name.startswith("emb_") and obj.primary is not None:
+            if obj.primary.device_name == "DRAM":
+                hot += 1
+                if name in touched:
+                    touched_in_dram += 1
+    nvram = iteration.traffic["NVRAM"]
+    print(
+        f"{label:14s} {iteration.seconds * 1e3:8.1f} ms/iter | "
+        f"NVRAM read {format_size(nvram.read_bytes):>10s} | "
+        f"{hot:3d} chunks in DRAM ({touched_in_dram} of them hot)"
+    )
+    session.close()
+
+
+def main() -> None:
+    trace = annotate(
+        dlrm_trace(
+            tables=8,
+            chunks_per_table=32,
+            chunk_bytes=512 * KiB,   # 128 MiB of embeddings vs 24 MiB DRAM
+            lookups_per_table=3,
+            zipf_exponent=1.5,
+            batches=4,               # fresh Zipf draws every minibatch
+            seed=1,
+        ),
+        memopt=True,
+    )
+    print("DLRM: 8 tables x 32 chunks (128 MiB embeddings), 24 MiB DRAM,\n"
+          "4 minibatches/iteration with fresh Zipf-skewed lookups\n")
+    run(OptimizingPolicy(local_alloc=True, prefetch=True), "LRU (paper)", trace)
+    run(AdaptivePolicy(local_alloc=True, prefetch=True), "adaptive", trace)
+    run(InterleavePolicy(), "NUMA (no hints)", trace)
+    print(
+        "\nBoth hint-driven policies keep the Zipf-hot head resident (the\n"
+        "lookups are also recent, so recency tracks this workload well; the\n"
+        "frequency-adaptive policy earns its keep on cold-scan interference\n"
+        "-- see benchmarks/test_ablation_dlrm_policy.py). The OS baseline,\n"
+        "blind to hints, parks mostly cold chunks in DRAM and pays in both\n"
+        "NVRAM traffic and misplaced capacity."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+"""Sensitivity to DRAM capacity (the Figure 7 experiment, scaled down).
+
+Sweeps the DRAM budget for a small network under CA: LM and prints the
+wall-clock time, the perfectly-asynchronous-movement projection, and the
+NVRAM-only penalty.
+
+Run:  python examples/dram_sweep.py [model]
+"""
+
+import sys
+
+from repro.experiments.common import ExperimentConfig
+from repro.experiments import fig7_sensitivity
+
+
+def main() -> None:
+    model = sys.argv[1] if len(sys.argv) > 1 else "densenet264-small"
+    config = ExperimentConfig(scale=32, iterations=2, sample_timeline=False)
+    result = fig7_sensitivity.run(
+        config, models=(model,), budgets_gb=(180, 90, 45, 20, 10, 0)
+    )
+    print(fig7_sensitivity.render(result))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""Reproduce the paper's headline comparison (Figure 2) at reduced scale.
+
+Runs one large CNN through all six operating modes — the two hardware-cache
+baselines and the four CachedArrays variants — and prints the iteration
+times, traffic, and the CA:LM speedup the paper reports as 1.4x-2.03x.
+
+Run:  python examples/paper_experiments.py [model] [scale]
+      model in {densenet264-large, resnet200-large, vgg416-large}
+"""
+
+import sys
+
+from repro.experiments.common import ExperimentConfig, run_modes
+from repro.experiments.report import bars
+
+
+def main() -> None:
+    model = sys.argv[1] if len(sys.argv) > 1 else "resnet200-large"
+    scale = int(sys.argv[2]) if len(sys.argv) > 2 else 32
+    config = ExperimentConfig(scale=scale, iterations=2, sample_timeline=False)
+    modes = ["2LM:0", "2LM:M", "CA:0", "CA:L", "CA:LM", "CA:LMP"]
+    print(f"running {model} through {len(modes)} modes at 1/{scale} scale ...")
+    results = run_modes(model, modes, config)
+
+    labels, seconds = [], []
+    for name, result in results.items():
+        it = result.iteration
+        labels.append(result.mode.pretty)
+        seconds.append(it.seconds * scale)
+        dram_read, dram_write = result.traffic_gb("DRAM")
+        nvram_read, nvram_write = result.traffic_gb("NVRAM")
+        print(
+            f"{result.mode.pretty:9s} {it.seconds * scale:7.1f} s | "
+            f"DRAM {dram_read:6.0f}/{dram_write:6.0f} GB r/w | "
+            f"NVRAM {nvram_read:5.0f}/{nvram_write:5.0f} GB r/w | "
+            f"movement {it.movement_seconds * scale:6.1f} s"
+        )
+    print()
+    print(bars(labels, seconds, unit=" s"))
+    speedup = seconds[labels.index("2LM: ∅")] / seconds[labels.index("CA: LM")]
+    print(f"\nCA: LM is {speedup:.2f}x faster than the hardware cache baseline "
+          "(paper: 1.4x-2.03x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Beyond CNNs: transformers and mixture-of-experts on tiered memory.
+
+Section VI of the paper argues the framework "can apply to applications
+exhibiting dynamic memory use such as Transformers, RNNs, and Mixtures of
+Experts". This example runs both:
+
+1. a GPT-ish transformer whose quadratic attention tensors blow past DRAM —
+   comparing the hardware cache against CachedArrays;
+2. a mixture-of-experts model with Zipf-skewed expert popularity — showing
+   cold experts sinking to NVRAM while the hot ones stay fast.
+
+Run:  python examples/transformer_moe.py
+"""
+
+from repro.core.session import Session, SessionConfig
+from repro.experiments.common import ExperimentConfig, run_trace_mode
+from repro.nn.transformer import moe_transformer, transformer
+from repro.policies import OptimizingPolicy
+from repro.runtime import CachedArraysAdapter, Executor
+from repro.units import GB, format_size
+from repro.workloads.annotate import annotate
+
+SCALE = 256
+
+
+def transformer_panel() -> None:
+    graph = transformer(layers=24, batch=16, seq=4096, dim=2048, heads=16)
+    trace = graph.training_trace()
+    print(f"transformer footprint: {format_size(trace.peak_live_bytes())} "
+          f"({sum(1 for _ in trace.kernels())} kernels/iteration)")
+    config = ExperimentConfig(scale=SCALE, iterations=2, sample_timeline=False)
+    scaled = trace.scaled(SCALE)
+    rows = []
+    for mode in ("2LM:0", "2LM:M", "CA:LM"):
+        annotated = annotate(scaled, memopt=mode.endswith("M"))
+        result = run_trace_mode(annotated, mode, config, model_label="gpt-ish")
+        rows.append((mode, result.iteration.seconds * SCALE))
+        print(f"  {mode:7s} {result.iteration.seconds * SCALE:7.1f} s/iteration")
+    speedup = rows[0][1] / rows[-1][1]
+    print(f"  CachedArrays speedup over the hardware cache: {speedup:.2f}x\n")
+
+
+def moe_panel() -> None:
+    graph = moe_transformer(
+        layers=16, batch=8, seq=1024, dim=1024, heads=16,
+        experts=32, active_per_layer=2, zipf_exponent=1.5, seed=7,
+    )
+    trace = annotate(graph.training_trace().scaled(64), memopt=True)
+    # DRAM budget of 4 GB (paper magnitude): far below the ~9 GB footprint,
+    # so the policy must choose which expert weights stay fast.
+    config = ExperimentConfig(scale=64, iterations=2, dram_bytes=4 * GB)
+    session = Session(
+        SessionConfig(devices=[config.build_dram(), config.build_nvram()]),
+        policy=OptimizingPolicy(local_alloc=True),
+    )
+    executor = Executor(
+        CachedArraysAdapter(session, config.scaled_params()), sample_timeline=False
+    )
+    executor.run(trace, iterations=2)
+    hot, cold = [], []
+    for name, obj in sorted(executor.adapter.objects.items()):
+        if name.startswith("w_expert") and obj.primary is not None:
+            expert = name.split("_")[1]  # "expert<N>"
+            (hot if obj.primary.device_name == "DRAM" else cold).append(expert)
+    print(f"mixture-of-experts: {len(hot)} expert weight tensors stayed in "
+          f"DRAM, {len(cold)} sank to NVRAM")
+    print("  hot  :", ", ".join(sorted(set(hot))[:8]))
+    print("  cold :", ", ".join(sorted(set(cold))[:8]), "...")
+    print("  (Zipf-popular experts are touched every iteration and survive;\n"
+          "   the long tail is pure capacity and tiers out — no policy change)")
+    session.close()
+
+
+def main() -> None:
+    transformer_panel()
+    moe_panel()
+
+
+if __name__ == "__main__":
+    main()

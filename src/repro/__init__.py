@@ -1,0 +1,76 @@
+"""CachedArrays — data tiering for heterogeneous memory systems.
+
+A Python reproduction of *CachedArrays: Optimizing Data Movement for
+Heterogeneous Memory Systems* (Hildebrand, Lowe-Power, Akella — IPDPS 2024).
+
+The package separates the paper's three concerns:
+
+* **data access** — :class:`~repro.core.CachedArray` handles resolved to
+  primary regions once per kernel;
+* **mechanism** — :class:`~repro.core.DataManager` over per-device heaps,
+  with a bandwidth-modelled copy engine;
+* **policy** — :class:`~repro.core.Policy` implementations reacting to the
+  ``will_use/will_read/will_write/archive/retire`` hints.
+
+Because the paper's Optane+DRAM testbed is not available, devices are
+simulated (deterministic virtual clock, published bandwidth curves) and the
+hardware-managed DRAM cache baseline ("2LM") is reproduced by
+:mod:`repro.twolm`. See DESIGN.md for the substitution table.
+
+Quickstart::
+
+    import repro
+
+    with repro.Session(repro.SessionConfig(dram="1 MiB", nvram="8 MiB",
+                                           real=True)) as session:
+        x = session.zeros((256, 256), name="x")
+        x.will_write()
+        with session.kernel(writes=[x]) as (_, (xv,)):
+            xv[...] = 1.0
+        x.archive()   # cold: preferred eviction victim
+        ...
+        x.retire()    # dead: never written back to slow memory
+"""
+
+from repro.core import (
+    AccessIntent,
+    CachedArray,
+    DataManager,
+    MemObject,
+    Policy,
+    Region,
+    Session,
+    SessionConfig,
+)
+from repro.errors import CachedArraysError, OutOfMemoryError
+from repro.memory import CopyEngine, Heap, MemoryDevice, MemoryKind
+from repro.platforms import PLATFORMS, platform
+from repro.policies import MODES, ModeConfig, OptimizingPolicy, mode
+from repro.sim import SimClock
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessIntent",
+    "CachedArray",
+    "CachedArraysError",
+    "CopyEngine",
+    "DataManager",
+    "Heap",
+    "MODES",
+    "MemObject",
+    "MemoryDevice",
+    "MemoryKind",
+    "ModeConfig",
+    "OptimizingPolicy",
+    "OutOfMemoryError",
+    "PLATFORMS",
+    "platform",
+    "Policy",
+    "Region",
+    "Session",
+    "SessionConfig",
+    "SimClock",
+    "mode",
+    "__version__",
+]

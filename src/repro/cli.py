@@ -1,0 +1,217 @@
+"""Command-line entry: regenerate any table or figure of the paper.
+
+Usage::
+
+    python -m repro table3
+    python -m repro fig2 [--scale N] [--iterations N] [--json]
+    python -m repro fig3 ... fig7
+    python -m repro all
+    python -m repro trace --model resnet200-large [--out trace.json]
+
+Times are reported rescaled to paper magnitudes (see
+:class:`~repro.experiments.common.ExperimentConfig`). ``--json`` emits a
+machine-readable results summary instead of the text report; ``trace``
+exports a model's kernel trace as a portable JSON artifact
+(:mod:`repro.workloads.serialize`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.experiments.common import ExperimentConfig
+
+__all__ = ["main"]
+
+EXPERIMENTS = ("table3", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "ext")
+
+
+def _module_for(name: str):
+    if name == "table3":
+        from repro.experiments import table3_models as module
+    elif name == "fig2":
+        from repro.experiments import fig2_runtime as module
+    elif name == "fig3":
+        from repro.experiments import fig3_heap as module
+    elif name == "fig4":
+        from repro.experiments import fig4_cachestats as module
+    elif name == "fig5":
+        from repro.experiments import fig5_traffic as module
+    elif name == "fig6":
+        from repro.experiments import fig6_utilization as module
+    elif name == "fig7":
+        from repro.experiments import fig7_sensitivity as module
+    elif name == "ext":
+        from repro.experiments import extensions as module
+    else:  # pragma: no cover - argparse restricts choices
+        raise ValueError(f"unknown experiment {name!r}")
+    return module
+
+
+def _run_one(name: str, config: ExperimentConfig, *, as_json: bool) -> str:
+    module = _module_for(name)
+    result = module.run() if name == "table3" else module.run(config)
+    if as_json:
+        return json.dumps({name: _summarise(name, result, config)}, indent=2)
+    return module.render(result)
+
+
+def _summarise(name: str, result, config: ExperimentConfig) -> dict:
+    """A compact JSON summary per experiment (full data stays in Python)."""
+    scale = config.scale
+    if name == "table3":
+        return {
+            row.spec.key: {
+                "batch": row.spec.batch,
+                "measured_footprint_bytes": row.measured_footprint,
+                "paper_footprint_bytes": row.spec.paper_footprint,
+                "kernels": row.kernels,
+            }
+            for row in result.rows
+        }
+    if name in ("fig2", "fig5", "fig6"):
+        out: dict = {}
+        for model, by_mode in result.results.items():
+            out[model] = {}
+            for mode, mode_result in by_mode.items():
+                iteration = mode_result.iteration
+                entry = {
+                    "seconds": round(iteration.seconds * scale, 2),
+                    "traffic_gb": {
+                        device: [
+                            round(v, 1) for v in mode_result.traffic_gb(device)
+                        ]
+                        for device in iteration.traffic
+                    },
+                }
+                if name == "fig6":
+                    entry["dram_utilization"] = round(
+                        mode_result.dram_utilization(), 4
+                    )
+                out[model][mode] = entry
+        return out
+    if name == "fig3":
+        return {
+            "model": result.model,
+            "peak_heap_gb": {
+                "2LM:0": round(result.peak_gb(result.unoptimized), 1),
+                "2LM:M": round(result.peak_gb(result.optimized), 1),
+            },
+            "gc_collections_2lm0": result.unoptimized.iteration.gc_collections,
+        }
+    if name == "fig4":
+        base = result.stats(result.unoptimized)
+        opt = result.stats(result.optimized)
+        return {
+            "2LM:0": {
+                "hit_rate": round(base.hit_rate, 4),
+                "clean_miss_rate": round(base.clean_miss_rate, 4),
+                "dirty_miss_rate": round(base.dirty_miss_rate, 4),
+            },
+            "2LM:M": {
+                "hit_rate": round(opt.hit_rate, 4),
+                "clean_miss_rate": round(opt.clean_miss_rate, 4),
+                "dirty_miss_rate": round(opt.dirty_miss_rate, 4),
+            },
+        }
+    if name == "ext":
+        scale = config.scale
+        return {
+            "platforms_seconds": {
+                label: round(it.seconds * scale, 1)
+                for label, it in result.platforms.items()
+            },
+            "async_seconds": result.async_movement,
+            "numa_seconds": {
+                label: round(it.seconds * scale, 1)
+                for label, it in result.numa.items()
+            },
+        }
+    if name == "fig7":
+        return {
+            model: {
+                str(budget): {
+                    "wall_seconds": round(result.seconds(model, budget), 2),
+                    "async_projection_seconds": round(
+                        result.async_seconds(model, budget), 2
+                    ),
+                }
+                for budget in result.budgets_gb
+            }
+            for model in result.results
+        }
+    raise ValueError(name)  # pragma: no cover
+
+
+def _export_trace(model: str, out_path: str | None, scale: int) -> int:
+    from repro.nn.models import MODEL_REGISTRY
+    from repro.workloads.serialize import save_trace
+
+    if model not in MODEL_REGISTRY:
+        print(
+            f"unknown model {model!r}; known: {', '.join(sorted(MODEL_REGISTRY))}",
+            file=sys.stderr,
+        )
+        return 2
+    trace = MODEL_REGISTRY[model].builder().training_trace()
+    if scale > 1:
+        trace = trace.scaled(scale)
+    if out_path:
+        with open(out_path, "w", encoding="utf-8") as fp:
+            save_trace(trace, fp)
+        print(
+            f"wrote {trace.name}: {len(trace.events)} events, "
+            f"{len(trace.tensors)} tensors -> {out_path}"
+        )
+    else:
+        save_trace(trace, sys.stdout)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="cachedarrays",
+        description="Regenerate the CachedArrays (IPDPS 2024) tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=EXPERIMENTS + ("all", "trace"),
+        help="which table/figure to regenerate, or 'trace' to export a "
+        "model's kernel trace",
+    )
+    parser.add_argument(
+        "--scale",
+        type=int,
+        default=16,
+        help="divide workload and device sizes by this factor (default 16)",
+    )
+    parser.add_argument(
+        "--iterations",
+        type=int,
+        default=2,
+        help="training iterations per run; the last is reported (default 2)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit a machine-readable summary instead of the text report",
+    )
+    parser.add_argument("--model", help="model key for the 'trace' command")
+    parser.add_argument("--out", help="output path for the 'trace' command")
+    args = parser.parse_args(argv)
+    if args.experiment == "trace":
+        if not args.model:
+            parser.error("trace requires --model")
+        return _export_trace(args.model, args.out, args.scale)
+    config = ExperimentConfig(scale=args.scale, iterations=args.iterations)
+    names = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
+    for name in names:
+        print(_run_one(name, config, as_json=args.json))
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

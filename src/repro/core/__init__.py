@@ -1,0 +1,32 @@
+"""The CachedArrays core: objects, regions, the data manager, policies.
+
+This package implements the paper's three separated concerns (Figure 1):
+
+* data access via :class:`~repro.core.cachedarray.CachedArray` objects (one
+  level of indirection: object -> primary region);
+* the data-movement mechanism, :class:`~repro.core.manager.DataManager`,
+  exposing the Section III-C data-management API;
+* the policy interface, :class:`~repro.core.policy_api.Policy`, receiving the
+  Table II hints (``will_use/will_read/will_write``, ``archive``, ``retire``)
+  and driving the manager.
+
+:class:`~repro.core.session.Session` wires the three together over a set of
+memory devices.
+"""
+
+from repro.core.object import MemObject, Region
+from repro.core.manager import DataManager
+from repro.core.policy_api import Policy, AccessIntent
+from repro.core.cachedarray import CachedArray
+from repro.core.session import Session, SessionConfig
+
+__all__ = [
+    "MemObject",
+    "Region",
+    "DataManager",
+    "Policy",
+    "AccessIntent",
+    "CachedArray",
+    "Session",
+    "SessionConfig",
+]

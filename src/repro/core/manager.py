@@ -1,0 +1,333 @@
+"""The data manager: the paper's data-management API (Section III-C).
+
+The manager is the *mechanism* layer. It knows how to allocate and free
+regions, copy bytes between them, link regions to objects, and answer state
+queries — and nothing about *why*. Policies drive it; applications never see
+it (they talk to the policy through hints).
+
+API surface mapped to the paper's names:
+
+=====================  ====================================================
+Paper                  Here
+=====================  ====================================================
+``getprimary(obj)``    :meth:`DataManager.getprimary`
+``setprimary(obj,r)``  :meth:`DataManager.setprimary`
+``allocate(dev,sz)``   :meth:`DataManager.allocate` / :meth:`try_allocate`
+``free(r)``            :meth:`DataManager.free`
+``copyto(dst,src)``    :meth:`DataManager.copyto`
+``link(x,y)``          :meth:`DataManager.link`
+``unlink(x,y)``        :meth:`DataManager.unlink`
+``sizeof(r)``          :meth:`DataManager.sizeof`
+``getlinked(r,dev)``   :meth:`DataManager.getlinked`
+``in(r,dev)``          :meth:`DataManager.in_device`
+``isdirty/setdirty``   :meth:`DataManager.isdirty` / :meth:`setdirty`
+``parent(r)``          :meth:`DataManager.parent`
+``evictfrom``          :meth:`DataManager.evictfrom`
+=====================  ====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.errors import (
+    ConfigurationError,
+    LinkError,
+    ObjectStateError,
+    OutOfMemoryError,
+    PolicyError,
+    RegionStateError,
+)
+from repro.core.object import MemObject, Region
+from repro.memory.copyengine import CopyEngine
+from repro.memory.heap import Heap
+
+__all__ = ["DataManager"]
+
+
+class DataManager:
+    """Mechanism layer: regions, copies, links, and device state queries."""
+
+    def __init__(self, heaps: dict[str, Heap], engine: CopyEngine) -> None:
+        if not heaps:
+            raise ConfigurationError("DataManager needs at least one heap")
+        self.heaps = dict(heaps)
+        self.engine = engine
+        self._regions: dict[tuple[str, int], Region] = {}
+        self.objects: dict[int, MemObject] = {}
+
+    # -- device helpers -----------------------------------------------------
+
+    def heap(self, device: str) -> Heap:
+        try:
+            return self.heaps[device]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown device {device!r}; have {sorted(self.heaps)}"
+            ) from None
+
+    def devices(self) -> list[str]:
+        return list(self.heaps)
+
+    # -- object lifecycle -----------------------------------------------------
+
+    def new_object(self, size: int, name: str = "") -> MemObject:
+        """Register a new logical object (it has no region yet)."""
+        obj = MemObject(size, name)
+        self.objects[obj.id] = obj
+        return obj
+
+    def destroy_object(self, obj: MemObject) -> None:
+        """Retire an object: free every region and mark it unusable.
+
+        This is the mechanism behind the policy-level ``retire`` hint; after
+        it, any access raises. Pinned objects cannot be destroyed.
+        """
+        if obj.pinned:
+            raise ObjectStateError(f"cannot destroy pinned {obj!r}")
+        for region in obj.regions():
+            obj.detach(region)
+            self._release(region)
+        obj.retired = True
+        self.objects.pop(obj.id, None)
+
+    # -- object functions ------------------------------------------------------
+
+    def getprimary(self, obj: MemObject) -> Region:
+        obj.check_usable()
+        primary = obj.primary
+        if primary is None:
+            raise ObjectStateError(f"{obj!r} has no primary region")
+        return primary
+
+    def setprimary(self, obj: MemObject, region: Region) -> None:
+        """Make ``region`` the object's primary (attaching it if needed)."""
+        obj.check_usable()
+        region.check_live()
+        obj.attach(region, primary=True)
+
+    # -- region functions -------------------------------------------------------
+
+    def allocate(self, device: str, size: int) -> Region:
+        """Allocate a region on ``device``; raises ``OutOfMemoryError``."""
+        heap = self.heap(device)
+        offset = heap.allocate(size)
+        region = Region(heap, offset, size)
+        self._regions[(device, offset)] = region
+        return region
+
+    def try_allocate(self, device: str, size: int) -> Region | None:
+        """Allocate, returning ``None`` on exhaustion (Listing 2's idiom)."""
+        try:
+            return self.allocate(device, size)
+        except OutOfMemoryError:
+            return None
+
+    def free(self, region: Region) -> None:
+        """Free a region. A primary must be detached from its object first
+        (``setprimary`` elsewhere or ``destroy_object``), mirroring Listing 1
+        where ``free(x)`` happens only after ``setprimary(object, y)``."""
+        region.check_live()
+        if region.is_primary:
+            raise RegionStateError(
+                f"cannot free {region!r}: it is still its object's primary"
+            )
+        if region.parent is not None:
+            region.parent.detach(region)
+        self._release(region)
+
+    def _release(self, region: Region) -> None:
+        region.heap.free(region.offset)
+        del self._regions[(region.device_name, region.offset)]
+        region.freed = True
+
+    def copyto(self, dst: Region, src: Region) -> None:
+        """Copy the full logical contents of ``src`` into ``dst``."""
+        src.check_live()
+        dst.check_live()
+        if dst.size < src.size:
+            raise RegionStateError(
+                f"copyto target {dst!r} smaller than source {src!r}"
+            )
+        record = self.engine.copy(
+            src.heap, src.offset, dst.heap, dst.offset, src.size
+        )
+        # Asynchronous copies complete later; consumers of the destination
+        # must wait until then (enforced at kernel-pin time).
+        dst.ready_at = record.completes_at
+
+    def link(self, x: Region, y: Region) -> None:
+        """Associate two regions with the same object (primary stays put)."""
+        x.check_live()
+        y.check_live()
+        owner_x, owner_y = x.parent, y.parent
+        if owner_x is None and owner_y is None:
+            raise LinkError(f"neither {x!r} nor {y!r} belongs to an object")
+        if owner_x is not None and owner_y is not None:
+            if owner_x is not owner_y:
+                raise LinkError(f"{x!r} and {y!r} belong to different objects")
+            return  # already linked
+        owner = owner_x if owner_x is not None else owner_y
+        orphan = y if owner_x is not None else x
+        assert owner is not None
+        owner.attach(orphan, primary=False)
+
+    def unlink(self, x: Region, y: Region) -> None:
+        """Break the association; the non-primary region is detached."""
+        x.check_live()
+        y.check_live()
+        if x.parent is None or x.parent is not y.parent:
+            raise LinkError(f"{x!r} and {y!r} are not linked")
+        owner = x.parent
+        if x.is_primary and y.is_primary:  # pragma: no cover - impossible
+            raise LinkError("both regions claim to be primary")
+        if not x.is_primary and not y.is_primary:
+            raise LinkError(
+                f"refusing to unlink two secondaries of {owner!r}; "
+                "detach them individually via free()"
+            )
+        orphan = y if x.is_primary else x
+        owner.detach(orphan)
+
+    # -- query functions ---------------------------------------------------------
+
+    def sizeof(self, target: Region | MemObject) -> int:
+        """Logical size in bytes of a region or an object."""
+        if isinstance(target, Region):
+            target.check_live()
+        else:
+            target.check_usable()
+        return target.size
+
+    def getlinked(self, region: Region, device: str) -> Region | None:
+        """The linked region of ``region``'s object on ``device``, if any."""
+        region.check_live()
+        self.heap(device)  # validate the device name
+        if region.parent is None:
+            return None
+        return region.parent.region_on(device)
+
+    def in_device(self, region: Region, device: str) -> bool:
+        """Paper's ``in(x, DEV)``: does ``region`` live on ``device``?"""
+        region.check_live()
+        self.heap(device)
+        return region.device_name == device
+
+    def isdirty(self, region: Region) -> bool:
+        region.check_live()
+        return region.dirty
+
+    def setdirty(self, region: Region, dirty: bool = True) -> None:
+        region.check_live()
+        region.dirty = dirty
+
+    def parent(self, region: Region) -> MemObject:
+        region.check_live()
+        if region.parent is None:
+            raise ObjectStateError(f"{region!r} belongs to no object")
+        return region.parent
+
+    def region_at(self, device: str, offset: int) -> Region:
+        """The live region starting at ``offset`` on ``device``."""
+        region = self._regions.get((device, offset))
+        if region is None:
+            raise RegionStateError(f"no region at {device}@{offset:#x}")
+        return region
+
+    def regions_on(self, device: str) -> Iterator[Region]:
+        """Live regions on a device in address order."""
+        heap = self.heap(device)
+        for block in heap.live_blocks():
+            yield self._regions[(device, block.offset)]
+
+    # -- eviction support -----------------------------------------------------------
+
+    def _span(self, device: str, start_offset: int, size: int) -> list[int] | None:
+        """The span ``evictfrom`` would pick: forward from ``start_offset``,
+        falling back to the bottom of the heap when the arena end is hit."""
+        heap = self.heap(device)
+        victims = heap.collect_span(start_offset, size)
+        if victims is None and start_offset != 0:
+            victims = heap.collect_span(0, size)
+        return victims
+
+    def span_victims(
+        self, device: str, start: Region, size: int
+    ) -> list[Region] | None:
+        """Regions that ``evictfrom(device, start, size, ...)`` would evict.
+
+        Policies use this to pre-check a candidate span (e.g. to skip spans
+        containing pinned kernel operands) before committing to an eviction.
+        Returns ``None`` when no contiguous span is reachable.
+        """
+        start.check_live()
+        if start.heap is not self.heap(device):
+            raise RegionStateError(f"{start!r} is not on device {device!r}")
+        offsets = self._span(device, start.offset, size)
+        if offsets is None:
+            return None
+        return [self._regions[(device, offset)] for offset in offsets]
+
+    def evictfrom(
+        self,
+        device: str,
+        start: Region,
+        size: int,
+        callback: Callable[[Region], None],
+    ) -> None:
+        """Free a contiguous ``size``-byte span of ``device`` (Listing 2).
+
+        Walks forward from ``start``, invoking ``callback`` (typically the
+        policy's ``evict``) on every live region in the span. If the arena
+        end is reached first, retries once from the bottom of the heap. The
+        callback must leave each region freed; a region it leaves live (for
+        example because the object is pinned) aborts with ``PolicyError``
+        so policies cannot silently fail to make room.
+        """
+        start.check_live()
+        if start.heap is not self.heap(device):
+            raise RegionStateError(f"{start!r} is not on device {device!r}")
+        victims = self._span(device, start.offset, size)
+        if victims is None:
+            raise OutOfMemoryError(device, size, self.heap(device).free_bytes)
+        for offset in victims:
+            region = self._regions[(device, offset)]
+            callback(region)
+            if not region.freed:
+                raise PolicyError(
+                    f"evictfrom callback left {region!r} live; cannot make room"
+                )
+
+    # -- maintenance --------------------------------------------------------------
+
+    def defragment(self, device: str) -> int:
+        """Compact a heap, re-pointing all affected regions."""
+        heap = self.heap(device)
+        moves: list[tuple[int, int]] = []
+
+        def on_move(old: int, new: int, size: int) -> None:
+            moves.append((old, new))
+
+        moved = heap.defragment(on_move)
+        for old, new in moves:
+            region = self._regions.pop((device, old))
+            region.offset = new
+            self._regions[(device, new)] = region
+        return moved
+
+    def check_invariants(self) -> None:
+        """Validate cross-layer consistency (used by tests after every op)."""
+        for heap in self.heaps.values():
+            heap.allocator.check_invariants()
+        for (device, offset), region in self._regions.items():
+            if region.freed:
+                raise AssertionError(f"freed region {region!r} still registered")
+            if region.device_name != device or region.offset != offset:
+                raise AssertionError(f"region index out of sync for {region!r}")
+            if region.parent is not None:
+                if region.parent.region_on(device) is not region:
+                    raise AssertionError(f"{region!r} not known to its object")
+        for obj in self.objects.values():
+            for region in obj.regions():
+                if self._regions.get((region.device_name, region.offset)) is not region:
+                    raise AssertionError(f"{obj!r} holds unregistered {region!r}")

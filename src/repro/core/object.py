@@ -1,0 +1,169 @@
+"""Objects and regions: the level of indirection at the heart of the design.
+
+Section III-C: a *region* is a contiguous slice of one device's heap that
+holds either the current data for an object (the *primary*) or a copy (a
+*secondary*). Two regions are *linked* when they belong to the same object.
+A secondary is *valid* while the primary is clean, and *stale* once the
+primary has been written without propagating the change.
+
+Invariants enforced here and in the manager:
+
+* a region belongs to at most one object, and an object holds at most one
+  region per device (linking a second region on the same device is an error);
+* exactly one of an object's regions is the primary (until the object is
+  retired);
+* freed regions are inert — any further use raises
+  :class:`~repro.errors.RegionStateError`;
+* a pinned object's primary cannot change (kernels resolve the indirection
+  once at launch; Section III-C "an object's primary cannot change during
+  the execution of a kernel").
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Iterator
+
+from repro.errors import LinkError, ObjectStateError, RegionStateError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.memory.heap import Heap
+
+__all__ = ["Region", "MemObject"]
+
+_region_ids = itertools.count()
+_object_ids = itertools.count()
+
+
+class Region:
+    """A contiguous allocation on one heap, possibly backing an object."""
+
+    __slots__ = ("id", "heap", "offset", "size", "parent", "dirty", "freed", "ready_at")
+
+    def __init__(self, heap: "Heap", offset: int, size: int) -> None:
+        self.id = next(_region_ids)
+        self.heap = heap
+        self.offset = offset
+        self.size = size
+        self.parent: MemObject | None = None
+        self.dirty = False
+        self.freed = False
+        # Virtual time at which in-flight (asynchronous) data movement into
+        # this region completes; 0.0 means the contents are ready now.
+        self.ready_at = 0.0
+
+    @property
+    def device_name(self) -> str:
+        return self.heap.name
+
+    @property
+    def is_primary(self) -> bool:
+        return self.parent is not None and self.parent.primary is self
+
+    def check_live(self) -> None:
+        if self.freed:
+            raise RegionStateError(f"{self!r} was already freed")
+
+    def __repr__(self) -> str:
+        owner = f" of obj#{self.parent.id}" if self.parent is not None else ""
+        state = "freed" if self.freed else ("dirty" if self.dirty else "clean")
+        return (
+            f"Region#{self.id}({self.device_name}@{self.offset:#x}, "
+            f"{self.size} B, {state}{owner})"
+        )
+
+
+class MemObject:
+    """A logical datum: a size, a primary region, and linked secondaries."""
+
+    __slots__ = ("id", "size", "name", "retired", "pin_count", "_regions", "_primary")
+
+    def __init__(self, size: int, name: str = "") -> None:
+        if size <= 0:
+            raise ObjectStateError(f"object size must be positive, got {size}")
+        self.id = next(_object_ids)
+        self.size = size
+        self.name = name or f"obj{self.id}"
+        self.retired = False
+        self.pin_count = 0
+        self._regions: dict[str, Region] = {}
+        self._primary: Region | None = None
+
+    # -- state queries ------------------------------------------------------
+
+    @property
+    def primary(self) -> Region | None:
+        return self._primary
+
+    @property
+    def pinned(self) -> bool:
+        return self.pin_count > 0
+
+    def regions(self) -> Iterator[Region]:
+        """All regions currently backing this object (primary included)."""
+        return iter(list(self._regions.values()))
+
+    def region_on(self, device_name: str) -> Region | None:
+        return self._regions.get(device_name)
+
+    def check_usable(self) -> None:
+        if self.retired:
+            raise ObjectStateError(f"{self!r} was retired and cannot be used")
+
+    # -- attachment (called only by the DataManager) --------------------------
+
+    def attach(self, region: Region, *, primary: bool) -> None:
+        region.check_live()
+        if region.parent is not None and region.parent is not self:
+            raise LinkError(f"{region!r} already belongs to {region.parent!r}")
+        existing = self._regions.get(region.device_name)
+        if existing is not None and existing is not region:
+            raise LinkError(
+                f"{self!r} already has a region on {region.device_name!r}"
+            )
+        if (
+            primary
+            and self.pinned
+            and self._primary is not None
+            and self._primary is not region
+        ):
+            # Validate before any mutation so a rejected attach leaves the
+            # object untouched.
+            raise ObjectStateError(
+                f"cannot change primary of pinned {self!r} (a kernel holds it)"
+            )
+        region.parent = self
+        self._regions[region.device_name] = region
+        if primary:
+            self._primary = region
+
+    def detach(self, region: Region) -> None:
+        if self._regions.get(region.device_name) is not region:
+            raise LinkError(f"{region!r} is not attached to {self!r}")
+        if region is self._primary:
+            if self.pinned:
+                raise ObjectStateError(
+                    f"cannot detach primary of pinned {self!r} (a kernel holds it)"
+                )
+            self._primary = None
+        del self._regions[region.device_name]
+        region.parent = None
+
+    # -- pinning --------------------------------------------------------------
+
+    def pin(self) -> None:
+        """Freeze the primary for the duration of a kernel."""
+        self.check_usable()
+        if self._primary is None:
+            raise ObjectStateError(f"cannot pin {self!r}: it has no primary region")
+        self.pin_count += 1
+
+    def unpin(self) -> None:
+        if self.pin_count <= 0:
+            raise ObjectStateError(f"unbalanced unpin of {self!r}")
+        self.pin_count -= 1
+
+    def __repr__(self) -> str:
+        where = self._primary.device_name if self._primary is not None else "nowhere"
+        flags = "retired " if self.retired else ""
+        return f"MemObject#{self.id}({self.name!r}, {self.size} B, {flags}primary on {where})"

@@ -1,0 +1,114 @@
+"""The policy API: Table II hints plus placement callbacks.
+
+Applications (or the trace executor standing in for the Zygote compiler pass)
+communicate *semantic intent* through five hints:
+
+* ``will_use`` / ``will_read`` / ``will_write`` — the object is about to be
+  accessed (and, if known, how);
+* ``archive`` — the object will not be used for some time;
+* ``retire`` — the object will never be used again (the only hint whose
+  misuse affects correctness).
+
+A policy reacts by calling the data-management API. Two extra callbacks that
+the paper's prose implies but Table II leaves implicit are made explicit
+here, because some placement decision must happen at these moments:
+
+* :meth:`Policy.place` — a new object needs its first region ("initially
+  allocate data only in one specific device", requirement 1 of §III-A; the
+  **L** optimisation toggles what this does);
+* :meth:`Policy.ensure_resident` — a kernel is about to pin the object, so a
+  primary must exist *somewhere* readable.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from typing import TYPE_CHECKING
+
+from repro.core.object import MemObject, Region
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.manager import DataManager
+
+__all__ = ["AccessIntent", "Policy"]
+
+
+class AccessIntent(enum.Enum):
+    """How the application says it is about to touch an object."""
+
+    USE = "use"  # unspecified read and/or write
+    READ = "read"
+    WRITE = "write"
+
+
+class Policy(abc.ABC):
+    """Base class for data-movement policies.
+
+    Subclasses receive hints and direct the bound :class:`DataManager`; they
+    must never touch heaps or the copy engine directly (the separation tested
+    by ``tests/core/test_separation.py``).
+    """
+
+    def __init__(self) -> None:
+        self._manager: "DataManager | None" = None
+
+    # -- wiring ---------------------------------------------------------------
+
+    def bind(self, manager: "DataManager") -> None:
+        """Attach the mechanism layer. Called once by the session."""
+        if self._manager is not None and self._manager is not manager:
+            raise RuntimeError("policy is already bound to a different manager")
+        self._manager = manager
+        self.on_bound()
+
+    @property
+    def manager(self) -> "DataManager":
+        if self._manager is None:
+            raise RuntimeError("policy is not bound to a DataManager yet")
+        return self._manager
+
+    def on_bound(self) -> None:
+        """Hook for subclasses to discover devices once bound."""
+
+    # -- placement callbacks -----------------------------------------------------
+
+    @abc.abstractmethod
+    def place(self, obj: MemObject) -> Region:
+        """Allocate and attach the first (primary) region for a new object."""
+
+    @abc.abstractmethod
+    def ensure_resident(self, obj: MemObject, intent: AccessIntent) -> Region:
+        """Guarantee the object has a usable primary before a kernel pins it.
+
+        Returns the primary region the kernel will use. The policy may move
+        the object (e.g. a write target into fast memory) or leave it alone.
+        """
+
+    # -- Table II hints -----------------------------------------------------------
+
+    def will_use(self, obj: MemObject) -> None:
+        """The object will be read or written in the near future."""
+
+    def will_read(self, obj: MemObject) -> None:
+        """The object will be read in the near future."""
+        self.will_use(obj)
+
+    def will_write(self, obj: MemObject) -> None:
+        """The object will be written in the near future."""
+        self.will_use(obj)
+
+    def archive(self, obj: MemObject) -> None:
+        """The object will not be used for some time."""
+
+    def retire(self, obj: MemObject) -> None:
+        """The object will never be used again; default frees everything."""
+        self.manager.destroy_object(obj)
+
+    # -- bookkeeping hooks ----------------------------------------------------------
+
+    def on_kernel_finish(self, read: list[MemObject], wrote: list[MemObject]) -> None:
+        """Called after a kernel unpins its operands (for usage tracking)."""
+
+    def on_iteration_end(self) -> None:
+        """Called between training iterations (e.g. to reset heuristics)."""

@@ -1,0 +1,259 @@
+"""Session: wires devices, manager, and policy into a usable runtime.
+
+A :class:`Session` owns the preallocated heaps (one per device), the shared
+virtual clock, the copy engine, the :class:`DataManager`, and one bound
+:class:`Policy`. Applications create arrays through it and access them inside
+``kernel(...)`` scopes, which implement the paper's kernel programming model:
+hints fire before the kernel, operands are resolved to their primary regions
+exactly once, pinned for the kernel's duration, and write targets are marked
+dirty afterwards.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import math
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.core.cachedarray import CachedArray
+from repro.core.manager import DataManager
+from repro.core.object import MemObject
+from repro.core.policy_api import AccessIntent, Policy
+from repro.memory.copyengine import CopyEngine
+from repro.memory.device import MemoryDevice
+from repro.memory.heap import Heap
+from repro.policies.optimizing import OptimizingPolicy
+from repro.sim.clock import SimClock
+from repro.telemetry.counters import TrafficSnapshot
+from repro.units import parse_size
+
+__all__ = ["Session", "SessionConfig"]
+
+
+@dataclass
+class SessionConfig:
+    """Declarative session setup.
+
+    Either give explicit ``devices`` or use the DRAM/NVRAM shorthand
+    matching the paper's platform (180 GB DRAM + 1300 GB NVRAM by default,
+    the limits of Section IV-A). ``real`` backs every device with actual
+    memory — only sensible at small capacities.
+    """
+
+    dram: int | str | None = "180 GB"
+    nvram: int | str | None = "1300 GB"
+    real: bool = False
+    devices: Sequence[MemoryDevice] = field(default_factory=tuple)
+    alignment: int = 64
+    copy_threads: int = 8
+    copy_overhead: float = 0.0
+    # Queue copies on a DMA channel overlapping with compute instead of
+    # blocking (Section VI; virtual devices only).
+    async_movement: bool = False
+
+    def build_devices(self) -> list[MemoryDevice]:
+        if self.devices:
+            return list(self.devices)
+        built: list[MemoryDevice] = []
+        if self.dram is not None and parse_size(self.dram) > 0:
+            built.append(MemoryDevice.dram(self.dram, real=self.real))
+        if self.nvram is not None and parse_size(self.nvram) > 0:
+            built.append(MemoryDevice.nvram(self.nvram, real=self.real))
+        if not built:
+            raise ConfigurationError("session needs at least one device")
+        return built
+
+
+class Session:
+    """The CachedArrays runtime: devices + data manager + policy."""
+
+    def __init__(
+        self,
+        config: SessionConfig | None = None,
+        policy: Policy | None = None,
+    ) -> None:
+        self.config = config or SessionConfig()
+        self.clock = SimClock()
+        devices = self.config.build_devices()
+        names = [d.name for d in devices]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate device names: {names}")
+        self.heaps = {
+            device.name: Heap(device, alignment=self.config.alignment)
+            for device in devices
+        }
+        if self.config.async_movement and any(d.is_real for d in devices):
+            raise ConfigurationError(
+                "async_movement is a timing model and requires virtual devices"
+            )
+        self.engine = CopyEngine(
+            self.clock,
+            max_threads=self.config.copy_threads,
+            per_transfer_overhead=self.config.copy_overhead,
+            async_mode=self.config.async_movement,
+        )
+        self.manager = DataManager(self.heaps, self.engine)
+        if policy is None:
+            policy = self._default_policy(names)
+        self.policy = policy
+        self.policy.bind(self.manager)
+        self._arrays: dict[int, CachedArray] = {}
+
+    @staticmethod
+    def _default_policy(names: list[str]) -> Policy:
+        from repro.policies.noop import SingleDevicePolicy
+
+        if "DRAM" in names and "NVRAM" in names:
+            return OptimizingPolicy(fast="DRAM", slow="NVRAM", local_alloc=True)
+        if len(names) == 1:
+            return SingleDevicePolicy(names[0])
+        raise ConfigurationError(
+            f"no default policy for device set {names}; pass one explicitly"
+        )
+
+    # -- array creation ---------------------------------------------------------
+
+    def empty(
+        self,
+        shape: tuple[int, ...] | int,
+        dtype: np.dtype | str = np.float32,
+        *,
+        name: str = "",
+    ) -> CachedArray:
+        """Allocate an uninitialised array; the policy picks the device."""
+        if isinstance(shape, int):
+            shape = (shape,)
+        dt = np.dtype(dtype)
+        nbytes = int(math.prod(shape)) * dt.itemsize
+        obj = self.manager.new_object(nbytes, name)
+        self.policy.place(obj)
+        array = CachedArray(self, obj, tuple(shape), dt)
+        self._arrays[obj.id] = array
+        return array
+
+    def zeros(
+        self,
+        shape: tuple[int, ...] | int,
+        dtype: np.dtype | str = np.float32,
+        *,
+        name: str = "",
+    ) -> CachedArray:
+        array = self.empty(shape, dtype, name=name)
+        if self.is_real:
+            array.write(0)
+        return array
+
+    def from_numpy(self, data: np.ndarray, *, name: str = "") -> CachedArray:
+        """Copy a host numpy array into a managed CachedArray (real mode)."""
+        if not self.is_real:
+            raise ConfigurationError("from_numpy requires a real-backed session")
+        array = self.empty(data.shape, data.dtype, name=name)
+        array.write(np.ascontiguousarray(data))
+        return array
+
+    def release(self, array: CachedArray) -> None:
+        """Retire an array through the policy (the ``retire`` hint)."""
+        self._arrays.pop(array.obj.id, None)
+        self.policy.retire(array.obj)
+
+    # -- kernel scope --------------------------------------------------------------
+
+    @contextlib.contextmanager
+    def kernel(
+        self,
+        reads: Sequence[CachedArray] = (),
+        writes: Sequence[CachedArray] = (),
+        *,
+        hints: bool = True,
+    ) -> Iterator[tuple[list[np.ndarray], list[np.ndarray]]]:
+        """Execute a kernel under the kernel programming model.
+
+        Issues ``will_read``/``will_write`` hints (Section III-E), resolves
+        each operand to its primary region once, pins it so the primary
+        cannot move mid-kernel, and yields ``(read_views, write_views)``.
+        On exit, operands are unpinned and written primaries marked dirty.
+        In virtual sessions the views are empty lists — only placement and
+        accounting happen.
+        """
+        read_objs = [a.obj for a in reads]
+        write_objs = [a.obj for a in writes]
+        if hints:
+            for obj in read_objs:
+                self.policy.will_read(obj)
+            for obj in write_objs:
+                self.policy.will_write(obj)
+        pinned: list[MemObject] = []
+        # Resolve residency once per unique object; write intent dominates
+        # when an operand is both read and written (in-place updates).
+        intents: dict[int, tuple[MemObject, AccessIntent]] = {}
+        for obj in read_objs:
+            intents[obj.id] = (obj, AccessIntent.READ)
+        for obj in write_objs:
+            intents[obj.id] = (obj, AccessIntent.WRITE)
+        try:
+            for obj, intent in intents.values():
+                self.policy.ensure_resident(obj, intent)
+                obj.pin()
+                pinned.append(obj)
+            if self.is_real:
+                yield [a.view() for a in reads], [a.view() for a in writes]
+            else:
+                yield [], []
+        finally:
+            for obj in pinned:
+                obj.unpin()
+        self.policy.on_kernel_finish(read_objs, write_objs)
+
+    # -- maintenance & introspection ---------------------------------------------------
+
+    @property
+    def is_real(self) -> bool:
+        return all(h.device.is_real for h in self.heaps.values())
+
+    def heap(self, device: str) -> Heap:
+        return self.manager.heap(device)
+
+    def traffic(self) -> dict[str, TrafficSnapshot]:
+        return {name: heap.traffic.snapshot() for name, heap in self.heaps.items()}
+
+    def occupancy(self) -> dict[str, int]:
+        return {name: heap.used_bytes for name, heap in self.heaps.items()}
+
+    def defragment(self) -> dict[str, int]:
+        """Compact every heap (the paper's between-iteration housekeeping)."""
+        return {name: self.manager.defragment(name) for name in self.heaps}
+
+    def describe(self) -> str:
+        """A human-readable snapshot of the session's memory state."""
+        from repro.units import format_size
+
+        lines = [f"Session ({type(self.policy).__name__})"]
+        for name, heap in self.heaps.items():
+            stats = heap.stats()
+            lines.append(
+                f"  {name}: {format_size(stats.used_bytes)} / "
+                f"{format_size(stats.capacity)} used, "
+                f"{stats.live_allocations} regions, "
+                f"fragmentation {stats.external_fragmentation:.0%}"
+            )
+            snap = heap.traffic.snapshot()
+            lines.append(
+                f"    traffic: read {format_size(snap.read_bytes)}, "
+                f"wrote {format_size(snap.write_bytes)}"
+            )
+        lines.append(f"  live objects: {len(self.manager.objects)}")
+        lines.append(f"  virtual time: {self.clock.now:.6f} s")
+        return "\n".join(lines)
+
+    def close(self) -> None:
+        self.engine.shutdown()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,77 @@
+"""Exception taxonomy for the CachedArrays framework.
+
+Every error raised by the library derives from :class:`CachedArraysError` so
+callers can catch framework failures with a single ``except`` clause while
+still distinguishing allocation pressure (:class:`OutOfMemoryError`) — which a
+policy is expected to handle by evicting — from programming errors such as
+using a freed region (:class:`RegionStateError`) or violating the manager's
+linking rules (:class:`LinkError`), which are never recoverable.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "CachedArraysError",
+    "OutOfMemoryError",
+    "AllocationError",
+    "RegionStateError",
+    "ObjectStateError",
+    "LinkError",
+    "PolicyError",
+    "KernelError",
+    "TraceError",
+    "ConfigurationError",
+]
+
+
+class CachedArraysError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class AllocationError(CachedArraysError):
+    """An allocation request was malformed (zero/negative size, bad align)."""
+
+
+class OutOfMemoryError(AllocationError):
+    """A heap could not satisfy an allocation request.
+
+    Policies treat this as a signal to evict; it carries the request so the
+    handler knows how much contiguous space it must produce.
+    """
+
+    def __init__(self, device: str, requested: int, free: int) -> None:
+        super().__init__(
+            f"device {device!r}: cannot allocate {requested} bytes "
+            f"({free} bytes free, possibly fragmented)"
+        )
+        self.device = device
+        self.requested = requested
+        self.free = free
+
+
+class RegionStateError(CachedArraysError):
+    """A region was used after being freed, or mutated while pinned."""
+
+
+class ObjectStateError(CachedArraysError):
+    """An object was used after retirement or has no primary region."""
+
+
+class LinkError(CachedArraysError):
+    """Region linking rules were violated (double link, cross-object link)."""
+
+
+class PolicyError(CachedArraysError):
+    """A policy violated its contract (e.g. failed to free requested space)."""
+
+
+class KernelError(CachedArraysError):
+    """A kernel was malformed or executed against an invalid operand."""
+
+
+class TraceError(CachedArraysError):
+    """A kernel trace is inconsistent (use-after-free, unknown tensor, ...)."""
+
+
+class ConfigurationError(CachedArraysError):
+    """A system/experiment configuration is invalid."""

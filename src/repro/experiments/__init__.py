@@ -1,0 +1,18 @@
+"""Experiment harnesses: one module per table/figure of the paper.
+
+Every harness returns plain result objects and renders a text report whose
+rows mirror the corresponding figure's series, so running e.g.
+``python -m repro fig2`` regenerates the Figure 2 comparison. The shared
+machinery (mode construction, scaling, device sizing) lives in
+:mod:`repro.experiments.common`. See DESIGN.md §4 for the full index and
+EXPERIMENTS.md for paper-vs-measured values.
+"""
+
+from repro.experiments.common import (
+    ExperimentConfig,
+    ModeResult,
+    run_mode,
+    run_modes,
+)
+
+__all__ = ["ExperimentConfig", "ModeResult", "run_mode", "run_modes"]

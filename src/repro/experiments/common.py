@@ -1,0 +1,212 @@
+"""Shared experiment machinery: build a mode's system, run a model on it.
+
+The evaluation platform of Section IV: one socket with 180 GB of usable DRAM
+and 1300 GB of NVRAM (the 2LM runs use the same limits). ``scale`` divides
+every tensor and both device capacities by an integer, letting the
+paper-shaped experiments run quickly: placement decisions, hit ratios, and
+traffic *ratios* are scale-invariant because everything shrinks together
+(the per-transfer overhead term is the one exception, which is why published
+numbers in EXPERIMENTS.md use moderate scales).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.core.session import Session, SessionConfig
+from repro.errors import ConfigurationError
+from repro.memory.device import MemoryDevice
+from repro.nn.models import MODEL_REGISTRY
+from repro.policies.modes import ModeConfig, mode as resolve_mode
+from repro.runtime.executor import (
+    CachedArraysAdapter,
+    Executor,
+    IterationResult,
+    RunResult,
+    TwoLMAdapter,
+)
+from repro.runtime.gc import GcConfig
+from repro.runtime.kernel import ExecutionParams
+from repro.twolm.system import TwoLMSystem
+from repro.units import GB
+from repro.workloads.annotate import annotate
+from repro.workloads.trace import KernelTrace
+
+__all__ = ["ExperimentConfig", "ModeResult", "run_mode", "run_modes"]
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Platform + run parameters shared by all experiments."""
+
+    dram_bytes: int = 180 * GB
+    nvram_bytes: int = 1300 * GB
+    scale: int = 16
+    iterations: int = 2
+    line_size: int = 4096
+    gc_trigger_fraction: float = 0.85  # of the workload footprint
+    copy_overhead: float = 5e-3  # engine ramp per transfer (unscaled seconds)
+    async_movement: bool = False  # overlap copies with compute (Section VI)
+    params: ExecutionParams = field(default_factory=ExecutionParams)
+    sample_timeline: bool = True
+
+    def scaled_dram(self) -> int:
+        return max(self.line_size, self.dram_bytes // self.scale)
+
+    def scaled_nvram(self) -> int:
+        return max(self.line_size, self.nvram_bytes // self.scale)
+
+    def with_dram(self, dram_bytes: int) -> "ExperimentConfig":
+        return replace(self, dram_bytes=dram_bytes)
+
+    def scaled_params(self) -> ExecutionParams:
+        """Execution params with fixed per-kernel costs scaled down with
+        the workload (reported times are multiplied back up by ``scale``)."""
+        return replace(
+            self.params,
+            launch_overhead=self.params.launch_overhead / self.scale,
+        )
+
+    def build_dram(self) -> MemoryDevice:
+        """DRAM device with fixed latencies scaled down with the workload,
+        so per-transfer overheads keep the same *relative* weight at every
+        scale (reported times are multiplied back up by ``scale``)."""
+        from repro.memory.device import MemoryKind
+        from repro.sim.bandwidth import dram_bandwidth_model
+
+        model = dram_bandwidth_model(setup_latency=1e-6 / self.scale)
+        return MemoryDevice("DRAM", MemoryKind.DRAM, self.scaled_dram(), model)
+
+    def build_nvram(self) -> MemoryDevice:
+        from repro.memory.device import MemoryKind
+        from repro.sim.bandwidth import optane_bandwidth_model
+
+        model = optane_bandwidth_model(setup_latency=3e-6 / self.scale)
+        return MemoryDevice("NVRAM", MemoryKind.NVRAM, self.scaled_nvram(), model)
+
+
+@dataclass
+class ModeResult:
+    """One (workload, mode) cell of the evaluation matrix."""
+
+    model: str
+    mode: ModeConfig
+    run: RunResult
+    footprint_bytes: int
+    config: ExperimentConfig
+
+    @property
+    def iteration(self) -> IterationResult:
+        return self.run.steady_state()
+
+    @property
+    def seconds(self) -> float:
+        return self.iteration.seconds
+
+    def traffic_gb(self, device: str) -> tuple[float, float]:
+        """(read GB, write GB) for one iteration, *unscaled* back to paper
+        magnitudes so reports are directly comparable to Figure 5."""
+        read, write = self.iteration.traffic_gb(device)
+        return read * self.config.scale, write * self.config.scale
+
+    def dram_utilization(self) -> float:
+        """Average DRAM bus utilisation over the iteration (Figure 6)."""
+        from repro.sim.bandwidth import TransferKind, dram_bandwidth_model
+
+        snap = self.iteration.traffic.get("DRAM")
+        if snap is None or self.seconds <= 0:
+            return 0.0
+        peak = dram_bandwidth_model().peak(TransferKind.READ)
+        return snap.total_bytes / (self.seconds * peak)
+
+
+def _trace_for(model_key: str, config: ExperimentConfig) -> tuple[KernelTrace, int]:
+    try:
+        spec = MODEL_REGISTRY[model_key]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown model {model_key!r}; known: {sorted(MODEL_REGISTRY)}"
+        ) from None
+    trace = spec.builder().training_trace().scaled(config.scale)
+    return trace, trace.peak_live_bytes()
+
+
+def _gc_config(footprint: int, config: ExperimentConfig) -> GcConfig:
+    return GcConfig(
+        trigger_bytes=max(1, int(footprint * config.gc_trigger_fraction)),
+        pause_per_object=2e-6 / config.scale,
+        base_pause=0.05 / config.scale,
+    )
+
+
+def run_trace_mode(
+    trace: KernelTrace,
+    mode_name: str | ModeConfig,
+    config: ExperimentConfig,
+    *,
+    model_label: str = "",
+) -> ModeResult:
+    """Run an already-scaled trace under one operating mode."""
+    mode_cfg = (
+        mode_name if isinstance(mode_name, ModeConfig) else resolve_mode(mode_name)
+    )
+    params = config.scaled_params()
+    footprint = trace.peak_live_bytes()
+    annotated = annotate(trace, memopt=mode_cfg.memopt)
+    gc_cfg = _gc_config(footprint, config)
+    if mode_cfg.system == "2lm":
+        system = TwoLMSystem(
+            config.build_dram(),
+            config.build_nvram(),
+            line_size=config.line_size,
+        )
+        adapter = TwoLMAdapter(system, params)
+    else:
+        devices = (
+            [config.build_dram(), config.build_nvram()]
+            if config.dram_bytes > 0
+            else [config.build_nvram()]
+        )
+        session_cfg = SessionConfig(
+            devices=devices,
+            copy_overhead=config.copy_overhead / config.scale,
+            async_movement=config.async_movement,
+        )
+        if config.dram_bytes > 0:
+            policy = mode_cfg.make_policy("DRAM", "NVRAM")
+        else:
+            from repro.policies.noop import SingleDevicePolicy
+
+            policy = SingleDevicePolicy("NVRAM")
+        session = Session(session_cfg, policy=policy)
+        adapter = CachedArraysAdapter(session, params)
+    executor = Executor(
+        adapter, gc_config=gc_cfg, sample_timeline=config.sample_timeline
+    )
+    run = executor.run(annotated, iterations=config.iterations)
+    return ModeResult(
+        model=model_label or trace.name,
+        mode=mode_cfg,
+        run=run,
+        footprint_bytes=footprint,
+        config=config,
+    )
+
+
+def run_mode(
+    model_key: str, mode_name: str | ModeConfig, config: ExperimentConfig
+) -> ModeResult:
+    """Run one Table III model under one operating mode."""
+    trace, _ = _trace_for(model_key, config)
+    return run_trace_mode(trace, mode_name, config, model_label=model_key)
+
+
+def run_modes(
+    model_key: str, mode_names: list[str], config: ExperimentConfig
+) -> dict[str, ModeResult]:
+    """Run one model across several modes (fresh system per mode)."""
+    trace, _ = _trace_for(model_key, config)
+    return {
+        name: run_trace_mode(trace, name, config, model_label=model_key)
+        for name in mode_names
+    }

@@ -1,0 +1,339 @@
+"""Address-ordered free-list allocator over a preallocated arena.
+
+This is the allocator underneath every CachedArrays heap. Design points taken
+from the paper:
+
+* Heaps are preallocated; the allocator never asks the OS for more memory
+  (Section III-C). Exhaustion raises :class:`~repro.errors.OutOfMemoryError`
+  and is expected to be handled by the *policy* via eviction.
+* ``evictfrom`` needs to free a *contiguous* block of a requested size
+  starting from a policy-chosen region (Listing 2). :meth:`collect_span`
+  computes which live allocations stand in the way of such a span.
+* The paper defragments heaps between iterations; :meth:`compact` slides all
+  live blocks to the bottom of the arena, reporting each move through a
+  callback so the heap can relocate real data and the manager can re-point
+  regions.
+
+The allocator keeps every block (free and used) in a single address-ordered
+list and coalesces free neighbours eagerly, so fragmentation metrics and span
+queries are straightforward and the list length stays proportional to the
+number of live allocations. First-fit and best-fit placement are both
+implemented; first-fit is the default (and what the ablation benchmark
+compares).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, Literal
+
+from repro.errors import AllocationError, OutOfMemoryError
+from repro.memory.block import Block
+
+__all__ = ["FreeListAllocator", "AllocatorStats"]
+
+FitPolicy = Literal["first", "best"]
+
+
+@dataclass(frozen=True)
+class AllocatorStats:
+    """Occupancy and fragmentation summary for one allocator."""
+
+    capacity: int
+    used_bytes: int
+    free_bytes: int
+    live_allocations: int
+    free_blocks: int
+    largest_free_block: int
+
+    @property
+    def external_fragmentation(self) -> float:
+        """1 - largest_free/free: 0 when all free space is one block."""
+        if self.free_bytes == 0:
+            return 0.0
+        return 1.0 - self.largest_free_block / self.free_bytes
+
+
+class FreeListAllocator:
+    """First-fit (or best-fit) allocator over ``[0, capacity)``."""
+
+    def __init__(
+        self,
+        capacity: int,
+        *,
+        alignment: int = 64,
+        fit: FitPolicy = "first",
+    ) -> None:
+        if capacity <= 0:
+            raise AllocationError(f"arena capacity must be positive, got {capacity}")
+        if alignment <= 0 or (alignment & (alignment - 1)) != 0:
+            raise AllocationError(f"alignment must be a power of two, got {alignment}")
+        if fit not in ("first", "best"):
+            raise AllocationError(f"unknown fit policy {fit!r}")
+        self.capacity = capacity
+        self.alignment = alignment
+        self.fit: FitPolicy = fit
+        self._blocks: list[Block] = [Block(offset=0, size=capacity, free=True)]
+        self._by_offset: dict[int, Block] = {}  # allocated blocks only
+        self._used_bytes = 0
+
+    # -- queries ----------------------------------------------------------
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used_bytes
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity - self._used_bytes
+
+    def blocks(self) -> Iterator[Block]:
+        """All blocks in address order (free and allocated)."""
+        return iter(self._blocks)
+
+    def live_blocks(self) -> Iterator[Block]:
+        """Allocated blocks in address order."""
+        return (block for block in self._blocks if not block.free)
+
+    def size_of(self, offset: int) -> int:
+        """Size of the allocation starting at ``offset``."""
+        block = self._by_offset.get(offset)
+        if block is None:
+            raise AllocationError(f"no allocation at offset {offset:#x}")
+        return block.size
+
+    def owns(self, offset: int) -> bool:
+        """Whether ``offset`` is the start of a live allocation."""
+        return offset in self._by_offset
+
+    def stats(self) -> AllocatorStats:
+        largest = 0
+        free_blocks = 0
+        for block in self._blocks:
+            if block.free:
+                free_blocks += 1
+                largest = max(largest, block.size)
+        return AllocatorStats(
+            capacity=self.capacity,
+            used_bytes=self._used_bytes,
+            free_bytes=self.free_bytes,
+            live_allocations=len(self._by_offset),
+            free_blocks=free_blocks,
+            largest_free_block=largest,
+        )
+
+    # -- allocation -------------------------------------------------------
+
+    def _round_up(self, size: int) -> int:
+        mask = self.alignment - 1
+        return (size + mask) & ~mask
+
+    def allocate(self, size: int) -> int:
+        """Allocate ``size`` bytes; returns the arena offset.
+
+        Raises :class:`OutOfMemoryError` when no free block fits, which the
+        caller (a policy) resolves by evicting and retrying.
+        """
+        if size <= 0:
+            raise AllocationError(f"allocation size must be positive, got {size}")
+        rounded = self._round_up(size)
+        index = self._find_fit(rounded)
+        if index is None:
+            raise OutOfMemoryError("<arena>", rounded, self.free_bytes)
+        block = self._blocks[index]
+        if block.size > rounded:
+            remainder = Block(
+                offset=block.offset + rounded,
+                size=block.size - rounded,
+                free=True,
+            )
+            block.size = rounded
+            self._blocks.insert(index + 1, remainder)
+        block.free = False
+        self._by_offset[block.offset] = block
+        self._used_bytes += block.size
+        return block.offset
+
+    def _find_fit(self, size: int) -> int | None:
+        best_index: int | None = None
+        best_size = None
+        for index, block in enumerate(self._blocks):
+            if not block.free or block.size < size:
+                continue
+            if self.fit == "first":
+                return index
+            if best_size is None or block.size < best_size:
+                best_index, best_size = index, block.size
+        return best_index
+
+    def free(self, offset: int) -> None:
+        """Free the allocation at ``offset``, coalescing with neighbours."""
+        block = self._by_offset.pop(offset, None)
+        if block is None:
+            raise AllocationError(f"double free or bad offset {offset:#x}")
+        block.free = True
+        self._used_bytes -= block.size
+        self._coalesce_around(self._blocks.index(block))
+
+    def _coalesce_around(self, index: int) -> None:
+        # Merge with successor first so `index` stays valid.
+        block = self._blocks[index]
+        if index + 1 < len(self._blocks) and self._blocks[index + 1].free:
+            nxt = self._blocks.pop(index + 1)
+            block.size += nxt.size
+        if index > 0 and self._blocks[index - 1].free:
+            prev = self._blocks[index - 1]
+            prev.size += block.size
+            self._blocks.pop(index)
+
+    # -- span carving (the substrate for evictfrom) ------------------------
+
+    def collect_span(self, start_offset: int, size: int) -> list[int] | None:
+        """Live allocations blocking a contiguous ``size``-byte span.
+
+        Starting from the block containing ``start_offset``, walk forward in
+        address order until the accumulated span (free gaps plus allocations
+        that would be evicted) reaches ``size``. Returns the offsets of the
+        allocated blocks inside that span, in address order — the callback
+        targets of ``evictfrom`` (Listing 2). Returns ``None`` when the arena
+        end is hit first; the caller may retry from offset 0.
+        """
+        if size <= 0:
+            raise AllocationError(f"span size must be positive, got {size}")
+        rounded = self._round_up(size)
+        start_index = self._block_index_at(start_offset)
+        span_start = self._blocks[start_index].offset
+        victims: list[int] = []
+        covered = 0
+        for block in self._blocks[start_index:]:
+            if not block.free:
+                victims.append(block.offset)
+            covered = block.end - span_start
+            if covered >= rounded:
+                return victims
+        return None
+
+    def _block_index_at(self, offset: int) -> int:
+        if not 0 <= offset < self.capacity:
+            raise AllocationError(
+                f"offset {offset:#x} outside arena [0, {self.capacity:#x})"
+            )
+        low, high = 0, len(self._blocks) - 1
+        while low <= high:
+            mid = (low + high) // 2
+            block = self._blocks[mid]
+            if block.contains(offset):
+                return mid
+            if offset < block.offset:
+                high = mid - 1
+            else:
+                low = mid + 1
+        raise AllocationError(f"no block contains offset {offset:#x}")  # unreachable
+
+    # -- compaction ---------------------------------------------------------
+
+    def compact(
+        self, on_move: Callable[[int, int, int], None] | None = None
+    ) -> int:
+        """Slide live allocations to the bottom of the arena.
+
+        ``on_move(old_offset, new_offset, size)`` fires for every relocated
+        block *in ascending address order*, so moves never overwrite data that
+        has not been copied yet (a memmove-down is always safe left-to-right).
+        Returns the number of blocks moved.
+        """
+        moved = 0
+        cursor = 0
+        new_blocks: list[Block] = []
+        for block in self._blocks:
+            if block.free:
+                continue
+            if block.offset != cursor:
+                if on_move is not None:
+                    on_move(block.offset, cursor, block.size)
+                del self._by_offset[block.offset]
+                block.offset = cursor
+                self._by_offset[cursor] = block
+                moved += 1
+            new_blocks.append(block)
+            cursor += block.size
+        if cursor < self.capacity:
+            new_blocks.append(
+                Block(offset=cursor, size=self.capacity - cursor, free=True)
+            )
+        self._blocks = new_blocks
+        return moved
+
+    # -- dynamic resizing (Section III-C's "growing or shrinking the base
+    # heap"; real deployments would mmap/munmap the tail) -------------------
+
+    def grow(self, new_capacity: int) -> None:
+        """Extend the arena to ``new_capacity`` bytes."""
+        if new_capacity <= self.capacity:
+            raise AllocationError(
+                f"grow target {new_capacity} not larger than {self.capacity}"
+            )
+        added = new_capacity - self.capacity
+        last = self._blocks[-1]
+        if last.free:
+            last.size += added
+        else:
+            self._blocks.append(Block(offset=self.capacity, size=added, free=True))
+        self.capacity = new_capacity
+
+    def shrink(self, new_capacity: int) -> None:
+        """Give back the arena tail; fails if live data would be cut off.
+
+        Compact first (or rely on the policy's object reallocation) when the
+        tail is occupied — "CachedArrays inherently supports object
+        reallocation which mitigates fragmentation in either case".
+        """
+        if new_capacity <= 0:
+            raise AllocationError(f"shrink target must be positive: {new_capacity}")
+        if new_capacity >= self.capacity:
+            raise AllocationError(
+                f"shrink target {new_capacity} not smaller than {self.capacity}"
+            )
+        last = self._blocks[-1]
+        if not last.free or last.offset > new_capacity:
+            raise AllocationError(
+                f"cannot shrink to {new_capacity}: tail is occupied "
+                f"(free tail starts at {last.offset if last.free else self.capacity})"
+            )
+        removed = self.capacity - new_capacity
+        if last.size == removed:
+            self._blocks.pop()
+        else:
+            last.size -= removed
+        self.capacity = new_capacity
+
+    # -- validation (test support) -----------------------------------------
+
+    def check_invariants(self) -> None:
+        """Assert the block list exactly tiles the arena without overlap."""
+        cursor = 0
+        used = 0
+        previous_free = False
+        for block in self._blocks:
+            if block.offset != cursor:
+                raise AssertionError(
+                    f"block list has a gap/overlap at {cursor:#x}: {block!r}"
+                )
+            if block.size <= 0:
+                raise AssertionError(f"empty block {block!r}")
+            if block.free and previous_free:
+                raise AssertionError(f"uncoalesced free blocks at {block.offset:#x}")
+            if not block.free:
+                used += block.size
+                if self._by_offset.get(block.offset) is not block:
+                    raise AssertionError(f"index out of sync for {block!r}")
+            previous_free = block.free
+            cursor = block.end
+        if cursor != self.capacity:
+            raise AssertionError(f"blocks cover {cursor} of {self.capacity} bytes")
+        if used != self._used_bytes:
+            raise AssertionError(
+                f"used-byte counter {self._used_bytes} != actual {used}"
+            )
+        if len(self._by_offset) != sum(1 for b in self._blocks if not b.free):
+            raise AssertionError("allocation index size mismatch")

@@ -1,0 +1,38 @@
+"""Allocator block bookkeeping.
+
+A :class:`Block` is a half-open byte range ``[offset, offset + size)`` inside
+one heap's arena, either free or allocated. Blocks never overlap and always
+tile the arena exactly; the allocator owns and enforces those invariants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Block"]
+
+
+@dataclass
+class Block:
+    """A contiguous byte range in a heap arena."""
+
+    offset: int
+    size: int
+    free: bool
+
+    @property
+    def end(self) -> int:
+        """One past the last byte of this block."""
+        return self.offset + self.size
+
+    def contains(self, offset: int) -> bool:
+        """Whether ``offset`` lies inside this block."""
+        return self.offset <= offset < self.end
+
+    def overlaps(self, offset: int, size: int) -> bool:
+        """Whether this block intersects the range ``[offset, offset+size)``."""
+        return self.offset < offset + size and offset < self.end
+
+    def __repr__(self) -> str:
+        state = "free" if self.free else "used"
+        return f"Block[{self.offset:#x}:{self.end:#x}] ({self.size} B, {state})"

@@ -1,0 +1,229 @@
+"""The copy engine: traffic-shaped bulk copies between heaps.
+
+Section V credits much of CachedArrays' win to *traffic shaping*: NVRAM
+traffic is "the result of explicit, well-shaped memory copies" using
+non-temporal stores and a thread count tuned to the destination device,
+instead of the haphazard line-sized fills/writebacks of the hardware cache.
+
+The engine does three things per copy:
+
+1. **Accounting** — read bytes on the source heap's counters, write bytes on
+   the destination's (what Figure 5 plots).
+2. **Virtual time** — advances the shared clock by the bandwidth-modelled
+   duration, with the per-destination optimal thread count (write bandwidth
+   to Optane *decreases* past ~4 threads, Section V-d) and non-temporal
+   stores toward NVRAM.
+3. **Data** — when both devices are real, an honest memcpy (chunked across a
+   thread pool above a size threshold, mirroring the paper's multi-threaded
+   engine; numpy releases the GIL for large block copies).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.memory.device import MemoryKind
+from repro.memory.heap import Heap
+from repro.sim.bandwidth import copy_time, optimal_copy_threads
+from repro.sim.clock import SimClock
+from repro.units import MiB
+
+__all__ = ["CopyEngine", "CopyRecord"]
+
+MOVEMENT = "movement"  # clock busy-category for data movement
+
+
+@dataclass(frozen=True)
+class CopyRecord:
+    """Outcome of one bulk copy, for logs and tests.
+
+    ``completes_at`` is the virtual time the destination's contents become
+    valid: equal to "now" for synchronous copies, later for asynchronous
+    ones queued on the DMA channel.
+    """
+
+    source: str
+    dest: str
+    nbytes: int
+    threads: int
+    seconds: float
+    nt_stores: bool
+    completes_at: float = 0.0
+
+
+class CopyEngine:
+    """Bandwidth-modelled, traffic-accounted copies between heap regions."""
+
+    def __init__(
+        self,
+        clock: SimClock,
+        *,
+        max_threads: int = 28,
+        per_transfer_overhead: float = 0.0,
+        async_mode: bool = False,
+        parallel_threshold: int = 8 * MiB,
+        pool_workers: int = 4,
+    ) -> None:
+        if max_threads < 1:
+            raise ConfigurationError(f"max_threads must be >= 1, got {max_threads}")
+        if per_transfer_overhead < 0:
+            raise ConfigurationError(
+                f"per_transfer_overhead must be >= 0, got {per_transfer_overhead}"
+            )
+        self.clock = clock
+        self.max_threads = max_threads
+        # Fixed engine cost per transfer (worker wake-up and ramp): the
+        # "parallelization overhead" that penalises workloads moving many
+        # small tensors (VGG's batch-256 transfers, Section V-b).
+        self.per_transfer_overhead = per_transfer_overhead
+        # Asynchronous mode (Section VI / Figure 7's projection made real):
+        # copies queue on one DMA channel per *destination device* ("a
+        # separate thread pool", Section V-c) instead of blocking the
+        # compute clock; consumers wait only if they touch the destination
+        # before its completion time. One channel per destination respects
+        # each device's write-port bandwidth while preventing evictions
+        # (toward NVRAM) from head-of-line-blocking promotions (toward
+        # DRAM). Virtual sessions only.
+        self.async_mode = async_mode
+        self._channel_free_at: dict[str, float] = {}
+        self.parallel_threshold = parallel_threshold
+        self._pool_workers = pool_workers
+        self._pool: ThreadPoolExecutor | None = None
+        self._thread_cache: dict[tuple[int, int, bool], int] = {}
+        self.records: list[CopyRecord] = []
+        self.keep_records = False
+
+    # -- thread tuning ------------------------------------------------------
+
+    def threads_for(self, source: Heap, dest: Heap, *, nt_stores: bool) -> int:
+        """Optimal worker count for this (source, destination) device pair."""
+        key = (id(source.device.bandwidth), id(dest.device.bandwidth), nt_stores)
+        cached = self._thread_cache.get(key)
+        if cached is None:
+            cached = optimal_copy_threads(
+                source.device.bandwidth,
+                dest.device.bandwidth,
+                self.max_threads,
+                nt_stores=nt_stores,
+            )
+            self._thread_cache[key] = cached
+        return cached
+
+    @staticmethod
+    def _use_nt_stores(dest: Heap) -> bool:
+        # Non-temporal stores are crucial for NVRAM write bandwidth
+        # (Section V-d); toward DRAM they avoid cache pollution for bulk
+        # copies, so the engine always streams.
+        return True
+
+    # -- the copy -----------------------------------------------------------
+
+    def copy(
+        self,
+        source: Heap,
+        source_offset: int,
+        dest: Heap,
+        dest_offset: int,
+        nbytes: int,
+    ) -> CopyRecord:
+        """Copy ``nbytes`` between heap allocations, accounting everything."""
+        if nbytes < 0:
+            raise ConfigurationError(f"copy size must be non-negative, got {nbytes}")
+        nt_stores = self._use_nt_stores(dest)
+        threads = self.threads_for(source, dest, nt_stores=nt_stores)
+        seconds = copy_time(
+            source.device.bandwidth,
+            dest.device.bandwidth,
+            nbytes,
+            threads,
+            nt_stores=nt_stores,
+        )
+        if nbytes:
+            seconds += self.per_transfer_overhead
+        source.traffic.record_read(nbytes)
+        dest.traffic.record_write(nbytes)
+        if self.async_mode:
+            if source.device.is_real or dest.device.is_real:
+                raise ConfigurationError(
+                    "asynchronous movement is a timing model; it requires "
+                    "virtual devices"
+                )
+            free_at = self._channel_free_at.get(dest.name, 0.0)
+            start = max(self.clock.now, free_at)
+            completes_at = start + seconds
+            self._channel_free_at[dest.name] = completes_at
+        else:
+            self.clock.advance(seconds, MOVEMENT)
+            completes_at = self.clock.now
+            if source.device.is_real and dest.device.is_real and nbytes:
+                self._memcpy(source, source_offset, dest, dest_offset, nbytes)
+            elif source.device.is_real != dest.device.is_real:
+                raise ConfigurationError(
+                    "cannot copy between a real and a virtual device: "
+                    f"{source.name!r} -> {dest.name!r}"
+                )
+        record = CopyRecord(
+            source=source.name,
+            dest=dest.name,
+            nbytes=nbytes,
+            threads=threads,
+            seconds=seconds,
+            nt_stores=nt_stores,
+            completes_at=completes_at,
+        )
+        if self.keep_records:
+            self.records.append(record)
+        return record
+
+    def _memcpy(
+        self,
+        source: Heap,
+        source_offset: int,
+        dest: Heap,
+        dest_offset: int,
+        nbytes: int,
+    ) -> None:
+        src = source.view(source_offset, nbytes)
+        dst = dest.view(dest_offset, nbytes)
+        if nbytes < self.parallel_threshold or self._pool_workers <= 1:
+            dst[:] = src
+            return
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self._pool_workers,
+                thread_name_prefix="cachedarrays-copy",
+            )
+        chunk = -(-nbytes // self._pool_workers)  # ceil division
+
+        def copy_chunk(start: int) -> None:
+            stop = min(start + chunk, nbytes)
+            dst[start:stop] = src[start:stop]
+
+        futures = [
+            self._pool.submit(copy_chunk, start) for start in range(0, nbytes, chunk)
+        ]
+        for future in futures:
+            future.result()
+
+    @property
+    def pending_until(self) -> float:
+        """Virtual time at which every DMA channel goes idle (async mode)."""
+        return max(self._channel_free_at.values(), default=0.0)
+
+    def drain_wait(self) -> float:
+        """Seconds the caller must wait (from now) for all queued copies."""
+        return max(0.0, self.pending_until - self.clock.now)
+
+    def shutdown(self) -> None:
+        """Tear down the worker pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "CopyEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()

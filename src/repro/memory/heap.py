@@ -1,0 +1,160 @@
+"""A heap binds a device to an allocator and exposes occupancy telemetry.
+
+One :class:`Heap` per device, preallocated up front (the paper's heaps are a
+single large ``malloc`` or DAX ``mmap``). The heap is deliberately dumb: it
+hands out offsets and tracks occupancy; *what* lives where is the data
+manager's business, and *why* is the policy's.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro.errors import OutOfMemoryError
+from repro.memory.allocator import AllocatorStats, FreeListAllocator, FitPolicy
+from repro.memory.block import Block
+from repro.memory.device import MemoryDevice
+from repro.telemetry.counters import TrafficCounters
+
+__all__ = ["Heap"]
+
+
+class Heap:
+    """Allocator + device + traffic counters for one memory pool."""
+
+    def __init__(
+        self,
+        device: MemoryDevice,
+        *,
+        alignment: int = 64,
+        fit: FitPolicy = "first",
+    ) -> None:
+        self.device = device
+        self.allocator = FreeListAllocator(
+            device.capacity, alignment=alignment, fit=fit
+        )
+        self.traffic = TrafficCounters(device.name)
+
+    @property
+    def name(self) -> str:
+        return self.device.name
+
+    @property
+    def capacity(self) -> int:
+        return self.device.capacity
+
+    @property
+    def used_bytes(self) -> int:
+        return self.allocator.used_bytes
+
+    @property
+    def free_bytes(self) -> int:
+        return self.allocator.free_bytes
+
+    def allocate(self, size: int) -> int:
+        """Allocate ``size`` bytes; raises a device-tagged OOM on exhaustion."""
+        try:
+            return self.allocator.allocate(size)
+        except OutOfMemoryError as err:
+            raise OutOfMemoryError(self.name, err.requested, err.free) from None
+
+    def try_allocate(self, size: int) -> int | None:
+        """Allocate, returning ``None`` instead of raising when full.
+
+        This mirrors Listing 2, where ``DM.allocate`` returning ``nothing``
+        drives the forced-eviction path.
+        """
+        try:
+            return self.allocate(size)
+        except OutOfMemoryError:
+            return None
+
+    def free(self, offset: int) -> None:
+        self.allocator.free(offset)
+
+    def size_of(self, offset: int) -> int:
+        return self.allocator.size_of(offset)
+
+    def view(self, offset: int, size: int | None = None) -> np.ndarray:
+        """Byte view of an allocation (real-backed devices only)."""
+        if size is None:
+            size = self.allocator.size_of(offset)
+        return self.device.view(offset, size)
+
+    def collect_span(self, start_offset: int, size: int) -> list[int] | None:
+        return self.allocator.collect_span(start_offset, size)
+
+    def live_blocks(self) -> Iterator[Block]:
+        return self.allocator.live_blocks()
+
+    def stats(self) -> AllocatorStats:
+        return self.allocator.stats()
+
+    def grow(self, new_capacity: int) -> None:
+        """Extend the heap (virtual devices only; a real arena is fixed)."""
+        if self.device.is_real:
+            from repro.errors import ConfigurationError
+
+            raise ConfigurationError(
+                f"cannot grow real-backed device {self.name!r}"
+            )
+        self.allocator.grow(new_capacity)
+        self.device.capacity = new_capacity
+
+    def shrink(self, new_capacity: int) -> None:
+        """Give back the heap tail; compact first if the tail is occupied."""
+        if self.device.is_real:
+            from repro.errors import ConfigurationError
+
+            raise ConfigurationError(
+                f"cannot shrink real-backed device {self.name!r}"
+            )
+        self.allocator.shrink(new_capacity)
+        self.device.capacity = new_capacity
+
+    def defragment(
+        self, on_move: Callable[[int, int, int], None] | None = None
+    ) -> int:
+        """Compact the heap, moving real data when the device is real.
+
+        ``on_move`` (if given) fires *after* the data move, with
+        ``(old_offset, new_offset, size)``, so callers can re-point regions.
+        Returns the number of relocated blocks. Matches the paper's
+        between-iteration defragmentation ("overhead is negligible compared
+        to the iteration time" — it is bookkeeping plus an intra-device
+        memmove, not cross-device traffic).
+        """
+
+        def mover(old: int, new: int, size: int) -> None:
+            if self.device.is_real:
+                arena = self.device.view(0, self.capacity)
+                source = arena[old : old + size]
+                if new + size > old:  # overlapping memmove: stage through a copy
+                    source = source.copy()
+                arena[new : new + size] = source
+            if on_move is not None:
+                on_move(old, new, size)
+
+        return self.allocator.compact(mover)
+
+    def render_map(self, width: int = 64) -> str:
+        """An ASCII occupancy map of the arena (``#`` used, ``.`` free).
+
+        Each character covers ``capacity / width`` bytes and is drawn used if
+        any allocation overlaps it — a quick visual fragmentation check.
+        """
+        if width < 1:
+            raise ValueError(f"width must be >= 1, got {width}")
+        cell = max(1, self.capacity // width)
+        cells = ["."] * width
+        for block in self.allocator.live_blocks():
+            first = min(width - 1, block.offset // cell)
+            last = min(width - 1, (block.end - 1) // cell)
+            for index in range(first, last + 1):
+                cells[index] = "#"
+        return f"{self.name} [{''.join(cells)}]"
+
+    def __repr__(self) -> str:
+        return f"Heap({self.device!r}, used={self.used_bytes}/{self.capacity})"

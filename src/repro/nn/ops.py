@@ -1,0 +1,260 @@
+"""Numpy compute kernels: forward and backward passes for the real mode.
+
+These are the honest-compute counterparts of the simulated kernels: plain
+numpy implementations of the layers the examples and integration tests
+train with. Conv uses im2col lowering (the standard CPU approach, and the
+access pattern oneDNN's direct conv approximates); everything returns
+contiguous arrays so region-backed views can be written in place.
+
+All functions are pure: they take and return ``np.ndarray`` and know nothing
+about CachedArrays — the autograd layer (:mod:`repro.nn.autograd`) handles
+region access, pinning, and hints.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import KernelError
+
+__all__ = [
+    "im2col",
+    "col2im",
+    "conv2d_forward",
+    "conv2d_backward",
+    "linear_forward",
+    "linear_backward",
+    "relu_forward",
+    "relu_backward",
+    "maxpool2d_forward",
+    "maxpool2d_backward",
+    "batchnorm_forward",
+    "batchnorm_backward",
+    "softmax_cross_entropy",
+]
+
+
+def _out_dim(size: int, kernel: int, stride: int, padding: int) -> int:
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise KernelError(
+            f"non-positive output dim for size={size} k={kernel} "
+            f"stride={stride} pad={padding}"
+        )
+    return out
+
+
+def im2col(
+    x: np.ndarray, kernel: int, stride: int, padding: int
+) -> tuple[np.ndarray, tuple[int, int]]:
+    """Lower (N,C,H,W) into (N*OH*OW, C*K*K) patch rows."""
+    n, c, h, w = x.shape
+    oh = _out_dim(h, kernel, stride, padding)
+    ow = _out_dim(w, kernel, stride, padding)
+    padded = np.pad(
+        x, ((0, 0), (0, 0), (padding, padding), (padding, padding)), mode="constant"
+    )
+    shape = (n, c, kernel, kernel, oh, ow)
+    strides = (
+        padded.strides[0],
+        padded.strides[1],
+        padded.strides[2],
+        padded.strides[3],
+        padded.strides[2] * stride,
+        padded.strides[3] * stride,
+    )
+    patches = np.lib.stride_tricks.as_strided(padded, shape=shape, strides=strides)
+    cols = patches.transpose(0, 4, 5, 1, 2, 3).reshape(n * oh * ow, c * kernel * kernel)
+    return np.ascontiguousarray(cols), (oh, ow)
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    kernel: int,
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Adjoint of :func:`im2col`: scatter patch rows back, accumulating."""
+    n, c, h, w = x_shape
+    oh = _out_dim(h, kernel, stride, padding)
+    ow = _out_dim(w, kernel, stride, padding)
+    padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=cols.dtype)
+    patches = cols.reshape(n, oh, ow, c, kernel, kernel).transpose(0, 3, 4, 5, 1, 2)
+    for ki in range(kernel):
+        for kj in range(kernel):
+            padded[
+                :, :, ki : ki + stride * oh : stride, kj : kj + stride * ow : stride
+            ] += patches[:, :, ki, kj, :, :]
+    if padding:
+        return padded[:, :, padding:-padding, padding:-padding]
+    return padded
+
+
+def conv2d_forward(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: np.ndarray,
+    stride: int = 1,
+    padding: int = 1,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Returns (output, saved im2col matrix for the backward pass)."""
+    k_out, c_in, kernel, kernel2 = weight.shape
+    if kernel != kernel2:
+        raise KernelError(f"only square kernels supported, got {weight.shape}")
+    if x.shape[1] != c_in:
+        raise KernelError(f"channel mismatch: input {x.shape}, weight {weight.shape}")
+    cols, (oh, ow) = im2col(x, kernel, stride, padding)
+    out = cols @ weight.reshape(k_out, -1).T + bias
+    n = x.shape[0]
+    return out.reshape(n, oh, ow, k_out).transpose(0, 3, 1, 2), cols
+
+
+def conv2d_backward(
+    grad_out: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    cols: np.ndarray,
+    weight: np.ndarray,
+    stride: int = 1,
+    padding: int = 1,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Returns (grad_x, grad_weight, grad_bias)."""
+    k_out = weight.shape[0]
+    kernel = weight.shape[2]
+    grad_flat = grad_out.transpose(0, 2, 3, 1).reshape(-1, k_out)
+    grad_weight = (grad_flat.T @ cols).reshape(weight.shape)
+    grad_bias = grad_flat.sum(axis=0)
+    grad_cols = grad_flat @ weight.reshape(k_out, -1)
+    grad_x = col2im(grad_cols, x_shape, kernel, stride, padding)
+    return grad_x, grad_weight, grad_bias
+
+
+def linear_forward(
+    x: np.ndarray, weight: np.ndarray, bias: np.ndarray
+) -> np.ndarray:
+    """(N, in) x (out, in)^T + bias."""
+    return x @ weight.T + bias
+
+
+def linear_backward(
+    grad_out: np.ndarray, x: np.ndarray, weight: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    grad_x = grad_out @ weight
+    grad_weight = grad_out.T @ x
+    grad_bias = grad_out.sum(axis=0)
+    return grad_x, grad_weight, grad_bias
+
+
+def relu_forward(x: np.ndarray) -> np.ndarray:
+    return np.maximum(x, 0.0)
+
+
+def relu_backward(grad_out: np.ndarray, out: np.ndarray) -> np.ndarray:
+    return grad_out * (out > 0.0)
+
+
+def maxpool2d_forward(
+    x: np.ndarray, kernel: int = 2, stride: int | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Non-overlapping max pooling; returns (output, argmax mask)."""
+    stride = stride or kernel
+    if stride != kernel:
+        raise KernelError("maxpool supports stride == kernel only")
+    n, c, h, w = x.shape
+    oh, ow = h // kernel, w // kernel
+    trimmed = x[:, :, : oh * kernel, : ow * kernel]
+    windows = trimmed.reshape(n, c, oh, kernel, ow, kernel)
+    out = windows.max(axis=(3, 5))
+    mask = (windows == out[:, :, :, None, :, None]).astype(x.dtype)
+    return out, mask
+
+
+def maxpool2d_backward(
+    grad_out: np.ndarray, mask: np.ndarray, x_shape: tuple[int, int, int, int], kernel: int = 2
+) -> np.ndarray:
+    n, c, h, w = x_shape
+    oh, ow = h // kernel, w // kernel
+    grad_windows = mask * grad_out[:, :, :, None, :, None]
+    grad = np.zeros(x_shape, dtype=grad_out.dtype)
+    grad[:, :, : oh * kernel, : ow * kernel] = grad_windows.reshape(
+        n, c, oh * kernel, ow * kernel
+    )
+    return grad
+
+
+def softmax_cross_entropy(
+    logits: np.ndarray, labels: np.ndarray
+) -> tuple[float, np.ndarray]:
+    """Mean cross-entropy loss and gradient w.r.t. logits."""
+    if logits.ndim != 2:
+        raise KernelError(f"logits must be (N, classes), got {logits.shape}")
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    probs = exp / exp.sum(axis=1, keepdims=True)
+    n = logits.shape[0]
+    eps = np.finfo(logits.dtype).tiny
+    loss = float(-np.log(probs[np.arange(n), labels] + eps).mean())
+    grad = probs.copy()
+    grad[np.arange(n), labels] -= 1.0
+    return loss, (grad / n).astype(logits.dtype)
+
+
+def batchnorm_forward(
+    x: np.ndarray,
+    gamma: np.ndarray,
+    beta: np.ndarray,
+    eps: float = 1e-5,
+) -> tuple[np.ndarray, tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    """Per-channel batch normalisation over (N, C, H, W) or (N, C).
+
+    Returns the output and the cache (x_hat, inv_std, reduce_axes_size)
+    needed by the backward pass.
+    """
+    if x.ndim == 4:
+        axes: tuple[int, ...] = (0, 2, 3)
+        shape = (1, -1, 1, 1)
+    elif x.ndim == 2:
+        axes = (0,)
+        shape = (1, -1)
+    else:
+        raise KernelError(f"batchnorm expects 2D or 4D input, got {x.shape}")
+    if gamma.shape != (x.shape[1],) or beta.shape != (x.shape[1],):
+        raise KernelError(
+            f"gamma/beta must be ({x.shape[1]},), got {gamma.shape}/{beta.shape}"
+        )
+    mean = x.mean(axis=axes, keepdims=True)
+    var = x.var(axis=axes, keepdims=True)
+    inv_std = 1.0 / np.sqrt(var + eps)
+    x_hat = (x - mean) * inv_std
+    out = gamma.reshape(shape) * x_hat + beta.reshape(shape)
+    m = x.size // x.shape[1]
+    return out, (x_hat, inv_std, np.asarray(float(m)))
+
+
+def batchnorm_backward(
+    grad_out: np.ndarray,
+    cache: tuple[np.ndarray, np.ndarray, np.ndarray],
+    gamma: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Returns (grad_x, grad_gamma, grad_beta) for batchnorm_forward."""
+    x_hat, inv_std, m_arr = cache
+    m = float(m_arr)
+    if grad_out.ndim == 4:
+        axes: tuple[int, ...] = (0, 2, 3)
+        shape = (1, -1, 1, 1)
+    else:
+        axes = (0,)
+        shape = (1, -1)
+    grad_gamma = (grad_out * x_hat).sum(axis=axes)
+    grad_beta = grad_out.sum(axis=axes)
+    g = grad_out * gamma.reshape(shape)
+    grad_x = (
+        inv_std
+        / m
+        * (
+            m * g
+            - g.sum(axis=axes, keepdims=True)
+            - x_hat * (g * x_hat).sum(axis=axes, keepdims=True)
+        )
+    )
+    return grad_x.astype(grad_out.dtype), grad_gamma, grad_beta

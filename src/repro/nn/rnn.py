@@ -1,0 +1,94 @@
+"""Recurrent workloads (Section VI: "Transformers, RNNs, and MoEs").
+
+An LSTM training iteration has a lifetime pattern unlike CNNs or
+transformers: the forward pass walks ``seq`` timesteps, each producing a
+small hidden state and cell state plus per-step gate activations that must
+*all* survive until backpropagation-through-time consumes them in reverse
+step order — a long, shallow FILO stack of many small tensors (versus the
+CNN's short stack of huge ones). This stresses allocator churn and
+per-object metadata rather than bulk bandwidth.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.nn.graph import GraphBuilder, TensorHandle
+
+__all__ = ["lstm"]
+
+
+def lstm(
+    layers: int,
+    batch: int,
+    seq: int,
+    dim: int,
+    *,
+    name: str = "LSTM",
+) -> GraphBuilder:
+    """Stacked LSTM for one truncated-BPTT training iteration.
+
+    Per timestep and layer: one fused gate kernel reading the input, the
+    previous hidden state, and the (shared) weight matrices, producing the
+    gate activations (4*dim) and the new hidden/cell states. Weights are
+    shared across timesteps — one gradient accumulation and one SGD update
+    per layer, like a real implementation.
+    """
+    if layers < 1 or seq < 1:
+        raise ConfigurationError(f"need layers >= 1 and seq >= 1, got {layers}/{seq}")
+    g = GraphBuilder(batch, name=name, input_shape=(batch, seq, dim))
+    # Shared recurrent weights, one set per layer.
+    weights: list[TensorHandle] = [
+        g.parameter(f"w_lstm{layer}", (4 * dim, 2 * dim)) for layer in range(layers)
+    ]
+    biases: list[TensorHandle] = [
+        g.parameter(f"b_lstm{layer}", (4 * dim,)) for layer in range(layers)
+    ]
+    step_inputs: TensorHandle = g.input
+    outputs: list[TensorHandle] = []
+    # State entering each layer; None selects the trainable initial state,
+    # which rides along as an extra parameter of the first-step gate kernel.
+    per_layer_state: list[TensorHandle | None] = [None] * layers
+    initial_state: list[TensorHandle] = [
+        g.parameter(f"h0_{layer}", (batch, dim)) for layer in range(layers)
+    ]
+    for step in range(seq):
+        x_t = g.custom_op(
+            f"slice_t{step}",
+            [step_inputs],
+            (batch, dim),
+            flops=float(batch * dim),
+        )
+        carry = x_t
+        for layer in range(layers):
+            state = per_layer_state[layer]
+            params: list[TensorHandle] = [weights[layer], biases[layer]]
+            inputs = [carry]
+            if state is None:
+                params.append(initial_state[layer])
+            else:
+                inputs.append(state)
+            gates = g.custom_op(
+                f"lstm_gates_l{layer}",
+                inputs,
+                (batch, 4 * dim),
+                flops=2.0 * batch * 2 * dim * 4 * dim,
+                params=params,
+            )
+            state_inputs = [gates] if state is None else [gates, state]
+            new_state = g.custom_op(
+                f"lstm_state_l{layer}",
+                state_inputs,
+                (batch, dim),
+                flops=10.0 * batch * dim,
+            )
+            per_layer_state[layer] = new_state
+            carry = new_state
+        outputs.append(carry)
+    final = g.custom_op(
+        "gather_outputs",
+        outputs,
+        (batch, seq * dim),
+        flops=float(batch * seq * dim),
+    )
+    g.classifier(final, classes=1000)
+    return g

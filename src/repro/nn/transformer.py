@@ -1,0 +1,214 @@
+"""Transformer and Mixture-of-Experts workloads (Section VI).
+
+The paper's outlook: "The CachedArrays policy responds to runtime
+annotations, and can apply to applications exhibiting dynamic memory use
+such as Transformers, RNNs, and Mixtures of Experts." These builders lower
+both architectures onto the same graph machinery the CNNs use:
+
+* :func:`transformer` — pre-norm decoder blocks: QKV projection, scaled
+  dot-product attention (the (B, H, S, S) score tensor is materialised, the
+  memory hog of long sequences), output projection, and a 4x MLP, with
+  residual adds. Standard analytic FLOPs.
+* :func:`moe_transformer` — the MLP of each block is replaced by a
+  mixture-of-experts layer: ``experts`` persistent expert FFNs of which a
+  seeded, *skewed* subset is active per block — cold experts are pure
+  capacity, exactly the sparse-reuse pattern of the DLRM discussion. Expert
+  popularity follows a Zipf-like distribution, so frequency-aware policies
+  have something to learn.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.nn.graph import GraphBuilder, TensorHandle
+
+__all__ = ["transformer", "moe_transformer"]
+
+
+def _attention_block(
+    g: GraphBuilder, x: TensorHandle, dim: int, heads: int
+) -> TensorHandle:
+    """Multi-head self-attention with materialised score/prob tensors."""
+    batch, seq, _ = x.shape
+    head_dim = dim // heads
+    qkv = g.custom_op(
+        "qkv_proj",
+        [x],
+        (batch, seq, 3 * dim),
+        flops=2.0 * batch * seq * dim * 3 * dim,
+        params=[("w_qkv", (3 * dim, dim)), ("b_qkv", (3 * dim,))],
+    )
+    scores = g.custom_op(
+        "attn_scores",
+        [qkv],
+        (batch, heads, seq, seq),
+        flops=2.0 * batch * heads * seq * seq * head_dim,
+    )
+    probs = g.custom_op(
+        "softmax",
+        [scores],
+        (batch, heads, seq, seq),
+        flops=5.0 * batch * heads * seq * seq,
+    )
+    context = g.custom_op(
+        "attn_context",
+        [probs, qkv],
+        (batch, seq, dim),
+        flops=2.0 * batch * heads * seq * seq * head_dim,
+    )
+    out = g.custom_op(
+        "attn_out",
+        [context],
+        (batch, seq, dim),
+        flops=2.0 * batch * seq * dim * dim,
+        params=[("w_attn_out", (dim, dim)), ("b_attn_out", (dim,))],
+    )
+    return g.add(out, x)
+
+
+def _mlp_block(
+    g: GraphBuilder, x: TensorHandle, dim: int, ffn_mult: int
+) -> TensorHandle:
+    batch, seq, _ = x.shape
+    hidden = ffn_mult * dim
+    up = g.custom_op(
+        "mlp_up",
+        [x],
+        (batch, seq, hidden),
+        flops=2.0 * batch * seq * dim * hidden,
+        params=[("w_up", (hidden, dim)), ("b_up", (hidden,))],
+    )
+    down = g.custom_op(
+        "mlp_down",
+        [up],
+        (batch, seq, dim),
+        flops=2.0 * batch * seq * hidden * dim,
+        params=[("w_down", (dim, hidden)), ("b_down", (dim,))],
+    )
+    return g.add(down, x)
+
+
+def _moe_block(
+    g: GraphBuilder,
+    x: TensorHandle,
+    dim: int,
+    ffn_mult: int,
+    expert_weights: list[list[TensorHandle]],
+    active: list[int],
+    token_share: list[float],
+) -> TensorHandle:
+    """Route tokens to the active experts; cold experts stay untouched."""
+    batch, seq, _ = x.shape
+    hidden = ffn_mult * dim
+    router = g.custom_op(
+        "router",
+        [x],
+        (batch, seq, len(expert_weights)),
+        flops=2.0 * batch * seq * dim * len(expert_weights),
+        params=[("w_router", (len(expert_weights), dim))],
+    )
+    outputs = []
+    for expert_index, share in zip(active, token_share):
+        tokens = max(1, int(batch * seq * share))
+        expert_out = g.custom_op(
+            f"expert{expert_index}",
+            [x, router],
+            (tokens, dim),
+            flops=4.0 * tokens * dim * hidden,
+            params=expert_weights[expert_index],
+        )
+        outputs.append(expert_out)
+    combine = g.custom_op(
+        "moe_combine",
+        outputs + [router],
+        (batch, seq, dim),
+        flops=2.0 * batch * seq * dim,
+    )
+    return g.add(combine, x)
+
+
+def transformer(
+    layers: int,
+    batch: int,
+    seq: int,
+    dim: int,
+    heads: int,
+    *,
+    ffn_mult: int = 4,
+    vocab: int = 32000,
+    name: str = "Transformer",
+) -> GraphBuilder:
+    """A decoder-style transformer for one training iteration."""
+    if dim % heads:
+        raise ConfigurationError(f"dim {dim} not divisible by heads {heads}")
+    if layers < 1:
+        raise ConfigurationError(f"need at least one layer, got {layers}")
+    g = GraphBuilder(batch, name=name, input_shape=(batch, seq, dim))
+    x = g.input
+    for _ in range(layers):
+        x = _attention_block(g, x, dim, heads)
+        x = _mlp_block(g, x, dim, ffn_mult)
+    pooled = g.custom_op("seq_pool", [x], (batch, dim), flops=float(x.elements))
+    g.classifier(pooled, classes=min(vocab, 32000))
+    return g
+
+
+def moe_transformer(
+    layers: int,
+    batch: int,
+    seq: int,
+    dim: int,
+    heads: int,
+    *,
+    experts: int = 8,
+    active_per_layer: int = 2,
+    ffn_mult: int = 4,
+    zipf_exponent: float = 1.2,
+    seed: int = 0,
+    name: str = "MoE",
+) -> GraphBuilder:
+    """Transformer with shared mixture-of-experts FFN layers.
+
+    All ``experts`` expert FFNs exist as persistent weights (the capacity
+    burden); each layer activates ``active_per_layer`` of them, drawn from a
+    Zipf-like popularity distribution seeded by ``seed`` — hot experts recur
+    across layers, cold ones are rarely touched.
+    """
+    if not 1 <= active_per_layer <= experts:
+        raise ConfigurationError(
+            f"active_per_layer must be in [1, {experts}], got {active_per_layer}"
+        )
+    if dim % heads:
+        raise ConfigurationError(f"dim {dim} not divisible by heads {heads}")
+    g = GraphBuilder(batch, name=name, input_shape=(batch, seq, dim))
+    hidden = ffn_mult * dim
+    # Shared expert parameter pool: declared once, reused by every block.
+    expert_weights: list[list[TensorHandle]] = [
+        [
+            g.parameter(f"w_expert{index}_up", (hidden, dim), always_resident=True),
+            g.parameter(
+                f"w_expert{index}_down", (dim, hidden), always_resident=True
+            ),
+        ]
+        for index in range(experts)
+    ]
+    rng = np.random.default_rng(seed)
+    ranks = np.arange(1, experts + 1, dtype=np.float64)
+    popularity = ranks**-zipf_exponent
+    popularity /= popularity.sum()
+    x = g.input
+    for _ in range(layers):
+        x = _attention_block(g, x, dim, heads)
+        active = list(
+            rng.choice(experts, size=active_per_layer, replace=False, p=popularity)
+        )
+        share = [float(s) for s in rng.dirichlet(np.ones(active_per_layer))]
+        x = _moe_block(
+            g, x, dim, ffn_mult, expert_weights,
+            [int(i) for i in active], share,
+        )
+    pooled = g.custom_op("seq_pool", [x], (batch, dim), flops=float(x.elements))
+    g.classifier(pooled, classes=1000)
+    return g

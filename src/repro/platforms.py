@@ -1,0 +1,109 @@
+"""Platform presets: one-call sessions for known machine shapes.
+
+The paper stresses that "when migrating an application to a new
+heterogeneous memory platform, the user-defined policy does not have to be
+modified. The only change necessary is for the platform developer to provide
+the interface" (Section VI). These presets are that interface: each returns
+a ready :class:`~repro.core.Session` (devices + a sensible default policy)
+for a named platform, so application code changes one string to move
+machines.
+
+>>> import repro
+>>> session = repro.platform("cascade-lake", scale=64)
+>>> session.heaps.keys()
+dict_keys(['DRAM', 'NVRAM'])
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.policy_api import Policy
+from repro.core.session import Session, SessionConfig
+from repro.errors import ConfigurationError
+from repro.memory.device import MemoryDevice
+from repro.policies.multitier import MultiTierPolicy
+from repro.policies.optimizing import OptimizingPolicy
+from repro.units import GB, parse_size
+
+__all__ = ["platform", "PLATFORMS"]
+
+
+def _scaled(nbytes: int, scale: int) -> int:
+    return max(4096, nbytes // scale)
+
+
+def _cascade_lake(scale: int, policy: Policy | None) -> Session:
+    """The paper's evaluation machine: 180 GB DRAM + 1300 GB Optane."""
+    devices = [
+        MemoryDevice.dram(_scaled(180 * GB, scale)),
+        MemoryDevice.nvram(_scaled(1300 * GB, scale)),
+    ]
+    return Session(
+        SessionConfig(devices=devices),
+        policy=policy or OptimizingPolicy(local_alloc=True),
+    )
+
+
+def _cxl_expander(scale: int, policy: Policy | None) -> Session:
+    """A DRAM box with a CXL memory expander (no NVRAM)."""
+    devices = [
+        MemoryDevice.dram(_scaled(128 * GB, scale)),
+        MemoryDevice.cxl(_scaled(512 * GB, scale), name="CXL"),
+    ]
+    return Session(
+        SessionConfig(devices=devices),
+        policy=policy or OptimizingPolicy(fast="DRAM", slow="CXL", local_alloc=True),
+    )
+
+
+def _three_tier(scale: int, policy: Policy | None) -> Session:
+    """DRAM + CXL expander + NVRAM capacity tier."""
+    devices = [
+        MemoryDevice.dram(_scaled(128 * GB, scale)),
+        MemoryDevice.cxl(_scaled(512 * GB, scale), name="CXL"),
+        MemoryDevice.nvram(_scaled(1300 * GB, scale)),
+    ]
+    return Session(
+        SessionConfig(devices=devices),
+        policy=policy or MultiTierPolicy(["DRAM", "CXL", "NVRAM"]),
+    )
+
+
+def _nvram_only(scale: int, policy: Policy | None) -> Session:
+    """App-direct NVRAM with no DRAM allowance (Figure 7's 0 GB point)."""
+    from repro.policies.noop import SingleDevicePolicy
+
+    devices = [MemoryDevice.nvram(_scaled(1300 * GB, scale))]
+    return Session(
+        SessionConfig(devices=devices),
+        policy=policy or SingleDevicePolicy("NVRAM"),
+    )
+
+
+PLATFORMS: dict[str, Callable[[int, Policy | None], Session]] = {
+    "cascade-lake": _cascade_lake,
+    "cxl-expander": _cxl_expander,
+    "three-tier": _three_tier,
+    "nvram-only": _nvram_only,
+}
+
+
+def platform(
+    name: str, *, scale: int = 1, policy: Policy | None = None
+) -> Session:
+    """Build a session for a named platform.
+
+    ``scale`` divides device capacities (for laptop-scale experimentation);
+    ``policy`` overrides the platform's default — the paper's point is that
+    the same policy object works across platforms with compatible tiers.
+    """
+    if scale < 1:
+        raise ConfigurationError(f"scale must be >= 1, got {scale}")
+    try:
+        factory = PLATFORMS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown platform {name!r}; known: {sorted(PLATFORMS)}"
+        ) from None
+    return factory(scale, policy)

@@ -1,0 +1,92 @@
+"""Eviction and prefetch built from the data-management API.
+
+These two functions are line-for-line transcriptions of the paper's
+Listing 1 (``evict``) and Listing 2 (``prefetch``), written against
+:class:`~repro.core.manager.DataManager`. They are deliberately free
+functions: the listings demonstrate that a policy author needs *only* the
+data-management API, and keeping them standalone lets several policies share
+them (and lets the tests exercise them in isolation).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.manager import DataManager
+from repro.core.object import MemObject, Region
+from repro.errors import OutOfMemoryError
+
+__all__ = ["evict_object", "prefetch_object"]
+
+
+def evict_object(
+    dm: DataManager, obj: MemObject, fast: str, slow: str
+) -> bool:
+    """Move ``obj``'s primary from ``fast`` to ``slow`` (paper Listing 1).
+
+    If a linked (clean) copy already exists in slow memory the expensive
+    cross-device copy is elided — the optimisation of Listing 1 lines 11-13.
+    Returns True when an eviction actually happened (primary was in fast).
+    """
+    x = dm.getprimary(obj)
+    if not dm.in_device(x, fast):
+        return False
+    y = dm.getlinked(x, slow)
+    sz = dm.sizeof(x)
+    allocated = False
+    if y is None:
+        y = dm.allocate(slow, sz)
+        allocated = True
+    if dm.isdirty(x) or allocated:
+        dm.copyto(y, x)
+        dm.setdirty(y, False)
+    dm.setprimary(obj, y)
+    if not allocated:
+        dm.unlink(x, y)
+    dm.free(x)
+    return True
+
+
+def prefetch_object(
+    dm: DataManager,
+    obj: MemObject,
+    fast: str,
+    slow: str,
+    *,
+    force: bool = False,
+    find_start: Callable[[int], Region | None] | None = None,
+    evict_callback: Callable[[Region], None] | None = None,
+) -> Region | None:
+    """Move ``obj``'s primary from ``slow`` into ``fast`` (paper Listing 2).
+
+    When fast memory is full and ``force`` is set, ``find_start`` picks an
+    eviction starting region (the paper suggests an LRU heuristic) and
+    ``evictfrom`` frees a contiguous span through ``evict_callback``. The
+    slow-memory region stays *linked* as a clean secondary, so a later
+    eviction of unmodified data costs nothing.
+
+    Returns the new fast primary, or ``None`` when no room could be made.
+    """
+    x = dm.getprimary(obj)
+    if not dm.in_device(x, slow):
+        return dm.getprimary(obj)
+    sz = dm.sizeof(obj)
+    y = dm.try_allocate(fast, sz)
+    if y is None:
+        if not force:
+            return None
+        if find_start is None or evict_callback is None:
+            raise OutOfMemoryError(fast, sz, 0)
+        start = find_start(sz)
+        if start is None:
+            return None
+        dm.evictfrom(fast, start, sz, evict_callback)
+        y = dm.try_allocate(fast, sz)
+        if y is None:
+            return None
+    dm.copyto(y, x)
+    dm.setdirty(x, False)
+    dm.link(x, y)
+    dm.setprimary(obj, y)
+    dm.setdirty(y, False)
+    return y

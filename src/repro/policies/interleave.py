@@ -1,0 +1,91 @@
+"""OS-style NUMA interleave baseline.
+
+Section IV-A notes App-Direct mode "can either be configured as an extra
+NUMA node to be used automatically by the OS, or mounted as a DAX file
+system". The former is what Linux's default NUMA policies would do with
+NVRAM: spread (or first-touch) pages across nodes with *no* migration and
+*no* knowledge of future use — exactly the transparent baseline the paper's
+related work (Table I, "Operating System" row) covers.
+
+:class:`InterleavePolicy` models it at object granularity: placement
+round-robins across devices weighted by capacity, hints are ignored
+(the OS never sees them), and nothing ever moves.
+"""
+
+from __future__ import annotations
+
+from repro.core.manager import DataManager
+from repro.core.object import MemObject, Region
+from repro.core.policy_api import AccessIntent, Policy
+from repro.errors import ConfigurationError, OutOfMemoryError
+
+__all__ = ["InterleavePolicy", "FirstTouchPolicy"]
+
+
+class InterleavePolicy(Policy):
+    """Capacity-weighted round-robin placement; no movement, no hints."""
+
+    def __init__(self, devices: list[str] | None = None) -> None:
+        super().__init__()
+        self.devices = list(devices) if devices else None
+        self._weights: list[tuple[str, int]] = []
+        self._cursor = 0
+        self._credit: dict[str, int] = {}
+
+    def on_bound(self) -> None:
+        names = self.devices or self.manager.devices()
+        missing = [n for n in names if n not in self.manager.devices()]
+        if missing:
+            raise ConfigurationError(f"unknown devices {missing}")
+        self._weights = [
+            (name, self.manager.heap(name).capacity) for name in names
+        ]
+        self._credit = {name: 0 for name in names}
+
+    def place(self, obj: MemObject) -> Region:
+        """Weighted round-robin: each device gets traffic in proportion to
+        its capacity (what `interleave=all` converges to), falling back to
+        whichever device still has room."""
+        total = sum(weight for _, weight in self._weights)
+        for name, weight in self._weights:
+            self._credit[name] += weight
+        order = sorted(
+            self._weights, key=lambda item: self._credit[item[0]], reverse=True
+        )
+        for name, _ in order:
+            region = self.manager.try_allocate(name, obj.size)
+            if region is not None:
+                self._credit[name] -= total
+                self.manager.setprimary(obj, region)
+                return region
+        raise OutOfMemoryError(order[0][0], obj.size, 0)
+
+    def ensure_resident(self, obj: MemObject, intent: AccessIntent) -> Region:
+        return self.manager.getprimary(obj)
+
+    # The OS sees no hints: all Table II operations are no-ops except
+    # retire, which is just free().
+
+
+class FirstTouchPolicy(Policy):
+    """NUMA first-touch: fill the first (local) node, then spill onward."""
+
+    def __init__(self, order: list[str] | None = None) -> None:
+        super().__init__()
+        self.order = list(order) if order else None
+
+    def on_bound(self) -> None:
+        if self.order is None:
+            self.order = self.manager.devices()
+
+    def place(self, obj: MemObject) -> Region:
+        assert self.order is not None
+        for name in self.order:
+            region = self.manager.try_allocate(name, obj.size)
+            if region is not None:
+                self.manager.setprimary(obj, region)
+                return region
+        raise OutOfMemoryError(self.order[-1], obj.size, 0)
+
+    def ensure_resident(self, obj: MemObject, intent: AccessIntent) -> Region:
+        return self.manager.getprimary(obj)

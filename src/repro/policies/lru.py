@@ -1,0 +1,52 @@
+"""Recency tracking for eviction-victim selection.
+
+Listing 2's ``find_region`` selects "an initial region via some heuristic
+like LRU". :class:`LruTracker` is that heuristic: an ordered set of objects
+from coldest to hottest. ``archive`` demotes an object straight to the cold
+end — the paper's "prioritise the annotated objects for future eviction if
+memory pressure is experienced" — without moving any data.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.core.object import MemObject
+
+__all__ = ["LruTracker"]
+
+
+class LruTracker:
+    """Ordered set of objects, coldest first. O(1) touch/demote/discard."""
+
+    def __init__(self) -> None:
+        # dict preserves insertion order; values are the objects themselves.
+        self._order: dict[int, MemObject] = {}
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __contains__(self, obj: MemObject) -> bool:
+        return obj.id in self._order
+
+    def touch(self, obj: MemObject) -> None:
+        """Mark ``obj`` most recently used (hot end)."""
+        self._order.pop(obj.id, None)
+        self._order[obj.id] = obj
+
+    def demote(self, obj: MemObject) -> None:
+        """Send ``obj`` to the cold end (the ``archive`` reaction)."""
+        self._order.pop(obj.id, None)
+        new_order = {obj.id: obj}
+        new_order.update(self._order)
+        self._order = new_order
+
+    def discard(self, obj: MemObject) -> None:
+        self._order.pop(obj.id, None)
+
+    def coldest_first(self) -> Iterator[MemObject]:
+        """Objects from coldest to hottest; safe against mutation mid-walk."""
+        return iter(list(self._order.values()))
+
+    def clear(self) -> None:
+        self._order.clear()

@@ -1,0 +1,227 @@
+"""A multi-tier generalisation of the reference policy.
+
+Section VI argues the framework extends beyond DRAM+NVRAM pairs — "other
+heterogeneous memory devices such as local/remote memory (e.g., CXL)" — and
+that "the user-defined policy does not have to be modified" when the
+platform changes. :class:`MultiTierPolicy` demonstrates both: it drives any
+*ordered chain* of devices (e.g. ``["DRAM", "CXL", "NVRAM"]``) with the same
+Listing-1/Listing-2 building blocks, demoting eviction victims one tier down
+(cascading recursively when the middle tiers are full) and promoting
+written/used objects to the top.
+
+Tier invariants (checked by ``check_invariant``):
+
+* an object's primary is its *highest* (fastest) region; linked copies may
+  trail on lower tiers;
+* a region on any tier above the bottom is always its object's primary
+  (the two-tier policy invariant, applied per level).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.manager import DataManager
+from repro.core.object import MemObject, Region
+from repro.core.policy_api import AccessIntent, Policy
+from repro.errors import ConfigurationError, OutOfMemoryError, PolicyError
+from repro.policies.base import evict_object, prefetch_object
+from repro.policies.lru import LruTracker
+
+__all__ = ["MultiTierPolicy", "TierStats"]
+
+
+@dataclass
+class TierStats:
+    """Per-tier movement counters."""
+
+    demotions: dict[str, int] = field(default_factory=dict)
+    promotions: dict[str, int] = field(default_factory=dict)
+    placed: dict[str, int] = field(default_factory=dict)
+
+    def bump(self, counter: dict[str, int], tier: str) -> None:
+        counter[tier] = counter.get(tier, 0) + 1
+
+    def as_dict(self) -> dict[str, int]:
+        """Flattened counters (the executor's policy_stats interface)."""
+        out: dict[str, int] = {}
+        for prefix, counter in (
+            ("demotions_to", self.demotions),
+            ("promotions_to", self.promotions),
+            ("placed_in", self.placed),
+        ):
+            for tier, count in counter.items():
+                out[f"{prefix}_{tier}"] = count
+        return out
+
+
+class MultiTierPolicy(Policy):
+    """LRU tiering over an ordered device chain, fastest first."""
+
+    def __init__(self, tiers: list[str], *, promote_on_use: bool = False) -> None:
+        super().__init__()
+        if len(tiers) < 2:
+            raise ConfigurationError("need at least two tiers")
+        if len(set(tiers)) != len(tiers):
+            raise ConfigurationError(f"duplicate tiers in {tiers}")
+        self.tiers = list(tiers)
+        self.promote_on_use = promote_on_use
+        self.lru: dict[str, LruTracker] = {tier: LruTracker() for tier in tiers}
+        self.stats = TierStats()
+
+    def on_bound(self) -> None:
+        devices = self.manager.devices()
+        missing = [tier for tier in self.tiers if tier not in devices]
+        if missing:
+            raise ConfigurationError(f"tiers {missing} not among devices {devices}")
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _tier_index(self, device: str) -> int:
+        try:
+            return self.tiers.index(device)
+        except ValueError:
+            raise PolicyError(f"device {device!r} is not a managed tier") from None
+
+    def _primary_tier(self, obj: MemObject) -> int:
+        primary = obj.primary
+        if primary is None:
+            raise PolicyError(f"{obj!r} has no primary region")
+        return self._tier_index(primary.device_name)
+
+    def _touch(self, obj: MemObject) -> None:
+        if obj.primary is not None:
+            self.lru[obj.primary.device_name].touch(obj)
+
+    def _discard_everywhere(self, obj: MemObject) -> None:
+        for tracker in self.lru.values():
+            tracker.discard(obj)
+
+    # -- placement ----------------------------------------------------------------
+
+    def place(self, obj: MemObject) -> Region:
+        """New objects are born as high as room can be made."""
+        for index, tier in enumerate(self.tiers):
+            region = self._allocate_in_tier(index, obj.size)
+            if region is not None:
+                self.manager.setprimary(obj, region)
+                self.lru[tier].touch(obj)
+                self.stats.bump(self.stats.placed, tier)
+                return region
+        raise OutOfMemoryError(self.tiers[-1], obj.size, 0)
+
+    def _allocate_in_tier(self, index: int, size: int) -> Region | None:
+        """Allocate in tier ``index``, demoting victims downward if needed."""
+        tier = self.tiers[index]
+        region = self.manager.try_allocate(tier, size)
+        if region is not None:
+            return region
+        if index == len(self.tiers) - 1:
+            return None  # bottom tier: nothing below to demote into
+        start = self._find_eviction_start(index, size)
+        if start is None:
+            return None
+        try:
+            self.manager.evictfrom(
+                tier, start, size, lambda r: self._demote_region(r, index)
+            )
+        except OutOfMemoryError:
+            return None
+        return self.manager.try_allocate(tier, size)
+
+    def _find_eviction_start(self, index: int, size: int) -> Region | None:
+        tier = self.tiers[index]
+        for candidate in self.lru[tier].coldest_first():
+            primary = candidate.primary
+            if primary is None or primary.device_name != tier or candidate.pinned:
+                continue
+            victims = self.manager.span_victims(tier, primary, size)
+            if victims is None:
+                continue
+            if any(v.parent is not None and v.parent.pinned for v in victims):
+                continue
+            return primary
+        return None
+
+    def _demote_region(self, region: Region, index: int) -> None:
+        """Evict one region's object from tier ``index`` to ``index + 1``."""
+        obj = self.manager.parent(region)
+        if obj.pinned:
+            raise PolicyError(f"asked to demote pinned {obj!r}")
+        below = self.tiers[index + 1]
+        # Make room below first (may cascade further down).
+        linked = self.manager.getlinked(region, below)
+        if linked is None:
+            room = self._allocate_in_tier(index + 1, region.size)
+            if room is None:
+                raise OutOfMemoryError(below, region.size, 0)
+            # evict_object allocates for itself; release the probe.
+            self.manager.free(room)
+        if evict_object(self.manager, obj, self.tiers[index], below):
+            self.stats.bump(self.stats.demotions, below)
+        self.lru[self.tiers[index]].discard(obj)
+        self.lru[below].touch(obj)
+
+    # -- hints ------------------------------------------------------------------------
+
+    def will_use(self, obj: MemObject) -> None:
+        self._touch(obj)
+        if self.promote_on_use:
+            self._promote(obj)
+
+    def will_write(self, obj: MemObject) -> None:
+        self._touch(obj)
+        self._promote(obj)
+
+    def archive(self, obj: MemObject) -> None:
+        if obj.primary is not None:
+            self.lru[obj.primary.device_name].demote(obj)
+
+    def retire(self, obj: MemObject) -> None:
+        self._discard_everywhere(obj)
+        self.manager.destroy_object(obj)
+
+    # -- residency ---------------------------------------------------------------------
+
+    def ensure_resident(self, obj: MemObject, intent: AccessIntent) -> Region:
+        obj.check_usable()
+        if intent is AccessIntent.WRITE:
+            self._promote(obj)
+        self._touch(obj)
+        return self.manager.getprimary(obj)
+
+    def _promote(self, obj: MemObject) -> Region | None:
+        """Move the object's primary to the top tier, best effort."""
+        current = self._primary_tier(obj)
+        if current == 0:
+            return obj.primary
+        top = self.tiers[0]
+        region = prefetch_object(
+            self.manager,
+            obj,
+            top,
+            self.tiers[current],
+            force=True,
+            find_start=lambda size: self._find_eviction_start(0, size),
+            evict_callback=lambda r: self._demote_region(r, 0),
+        )
+        if region is not None and region.device_name == top:
+            self.lru[self.tiers[current]].discard(obj)
+            self.lru[top].touch(obj)
+            self.stats.bump(self.stats.promotions, top)
+        return region
+
+    # -- validation ----------------------------------------------------------------------
+
+    def check_invariant(self) -> None:
+        for obj in self.manager.objects.values():
+            primary = obj.primary
+            if primary is None:
+                continue
+            primary_tier = self._tier_index(primary.device_name)
+            for region in obj.regions():
+                tier = self._tier_index(region.device_name)
+                if tier < primary_tier:
+                    raise PolicyError(
+                        f"{obj!r}: non-primary {region!r} above the primary tier"
+                    )

@@ -1,0 +1,48 @@
+"""Degenerate policies: single-device placement and placement pinning.
+
+These exist for baselines and sensitivity sweeps:
+
+* :class:`SingleDevicePolicy` — everything lives on one device, no movement
+  ever. The NVRAM-only point of Figure 7 (DRAM budget 0) and the DRAM-only
+  upper bound both use it.
+* :class:`PinnedPolicy` — honours an explicit per-object placement map and
+  otherwise behaves like :class:`SingleDevicePolicy`; useful for tests that
+  need deterministic layouts.
+"""
+
+from __future__ import annotations
+
+from repro.core.object import MemObject, Region
+from repro.core.policy_api import AccessIntent, Policy
+
+__all__ = ["SingleDevicePolicy", "PinnedPolicy"]
+
+
+class SingleDevicePolicy(Policy):
+    """Allocate everything on ``device``; never move anything."""
+
+    def __init__(self, device: str) -> None:
+        super().__init__()
+        self.device = device
+
+    def place(self, obj: MemObject) -> Region:
+        region = self.manager.allocate(self.device, obj.size)
+        self.manager.setprimary(obj, region)
+        return region
+
+    def ensure_resident(self, obj: MemObject, intent: AccessIntent) -> Region:
+        return self.manager.getprimary(obj)
+
+
+class PinnedPolicy(SingleDevicePolicy):
+    """Place objects per an explicit name -> device map, else the default."""
+
+    def __init__(self, default_device: str, placement: dict[str, str] | None = None):
+        super().__init__(default_device)
+        self.placement = dict(placement or {})
+
+    def place(self, obj: MemObject) -> Region:
+        device = self.placement.get(obj.name, self.device)
+        region = self.manager.allocate(device, obj.size)
+        self.manager.setprimary(obj, region)
+        return region

@@ -1,0 +1,250 @@
+"""The paper's reference policy for DRAM+NVRAM CNN training.
+
+One policy class with the Section IV toggles:
+
+* ``local_alloc`` (**L**): new objects are born in fast memory when room can
+  be made; disabled, every object is born in NVRAM and migrated to DRAM
+  before use, "effectively generating a compulsory miss on first access ...
+  to more closely model the behaviour of 2LM" (CA: ∅).
+* ``prefetch`` (**P**): ``will_read`` pulls the object into DRAM ahead of the
+  kernel. Off, reads execute from wherever the object lives — NVRAM read
+  bandwidth is high enough that this is often the right call (Section III-D).
+
+Independent of the toggles, the policy:
+
+* responds to ``will_write`` / write-intent residency by migrating the target
+  into DRAM (NVRAM writes are slow and low-bandwidth);
+* keeps evicted-then-prefetched objects *linked* to their NVRAM copy so
+  clean evictions are free;
+* reacts to ``archive`` by demoting the object in the LRU order (no eager
+  data movement — "a reasonable policy implementation will not eagerly evict
+  data upon an archive annotation");
+* maintains the invariant that a fast-memory region is always its object's
+  primary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.manager import DataManager
+from repro.core.object import MemObject, Region
+from repro.core.policy_api import AccessIntent, Policy
+from repro.errors import ConfigurationError, OutOfMemoryError, PolicyError
+from repro.policies.base import evict_object, prefetch_object
+from repro.policies.lru import LruTracker
+
+__all__ = ["OptimizingPolicy", "PolicyStats"]
+
+
+@dataclass
+class PolicyStats:
+    """Observable policy behaviour, for reports and regression tests."""
+
+    placed_fast: int = 0
+    placed_slow: int = 0
+    prefetches: int = 0
+    evictions: int = 0
+    elided_writebacks: int = 0  # clean evictions that skipped the copy
+    forced_eviction_rounds: int = 0
+    retires: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(vars(self))
+
+
+class OptimizingPolicy(Policy):
+    """LRU policy with the L and P toggles over a fast/slow device pair."""
+
+    def __init__(
+        self,
+        fast: str | None = "DRAM",
+        slow: str = "NVRAM",
+        *,
+        local_alloc: bool = True,
+        prefetch: bool = False,
+        migrate_on_write: bool = True,
+    ) -> None:
+        super().__init__()
+        if fast == slow:
+            raise ConfigurationError("fast and slow must be different devices")
+        self.fast = fast
+        self.slow = slow
+        self.local_alloc = local_alloc
+        self.prefetch = prefetch
+        self.migrate_on_write = migrate_on_write
+        self.lru = LruTracker()
+        self.stats = PolicyStats()
+
+    def on_bound(self) -> None:
+        devices = self.manager.devices()
+        if self.slow not in devices:
+            raise ConfigurationError(f"slow device {self.slow!r} not in {devices}")
+        if self.fast is not None and self.fast not in devices:
+            raise ConfigurationError(f"fast device {self.fast!r} not in {devices}")
+
+    # -- placement ------------------------------------------------------------
+
+    def place(self, obj: MemObject) -> Region:
+        """First allocation for a new object.
+
+        With **L**: fast memory first (forcing eviction if needed), NVRAM as
+        the fallback for objects that cannot fit. Without **L**: always
+        NVRAM — the compulsory-miss model of CA: ∅.
+        """
+        if self.fast is not None and self.local_alloc:
+            region = self._allocate_fast(obj.size, force=True)
+            if region is not None:
+                self.manager.setprimary(obj, region)
+                self.lru.touch(obj)
+                self.stats.placed_fast += 1
+                return region
+        region = self.manager.allocate(self.slow, obj.size)
+        self.manager.setprimary(obj, region)
+        self.stats.placed_slow += 1
+        return region
+
+    # -- hints ------------------------------------------------------------------
+
+    def will_use(self, obj: MemObject) -> None:
+        self._note_use(obj)
+
+    def will_read(self, obj: MemObject) -> None:
+        self._note_use(obj)
+        if self.prefetch and self.fast is not None:
+            if self._prefetch(obj, force=True) is not None:
+                self.stats.prefetches += 1
+
+    def will_write(self, obj: MemObject) -> None:
+        self._note_use(obj)
+        if self.migrate_on_write and self.fast is not None:
+            self._prefetch(obj, force=True)
+
+    def archive(self, obj: MemObject) -> None:
+        """No data movement — just make the object the preferred victim."""
+        if obj.primary is not None and obj.primary.device_name == self.fast:
+            self.lru.demote(obj)
+
+    def retire(self, obj: MemObject) -> None:
+        self.lru.discard(obj)
+        self.manager.destroy_object(obj)
+        self.stats.retires += 1
+
+    def _note_use(self, obj: MemObject) -> None:
+        if obj.primary is not None and obj.primary.device_name == self.fast:
+            self.lru.touch(obj)
+
+    # -- residency ----------------------------------------------------------------
+
+    def ensure_resident(self, obj: MemObject, intent: AccessIntent) -> Region:
+        """Make the object usable for a kernel about to pin it.
+
+        * write intent: migrate into fast memory (best effort);
+        * read/use intent: migrate only in cache-like mode (no **L**) —
+          with **L**, reads run from NVRAM unless **P** prefetched earlier.
+        """
+        obj.check_usable()
+        primary = self.manager.getprimary(obj)
+        if self.fast is None:
+            return primary
+        cache_like = not self.local_alloc
+        wants_fast = (
+            cache_like
+            or (intent is AccessIntent.WRITE and self.migrate_on_write)
+        )
+        if wants_fast and primary.device_name == self.slow:
+            moved = self._prefetch(obj, force=True)
+            if moved is not None:
+                return moved
+        self._note_use(obj)
+        return self.manager.getprimary(obj)
+
+    # -- movement internals -----------------------------------------------------------
+
+    def _prefetch(self, obj: MemObject, *, force: bool) -> Region | None:
+        assert self.fast is not None
+        region = prefetch_object(
+            self.manager,
+            obj,
+            self.fast,
+            self.slow,
+            force=force,
+            find_start=self._find_eviction_start,
+            evict_callback=self._evict_region,
+        )
+        if region is not None and region.device_name == self.fast:
+            self.lru.touch(obj)
+        return region
+
+    def _allocate_fast(self, size: int, *, force: bool) -> Region | None:
+        """Allocate raw space in fast memory, evicting cold objects if asked."""
+        assert self.fast is not None
+        region = self.manager.try_allocate(self.fast, size)
+        if region is not None or not force:
+            return region
+        start = self._find_eviction_start(size)
+        if start is None:
+            return None
+        try:
+            self.manager.evictfrom(self.fast, start, size, self._evict_region)
+        except OutOfMemoryError:
+            return None
+        return self.manager.try_allocate(self.fast, size)
+
+    def _find_eviction_start(self, size: int) -> Region | None:
+        """Listing 2's ``find_region``: coldest unpinned object whose span is
+        clear of pinned operands."""
+        assert self.fast is not None
+        self.stats.forced_eviction_rounds += 1
+        for candidate in self.lru.coldest_first():
+            primary = candidate.primary
+            if (
+                primary is None
+                or primary.device_name != self.fast
+                or candidate.pinned
+            ):
+                continue
+            victims = self.manager.span_victims(self.fast, primary, size)
+            if victims is None:
+                continue
+            if any(v.parent is not None and v.parent.pinned for v in victims):
+                continue
+            return primary
+        return None
+
+    def _evict_region(self, region: Region) -> None:
+        """``evictfrom`` callback: evict the region's whole object."""
+        assert self.fast is not None
+        obj = self.manager.parent(region)
+        if obj.pinned:
+            raise PolicyError(f"asked to evict pinned {obj!r}")
+        was_clean = not self.manager.isdirty(region) and (
+            self.manager.getlinked(region, self.slow) is not None
+        )
+        if evict_object(self.manager, obj, self.fast, self.slow):
+            self.stats.evictions += 1
+            if was_clean:
+                self.stats.elided_writebacks += 1
+        self.lru.discard(obj)
+
+    # -- bookkeeping ----------------------------------------------------------------------
+
+    def on_kernel_finish(self, read: list[MemObject], wrote: list[MemObject]) -> None:
+        for obj in read:
+            self._note_use(obj)
+        for obj in wrote:
+            self._note_use(obj)
+            primary = obj.primary
+            if primary is not None:
+                # A written primary invalidates any linked secondary.
+                self.manager.setdirty(primary, True)
+
+    def check_invariant(self) -> None:
+        """Paper's policy invariant: any fast-memory region is a primary."""
+        if self.fast is None:
+            return
+        for region in self.manager.regions_on(self.fast):
+            if region.parent is not None and not region.is_primary:
+                raise PolicyError(
+                    f"invariant violated: {region!r} in fast memory is secondary"
+                )

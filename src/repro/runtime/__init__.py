@@ -1,0 +1,29 @@
+"""Runtime: GC model, kernel cost model, and the trace executor.
+
+The executor runs one annotated :class:`~repro.workloads.trace.KernelTrace`
+against a memory system — a CachedArrays :class:`~repro.core.Session` or the
+:class:`~repro.twolm.TwoLMSystem` baseline — advancing the virtual clock and
+collecting the telemetry every figure of the paper is built from.
+"""
+
+from repro.runtime.gc import GarbageCollector, GcConfig
+from repro.runtime.kernel import ExecutionParams, KernelTiming
+from repro.runtime.executor import (
+    CachedArraysAdapter,
+    Executor,
+    IterationResult,
+    RunResult,
+    TwoLMAdapter,
+)
+
+__all__ = [
+    "GarbageCollector",
+    "GcConfig",
+    "ExecutionParams",
+    "KernelTiming",
+    "CachedArraysAdapter",
+    "Executor",
+    "IterationResult",
+    "RunResult",
+    "TwoLMAdapter",
+]

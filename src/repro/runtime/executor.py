@@ -1,0 +1,505 @@
+"""Trace executor: runs one workload against either memory system.
+
+The executor walks an annotated :class:`~repro.workloads.trace.KernelTrace`
+event by event, delegating memory behaviour to a *system adapter*:
+
+* :class:`CachedArraysAdapter` — objects placed by a policy over a
+  :class:`~repro.core.Session`; ``will_read``/``will_write`` hints fire per
+  kernel, residency is ensured and pinned, the roofline cost model charges
+  each operand at its device's bandwidth, and policy-driven copies advance
+  the clock under the ``movement`` category.
+* :class:`TwoLMAdapter` — tensors live in a flat NVRAM space behind the
+  hardware DRAM cache; every operand access streams through the cache
+  simulator, which yields both the timing and the Figure 4/5 counters.
+
+Identical traces + identical device models, differing only in the memory
+system — the controlled comparison the paper runs on real hardware.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from repro.core.object import MemObject
+from repro.core.policy_api import AccessIntent
+from repro.core.session import Session
+from repro.errors import OutOfMemoryError, TraceError
+from repro.runtime.gc import GarbageCollector, GcConfig
+from repro.runtime.kernel import ExecutionParams, KernelTiming, kernel_timing
+from repro.sim.clock import SimClock
+from repro.telemetry.counters import TrafficSnapshot
+from repro.telemetry.timeline import Timeline
+from repro.twolm.dramcache import CacheStats
+from repro.twolm.system import TwoLMSystem
+from repro.workloads.trace import (
+    Alloc,
+    Archive,
+    GcDefer,
+    IterEnd,
+    Kernel,
+    KernelTrace,
+    Retire,
+    TensorSpec,
+    WillRead,
+    WillWrite,
+)
+
+__all__ = [
+    "SystemAdapter",
+    "CachedArraysAdapter",
+    "TwoLMAdapter",
+    "Executor",
+    "IterationResult",
+    "RunResult",
+]
+
+KERNEL = "kernel"
+MOVEMENT = "movement"
+MOVEMENT_WAIT = "movement_wait"  # async mode: stalls on in-flight copies
+GC = "gc"
+
+
+class SystemAdapter(abc.ABC):
+    """What the executor needs from a memory system."""
+
+    clock: SimClock
+
+    @abc.abstractmethod
+    def alloc(self, spec: TensorSpec) -> None: ...
+
+    @abc.abstractmethod
+    def exists(self, name: str) -> bool: ...
+
+    @abc.abstractmethod
+    def release(self, name: str) -> None: ...
+
+    @abc.abstractmethod
+    def kernel(self, kernel: Kernel, trace: KernelTrace) -> KernelTiming: ...
+
+    @abc.abstractmethod
+    def archive(self, name: str) -> None: ...
+
+    def hint_read(self, name: str) -> None:
+        """Explicit early will_read (lookahead annotation); default no-op."""
+
+    def hint_write(self, name: str) -> None:
+        """Explicit early will_write; default no-op."""
+
+    @abc.abstractmethod
+    def occupancy(self) -> dict[str, int]: ...
+
+    @abc.abstractmethod
+    def traffic(self) -> dict[str, TrafficSnapshot]: ...
+
+    @abc.abstractmethod
+    def live_count(self) -> int: ...
+
+    def cache_stats(self) -> CacheStats | None:
+        return None
+
+    def iteration_end(self) -> None:
+        """Between-iteration housekeeping (defragmentation for CA)."""
+
+    def policy_stats(self) -> dict[str, int]:
+        return {}
+
+
+class CachedArraysAdapter(SystemAdapter):
+    """Run traces on a CachedArrays session (any policy)."""
+
+    def __init__(self, session: Session, params: ExecutionParams) -> None:
+        self.session = session
+        self.params = params
+        self.clock = session.clock
+        self.objects: dict[str, MemObject] = {}
+
+    def alloc(self, spec: TensorSpec) -> None:
+        obj = self.session.manager.new_object(spec.nbytes, spec.name)
+        self.session.policy.place(obj)
+        self.objects[spec.name] = obj
+
+    def exists(self, name: str) -> bool:
+        return name in self.objects
+
+    def release(self, name: str) -> None:
+        obj = self.objects.pop(name)
+        self.session.policy.retire(obj)
+
+    def archive(self, name: str) -> None:
+        self.session.policy.archive(self.objects[name])
+
+    def hint_read(self, name: str) -> None:
+        self.session.policy.will_read(self.objects[name])
+
+    def hint_write(self, name: str) -> None:
+        self.session.policy.will_write(self.objects[name])
+
+    def kernel(self, kernel: Kernel, trace: KernelTrace) -> KernelTiming:
+        policy = self.session.policy
+        read_objs = [self.objects[name] for name in kernel.reads]
+        write_objs = [self.objects[name] for name in kernel.writes]
+        if kernel.hinted:
+            for obj in read_objs:
+                policy.will_read(obj)
+            for obj in write_objs:
+                policy.will_write(obj)
+        pinned: list[MemObject] = []
+        # Residency is resolved once per unique object (write intent wins
+        # for read+write operands) and pinned immediately, so no later
+        # ensure can evict an operand that is already placed.
+        intents: dict[int, tuple[MemObject, AccessIntent]] = {}
+        for obj in read_objs:
+            intents[obj.id] = (obj, AccessIntent.READ)
+        for obj in write_objs:
+            intents[obj.id] = (obj, AccessIntent.WRITE)
+        try:
+            for obj, intent in intents.values():
+                policy.ensure_resident(obj, intent)
+                obj.pin()
+                pinned.append(obj)
+            # Asynchronous movement: the kernel cannot start until every
+            # operand's in-flight copy has completed.
+            ready_at = max(
+                (obj.primary.ready_at for obj in pinned if obj.primary), default=0.0
+            )
+            if ready_at > self.clock.now:
+                self.clock.advance(ready_at - self.clock.now, MOVEMENT_WAIT)
+            reads: list[tuple] = []
+            writes: list[tuple] = []
+            for obj in read_objs:
+                primary = obj.primary
+                assert primary is not None
+                nbytes = int(obj.size * kernel.read_factor)
+                primary.heap.traffic.record_read(nbytes)
+                reads.append((primary.heap.device, nbytes))
+            for obj in write_objs:
+                primary = obj.primary
+                assert primary is not None
+                nbytes = int(obj.size * kernel.write_factor)
+                primary.heap.traffic.record_write(nbytes)
+                writes.append((primary.heap.device, nbytes))
+            timing = kernel_timing(
+                kernel.flops,
+                reads,
+                writes,
+                self.params,
+                read_sensitivity=kernel.read_sensitivity,
+            )
+        finally:
+            for obj in pinned:
+                obj.unpin()
+        policy.on_kernel_finish(read_objs, write_objs)
+        return timing
+
+    def occupancy(self) -> dict[str, int]:
+        return self.session.occupancy()
+
+    def traffic(self) -> dict[str, TrafficSnapshot]:
+        return self.session.traffic()
+
+    def live_count(self) -> int:
+        return len(self.objects)
+
+    def iteration_end(self) -> None:
+        # Drain the DMA channel: an iteration is not over until its queued
+        # evictions/prefetches have landed.
+        drain = self.session.engine.drain_wait()
+        if drain > 0:
+            self.clock.advance(drain, MOVEMENT_WAIT)
+        self.session.defragment()
+        self.session.policy.on_iteration_end()
+
+    def policy_stats(self) -> dict[str, int]:
+        stats = getattr(self.session.policy, "stats", None)
+        return stats.as_dict() if stats is not None else {}
+
+
+class TwoLMAdapter(SystemAdapter):
+    """Run traces on the Memory-Mode (hardware DRAM cache) baseline."""
+
+    def __init__(self, system: TwoLMSystem, params: ExecutionParams) -> None:
+        self.system = system
+        self.params = params
+        self.clock = SimClock()
+        self.offsets: dict[str, int] = {}
+        self.sizes: dict[str, int] = {}
+
+    def alloc(self, spec: TensorSpec) -> None:
+        self.offsets[spec.name] = self.system.allocate(spec.nbytes)
+        self.sizes[spec.name] = spec.nbytes
+
+    def exists(self, name: str) -> bool:
+        return name in self.offsets
+
+    def release(self, name: str) -> None:
+        self.system.free(self.offsets.pop(name))
+        del self.sizes[name]
+
+    def archive(self, name: str) -> None:
+        """Hardware caches receive no semantic hints — deliberately a no-op."""
+
+    def _access_scaled(self, name: str, factor: float, *, is_write: bool):
+        """Stream over a tensor ``factor`` times (fractional tail allowed)."""
+        offset, size = self.offsets[name], self.sizes[name]
+        results = []
+        remaining = factor
+        while remaining > 1e-9:
+            part = min(remaining, 1.0)
+            nbytes = max(self.system.cache.line_size, int(size * part))
+            nbytes = min(nbytes, size)
+            results.append(self.system.access(offset, nbytes, is_write=is_write))
+            remaining -= part
+        return results
+
+    def kernel(self, kernel: Kernel, trace: KernelTrace) -> KernelTiming:
+        dram_time = 0.0
+        nvram_time = 0.0
+        for name in kernel.reads:
+            for result in self._access_scaled(
+                name, kernel.read_factor, is_write=False
+            ):
+                dram, nvram = self.system.time_of(result)
+                # Demand fills on reads overlap like DRAM traffic for
+                # read-insensitive kernels (hardware MLP), mirroring the CA
+                # path so the two systems stay comparable.
+                dram_time += dram + nvram * (1.0 - kernel.read_sensitivity)
+                nvram_time += nvram * kernel.read_sensitivity
+        for name in kernel.writes:
+            for result in self._access_scaled(
+                name, kernel.write_factor, is_write=True
+            ):
+                dram, nvram = self.system.time_of(result)
+                dram_time += dram
+                nvram_time += nvram
+        compute = self.params.launch_overhead + (
+            kernel.flops / self.params.peak_flops if kernel.flops else 0.0
+        )
+        return KernelTiming(compute=compute, dram=dram_time, nvram=nvram_time)
+
+    def occupancy(self) -> dict[str, int]:
+        return {self.system.nvram.name: self.system.used_bytes}
+
+    def traffic(self) -> dict[str, TrafficSnapshot]:
+        return {
+            self.system.dram.name: self.system.dram_traffic.snapshot(),
+            self.system.nvram.name: self.system.nvram_traffic.snapshot(),
+        }
+
+    def live_count(self) -> int:
+        return len(self.offsets)
+
+    def cache_stats(self) -> CacheStats | None:
+        return self.system.cache_stats()
+
+
+@dataclass
+class IterationResult:
+    """Everything the paper measures for one training iteration."""
+
+    index: int
+    seconds: float
+    start_time: float
+    end_time: float
+    compute_seconds: float
+    kernel_memory_seconds: float
+    movement_seconds: float
+    gc_seconds: float
+    gc_collections: int
+    traffic: dict[str, TrafficSnapshot]
+    cache: CacheStats | None
+    peak_occupancy: dict[str, int]
+    policy_stats: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def projected_async_seconds(self) -> float:
+        """Figure 7's 'perfectly asynchronous movement' projection: all
+        synchronous copy time overlapped away."""
+        return max(self.seconds - self.movement_seconds, self.compute_seconds)
+
+    def traffic_gb(self, device: str) -> tuple[float, float]:
+        snap = self.traffic[device]
+        return snap.read_bytes / 1e9, snap.write_bytes / 1e9
+
+
+@dataclass
+class RunResult:
+    """A full multi-iteration run plus its occupancy timelines."""
+
+    trace_name: str
+    iterations: list[IterationResult]
+    occupancy_timeline: dict[str, Timeline]
+
+    def steady_state(self) -> IterationResult:
+        """The last iteration — warmup (first-touch allocation of weights,
+        cold caches) has settled, matching the paper's check that per-
+        iteration behaviour is consistent."""
+        return self.iterations[-1]
+
+    def mean_seconds(self, *, skip_first: bool = True) -> float:
+        iters = self.iterations[1:] if skip_first and len(self.iterations) > 1 \
+            else self.iterations
+        return sum(i.seconds for i in iters) / len(iters)
+
+    def iteration_variance(self) -> float:
+        """Coefficient of variation of post-warmup iteration times.
+
+        The paper runs each model "for four iterations and performance
+        metrics were checked to ensure that behavior for each iteration was
+        consistent" — this is that check. Returns 0.0 with fewer than two
+        post-warmup iterations.
+        """
+        tail = [it.seconds for it in self.iterations[1:]]
+        if len(tail) < 2:
+            return 0.0
+        mean = sum(tail) / len(tail)
+        if mean == 0:
+            return 0.0
+        variance = sum((t - mean) ** 2 for t in tail) / len(tail)
+        return variance**0.5 / mean
+
+
+class Executor:
+    """Walks annotated traces over a system adapter, collecting telemetry."""
+
+    def __init__(
+        self,
+        adapter: SystemAdapter,
+        *,
+        gc_config: GcConfig | None = None,
+        sample_timeline: bool = True,
+    ) -> None:
+        self.adapter = adapter
+        self.gc = GarbageCollector(
+            gc_config or GcConfig(),
+            release=adapter.release,
+            live_objects=adapter.live_count,
+        )
+        self.sample_timeline = sample_timeline
+        self._timelines: dict[str, Timeline] = {}
+
+    # -- event handlers -------------------------------------------------------
+
+    def _alloc(self, spec: TensorSpec) -> None:
+        if spec.persistent and self.adapter.exists(spec.name):
+            return
+        if self.gc.should_collect():
+            self._collect()
+        try:
+            self.adapter.alloc(spec)
+        except OutOfMemoryError:
+            # Emergency collection under pressure, then one retry.
+            if self.gc.deferred_count == 0:
+                raise
+            self._collect()
+            self.adapter.alloc(spec)
+        self.gc.on_alloc(spec.nbytes)
+
+    def _collect(self) -> None:
+        pause = self.gc.collect()
+        self.adapter.clock.advance(pause, GC)
+
+    def _sample(self, label: str = "") -> None:
+        if not self.sample_timeline:
+            return
+        now = self.adapter.clock.now
+        occupancy = self.adapter.occupancy()
+        total = 0
+        for device, used in occupancy.items():
+            self._timelines.setdefault(device, Timeline(device)).record(
+                now, used, label
+            )
+            total += used
+        self._timelines.setdefault("total", Timeline("total")).record(
+            now, total, label
+        )
+        # Cumulative traffic per device: windowed differencing turns these
+        # into utilisation-over-time series (telemetry.stats.windowed_rate).
+        for device, snap in self.adapter.traffic().items():
+            key = f"traffic:{device}"
+            self._timelines.setdefault(key, Timeline(key)).record(
+                now, snap.total_bytes, label
+            )
+
+    # -- the run loop -------------------------------------------------------------
+
+    def run(self, trace: KernelTrace, iterations: int = 1) -> RunResult:
+        """Execute ``iterations`` repetitions of the (annotated) trace."""
+        if iterations < 1:
+            raise TraceError(f"need at least one iteration, got {iterations}")
+        results: list[IterationResult] = []
+        clock = self.adapter.clock
+        for index in range(iterations):
+            checkpoint = clock.checkpoint()
+            start_traffic = self.adapter.traffic()
+            start_cache = self.adapter.cache_stats()
+            start_collections = self.gc.collections
+            compute = 0.0
+            kernel_memory = 0.0
+            peak: dict[str, int] = {}
+            saw_iter_end = False
+            self._sample("iteration-start")
+            for event in trace.events:
+                if isinstance(event, Alloc):
+                    self._alloc(trace.tensor(event.tensor))
+                elif isinstance(event, Kernel):
+                    timing = self.adapter.kernel(event, trace)
+                    clock.advance(timing.total, KERNEL)
+                    compute += timing.compute
+                    kernel_memory += timing.memory
+                    self._sample()
+                elif isinstance(event, Retire):
+                    self.adapter.release(event.tensor)
+                    self._sample()
+                elif isinstance(event, GcDefer):
+                    self.gc.defer(event.tensor)
+                elif isinstance(event, Archive):
+                    self.adapter.archive(event.tensor)
+                elif isinstance(event, WillRead):
+                    self.adapter.hint_read(event.tensor)
+                elif isinstance(event, WillWrite):
+                    self.adapter.hint_write(event.tensor)
+                elif isinstance(event, IterEnd):
+                    saw_iter_end = True
+                for device, used in self.adapter.occupancy().items():
+                    if used > peak.get(device, 0):
+                        peak[device] = used
+            if not saw_iter_end:
+                raise TraceError(f"trace {trace.name!r} lacks an IterEnd event")
+            # Paper: "After each training iteration ... the GC was invoked";
+            # heaps are then defragmented before the next run.
+            self._collect()
+            self.adapter.iteration_end()
+            self._sample("iteration-end")
+            delta = clock.since(checkpoint)
+            end_traffic = self.adapter.traffic()
+            end_cache = self.adapter.cache_stats()
+            results.append(
+                IterationResult(
+                    index=index,
+                    seconds=delta.elapsed,
+                    start_time=checkpoint.now,
+                    end_time=clock.now,
+                    compute_seconds=compute,
+                    kernel_memory_seconds=kernel_memory,
+                    movement_seconds=delta.of(MOVEMENT) + delta.of(MOVEMENT_WAIT),
+                    gc_seconds=delta.of(GC),
+                    gc_collections=self.gc.collections - start_collections,
+                    traffic={
+                        device: end_traffic[device] - start_traffic[device]
+                        for device in end_traffic
+                    },
+                    cache=(
+                        end_cache - start_cache
+                        if end_cache is not None and start_cache is not None
+                        else None
+                    ),
+                    peak_occupancy=peak,
+                    policy_stats=self.adapter.policy_stats(),
+                )
+            )
+        return RunResult(
+            trace_name=trace.name,
+            iterations=results,
+            occupancy_timeline=dict(self._timelines),
+        )

@@ -1,0 +1,89 @@
+"""A Julia-style garbage collector model.
+
+The paper's non-**M** modes rely on the language runtime's GC to reclaim
+dead tensors: "Disabling this optimization means we need to rely on the GC
+for resource management which involves explicitly triggering collection when
+memory pressure is detected" (Section IV). The observable consequences the
+model must reproduce (Figure 3):
+
+* heap occupancy grows monotonically between collections — dead data stays
+  resident (and, in 2LM, dirty in the DRAM cache);
+* a collection is triggered by allocation volume (Julia's heuristic is
+  allocation-count/volume based) or explicitly at iteration end;
+* collections have a pause cost proportional to the number of live objects
+  (mark phase) plus a fixed sweep overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.units import GB
+
+__all__ = ["GcConfig", "GarbageCollector"]
+
+
+@dataclass(frozen=True)
+class GcConfig:
+    """Collector tuning.
+
+    ``trigger_bytes`` is the allocation volume between automatic
+    collections; the paper-scale experiments set it relative to the model
+    footprint so the unoptimised runs collect roughly once mid-iteration,
+    matching the single cliff in Figure 3.
+    """
+
+    trigger_bytes: int = 400 * GB
+    pause_per_object: float = 2e-6
+    base_pause: float = 0.05
+
+
+class GarbageCollector:
+    """Deferred-free collector over trace tensors."""
+
+    def __init__(
+        self,
+        config: GcConfig,
+        release: Callable[[str], None],
+        live_objects: Callable[[], int],
+    ) -> None:
+        self.config = config
+        self._release = release
+        self._live_objects = live_objects
+        self._deferred: list[str] = []
+        self._allocated_since_collect = 0
+        self.collections = 0
+        self.reclaimed_objects = 0
+        self.total_pause = 0.0
+
+    @property
+    def deferred_count(self) -> int:
+        return len(self._deferred)
+
+    def defer(self, tensor: str) -> None:
+        """Mark a tensor dead; it stays resident until the next collection."""
+        self._deferred.append(tensor)
+
+    def on_alloc(self, nbytes: int) -> None:
+        self._allocated_since_collect += nbytes
+
+    def should_collect(self) -> bool:
+        return (
+            self._allocated_since_collect >= self.config.trigger_bytes
+            and self._deferred
+        )
+
+    def collect(self) -> float:
+        """Reclaim everything deferred; returns the modelled pause seconds."""
+        pause = self.config.base_pause + (
+            self.config.pause_per_object * self._live_objects()
+        )
+        for tensor in self._deferred:
+            self._release(tensor)
+        self.reclaimed_objects += len(self._deferred)
+        self._deferred.clear()
+        self._allocated_since_collect = 0
+        self.collections += 1
+        self.total_pause += pause
+        return pause

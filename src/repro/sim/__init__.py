@@ -1,0 +1,28 @@
+"""Simulation substrate: virtual time and device bandwidth models.
+
+The paper evaluates on a real Cascade Lake machine with Optane DC NVRAM; we do
+not have that hardware (see DESIGN.md §2), so this subpackage provides the
+deterministic simulation core every experiment runs on: a virtual
+:class:`~repro.sim.clock.SimClock` and bandwidth models parameterised from the
+published Optane characterisations the paper cites ([4], [6]).
+"""
+
+from repro.sim.clock import SimClock
+from repro.sim.bandwidth import (
+    BandwidthModel,
+    ConstantBandwidth,
+    ParallelismCurveBandwidth,
+    TransferKind,
+    dram_bandwidth_model,
+    optane_bandwidth_model,
+)
+
+__all__ = [
+    "SimClock",
+    "BandwidthModel",
+    "ConstantBandwidth",
+    "ParallelismCurveBandwidth",
+    "TransferKind",
+    "dram_bandwidth_model",
+    "optane_bandwidth_model",
+]

@@ -1,0 +1,79 @@
+"""A deterministic virtual clock for the memory-system simulation.
+
+All experiment times in this reproduction are *virtual*: kernel execution and
+data movement advance the clock by modelled durations, so results are exactly
+reproducible and independent of the host machine. The clock also keeps
+per-category busy accounting (compute vs. data movement), which Figure 7's
+"perfectly asynchronous movement" projection needs: the projected runtime is
+``compute + max(0, movement - compute)`` per overlap window, which we bound
+with the recorded totals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["SimClock"]
+
+
+@dataclass
+class SimClock:
+    """Monotonic virtual clock with per-category busy-time accounting."""
+
+    now: float = 0.0
+    _busy: dict[str, float] = field(default_factory=dict)
+
+    def advance(self, seconds: float, category: str = "other") -> float:
+        """Advance the clock by ``seconds`` attributed to ``category``.
+
+        Returns the new time. Negative durations are a programming error.
+        """
+        if seconds < 0:
+            raise ValueError(f"cannot advance clock by {seconds} s")
+        self.now += seconds
+        self._busy[category] = self._busy.get(category, 0.0) + seconds
+        return self.now
+
+    def busy(self, category: str) -> float:
+        """Total virtual time attributed to ``category`` so far."""
+        return self._busy.get(category, 0.0)
+
+    def categories(self) -> dict[str, float]:
+        """A copy of the per-category busy-time map."""
+        return dict(self._busy)
+
+    def checkpoint(self) -> "ClockCheckpoint":
+        """Snapshot for computing deltas over a window (e.g. one iteration)."""
+        return ClockCheckpoint(now=self.now, busy=dict(self._busy))
+
+    def since(self, checkpoint: "ClockCheckpoint") -> "ClockDelta":
+        """Elapsed time and per-category busy deltas since ``checkpoint``."""
+        busy = {
+            key: self._busy.get(key, 0.0) - checkpoint.busy.get(key, 0.0)
+            for key in set(self._busy) | set(checkpoint.busy)
+        }
+        return ClockDelta(elapsed=self.now - checkpoint.now, busy=busy)
+
+    def reset(self) -> None:
+        """Rewind to time zero and clear accounting (between experiments)."""
+        self.now = 0.0
+        self._busy.clear()
+
+
+@dataclass(frozen=True)
+class ClockCheckpoint:
+    """Immutable snapshot of a :class:`SimClock`."""
+
+    now: float
+    busy: dict[str, float]
+
+
+@dataclass(frozen=True)
+class ClockDelta:
+    """Elapsed wall time and per-category busy time over a window."""
+
+    elapsed: float
+    busy: dict[str, float]
+
+    def of(self, category: str) -> float:
+        return self.busy.get(category, 0.0)

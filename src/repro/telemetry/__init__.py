@@ -1,0 +1,20 @@
+"""Telemetry: the software analogue of the paper's hardware counters.
+
+The paper reads CPU performance counters to capture DRAM/NVRAM read and write
+traffic (Figure 5), DRAM-cache tag statistics (Figure 4), bus utilisation
+(Figure 6), and resident-heap timelines (Figure 3). This subpackage provides
+the equivalent instrumentation for the simulated memory system.
+"""
+
+from repro.telemetry.counters import TrafficCounters, TrafficSnapshot
+from repro.telemetry.timeline import Timeline, TimelineSample
+from repro.telemetry.stats import BusUtilization, summarize_series
+
+__all__ = [
+    "TrafficCounters",
+    "TrafficSnapshot",
+    "Timeline",
+    "TimelineSample",
+    "BusUtilization",
+    "summarize_series",
+]

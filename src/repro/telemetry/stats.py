@@ -1,0 +1,100 @@
+"""Derived statistics: bus utilisation and simple series summaries.
+
+Figure 6 reports the *average utilisation of the DRAM bus* over one training
+iteration: bytes actually moved divided by what the bus could have moved in
+the elapsed window. :class:`BusUtilization` computes that from a traffic
+snapshot delta, the window length, and the device's peak bandwidth.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.telemetry.counters import TrafficSnapshot
+
+__all__ = ["BusUtilization", "summarize_series", "windowed_rate"]
+
+
+@dataclass(frozen=True)
+class BusUtilization:
+    """Average fraction of a device bus's peak bandwidth actually used."""
+
+    device: str
+    utilization: float  # in [0, 1] (may exceed 1 if the model is mis-set)
+    bytes_moved: int
+    window: float
+
+    @classmethod
+    def from_traffic(
+        cls,
+        traffic: TrafficSnapshot,
+        window_seconds: float,
+        peak_bandwidth: float,
+    ) -> "BusUtilization":
+        if window_seconds <= 0:
+            raise ValueError(f"window must be positive, got {window_seconds}")
+        if peak_bandwidth <= 0:
+            raise ValueError(f"peak bandwidth must be positive, got {peak_bandwidth}")
+        moved = traffic.total_bytes
+        return cls(
+            device=traffic.device,
+            utilization=moved / (window_seconds * peak_bandwidth),
+            bytes_moved=moved,
+            window=window_seconds,
+        )
+
+    def __str__(self) -> str:
+        return f"{self.device} bus: {100.0 * self.utilization:.1f}% avg utilisation"
+
+
+@dataclass(frozen=True)
+class SeriesSummary:
+    """Mean/min/max/std of a numeric series (population std)."""
+
+    count: int
+    mean: float
+    minimum: float
+    maximum: float
+    std: float
+
+
+def summarize_series(values: list[float]) -> SeriesSummary:
+    """Summarise a series; raises on empty input to catch silent no-data bugs."""
+    if not values:
+        raise ValueError("cannot summarise an empty series")
+    count = len(values)
+    mean = sum(values) / count
+    variance = sum((v - mean) ** 2 for v in values) / count
+    return SeriesSummary(
+        count=count,
+        mean=mean,
+        minimum=min(values),
+        maximum=max(values),
+        std=math.sqrt(variance),
+    )
+
+
+def windowed_rate(cumulative: "Timeline", window: float) -> "Timeline":
+    """Differentiate a cumulative-bytes timeline into a rate series (B/s).
+
+    Produces one sample per input sample (from the second onward): the
+    average rate over the trailing ``window`` seconds. Feeding the result's
+    values through ``value / peak_bandwidth`` yields utilisation-over-time —
+    the time-resolved version of Figure 6.
+    """
+    from repro.telemetry.timeline import Timeline
+
+    if window <= 0:
+        raise ValueError(f"window must be positive, got {window}")
+    out = Timeline(f"{cumulative.name}/rate")
+    times = cumulative.times()
+    values = cumulative.values()
+    for i in range(1, len(times)):
+        start_time = times[i] - window
+        start_value = cumulative.value_at(start_time)
+        span = times[i] - max(start_time, times[0])
+        if span <= 0:
+            continue
+        out.record(times[i], (values[i] - start_value) / span)
+    return out

@@ -1,0 +1,53 @@
+"""Workloads: kernel traces, hint annotation, and synthetic generators.
+
+The paper's workloads follow the kernel programming model (Section III-C):
+long-running kernels reading and writing large tensors, with allocation and
+semantic-death points known to the runtime. A
+:class:`~repro.workloads.trace.KernelTrace` captures exactly that — one
+training iteration as a validated event stream — and
+:mod:`repro.workloads.annotate` rewrites it per operating mode (eager
+``retire`` versus GC-deferred frees, ``archive`` insertion per Section
+III-E). The same annotated trace is executed against CachedArrays sessions
+and the 2LM baseline, so mode comparisons differ only in the memory system.
+"""
+
+from repro.workloads.trace import (
+    Alloc,
+    Archive,
+    Free,
+    GcDefer,
+    IterEnd,
+    Kernel,
+    KernelTrace,
+    Retire,
+    TensorSpec,
+)
+from repro.workloads.annotate import annotate
+from repro.workloads.serialize import load_trace, save_trace, trace_from_dict, trace_to_dict
+from repro.workloads.synthetic import (
+    filo_stack_trace,
+    random_reuse_trace,
+    shifting_reuse_trace,
+    streaming_trace,
+)
+
+__all__ = [
+    "Alloc",
+    "Archive",
+    "Free",
+    "GcDefer",
+    "IterEnd",
+    "Kernel",
+    "KernelTrace",
+    "Retire",
+    "TensorSpec",
+    "annotate",
+    "load_trace",
+    "save_trace",
+    "trace_from_dict",
+    "trace_to_dict",
+    "filo_stack_trace",
+    "random_reuse_trace",
+    "shifting_reuse_trace",
+    "streaming_trace",
+]

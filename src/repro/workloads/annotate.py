@@ -1,0 +1,122 @@
+"""Hint-annotation pass: from semantic lifetimes to per-mode traces.
+
+The paper inserts hints while compiling the model with Zygote (Section IV);
+here the equivalent pass rewrites a raw kernel trace:
+
+* **M on** (memory optimisations): every ``Free`` — the semantic death point
+  — becomes an eager ``Retire``. "We retire arrays as soon as possible
+  rather than relying solely on Julia's garbage collector."
+* **M off**: ``Free`` becomes ``GcDefer`` — the tensor is dead but memory is
+  reclaimed only when the collector runs, keeping the data alive longer than
+  necessary (and forcing NVRAM writebacks of dead bytes when it is evicted).
+* **archive** (Section III-E): "following kernel execution on the forward
+  pass, archive is called on the weights, bias, and previous activations" —
+  after each forward kernel, its read operands get an ``Archive`` hint
+  (unless the very next event already frees them).
+
+``will_read``/``will_write`` hints are issued per kernel by the executor
+(they are positionally determined: immediately before the kernel), so they
+do not appear as trace events.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.trace import (
+    Alloc,
+    Archive,
+    Event,
+    Free,
+    GcDefer,
+    Kernel,
+    KernelTrace,
+    Retire,
+    WillRead,
+)
+
+__all__ = ["annotate"]
+
+
+def annotate(
+    trace: KernelTrace,
+    *,
+    memopt: bool,
+    archive_hints: bool = True,
+    lookahead: int = 0,
+) -> KernelTrace:
+    """Rewrite a raw trace for one operating mode. Validates the input.
+
+    ``lookahead > 0`` additionally emits explicit ``WillRead`` hints
+    ``lookahead`` kernels ahead of each kernel's read set (never earlier
+    than the operand's allocation). With a prefetching policy and an
+    asynchronous copy engine, this is what lets data movement overlap with
+    compute — the paper's Section VI / Figure 7 projection.
+    """
+    trace.validate()
+    events: list[Event] = []
+    freed_next: set[str] = set()
+    raw = trace.events
+    for index, event in enumerate(raw):
+        if isinstance(event, Free):
+            events.append(
+                Retire(event.tensor) if memopt else GcDefer(event.tensor)
+            )
+            continue
+        events.append(event)
+        if archive_hints and isinstance(event, Kernel) and event.phase == "forward":
+            freed_next.clear()
+            # Look ahead past this kernel for immediate frees: archiving a
+            # tensor that dies right away would be pure hint noise.
+            for successor in raw[index + 1 : index + 1 + len(event.reads)]:
+                if isinstance(successor, Free):
+                    freed_next.add(successor.tensor)
+            for name in event.reads:
+                if name not in freed_next:
+                    events.append(Archive(name))
+    if lookahead > 0:
+        events = _insert_lookahead_hints(events, lookahead)
+    suffix = f"{'M' if memopt else 'gc'}{'A' if archive_hints else ''}"
+    if lookahead:
+        suffix += f"+la{lookahead}"
+    annotated = trace.with_events(events, suffix)
+    annotated.validate()
+    return annotated
+
+
+def _insert_lookahead_hints(events: list[Event], lookahead: int) -> list[Event]:
+    """Emit ``WillRead(t)`` ``lookahead`` kernels before each read of ``t``.
+
+    Hints are clamped to after the operand's allocation and deduplicated
+    per (tensor, insertion slot).
+    """
+    kernel_positions = [
+        index for index, event in enumerate(events) if isinstance(event, Kernel)
+    ]
+    alloc_position: dict[str, int] = {}
+    for index, event in enumerate(events):
+        if isinstance(event, Alloc) and event.tensor not in alloc_position:
+            alloc_position[event.tensor] = index
+    # hints[i] = names to announce just before event index i
+    hints: dict[int, list[str]] = {}
+    emitted: set[tuple[int, str]] = set()
+    for kernel_number, position in enumerate(kernel_positions):
+        kernel = events[position]
+        assert isinstance(kernel, Kernel)
+        target_number = kernel_number - lookahead
+        if target_number < 0:
+            slot = kernel_positions[0]
+        else:
+            slot = kernel_positions[target_number]
+        for name in kernel.reads:
+            at = max(slot, alloc_position.get(name, 0) + 1)
+            if at >= position:  # no room ahead of the kernel itself
+                continue
+            key = (at, name)
+            if key not in emitted:
+                emitted.add(key)
+                hints.setdefault(at, []).append(name)
+    out: list[Event] = []
+    for index, event in enumerate(events):
+        for name in hints.get(index, ()):
+            out.append(WillRead(name))
+        out.append(event)
+    return out

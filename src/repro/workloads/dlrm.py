@@ -1,0 +1,313 @@
+"""A DLRM-style recommendation-model workload (Hildebrand et al. [15]).
+
+The paper's outlook leans on the authors' DLRM study: huge, sparsely
+accessed embedding tables whose locality shifts with user input — the case
+where "the policy must be flexible enough to adapt to the workload".
+
+Structure per training iteration:
+
+* **embedding lookups** — each table is partitioned into ``chunks_per_table``
+  persistent chunk tensors; a batch reads a seeded, Zipf-skewed subset of
+  chunks per table (hot rows cluster in hot chunks, as row-reordered
+  production tables do);
+* **bottom MLP** over the dense features;
+* **interaction** (concat + pairwise dot) joining embeddings and dense path;
+* **top MLP** to the click-probability logit;
+* backward + SGD on the touched chunks and MLP weights only — untouched
+  chunks are pure capacity, exactly like cold MoE experts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.workloads.trace import (
+    Alloc,
+    Free,
+    IterEnd,
+    Kernel,
+    KernelTrace,
+    TensorSpec,
+)
+
+__all__ = ["dlrm_trace"]
+
+
+def dlrm_trace(
+    *,
+    tables: int = 8,
+    chunks_per_table: int = 32,
+    chunk_bytes: int = 1 << 20,
+    lookups_per_table: int = 4,
+    batch: int = 2048,
+    dense_dim: int = 256,
+    mlp_hidden: int = 512,
+    zipf_exponent: float = 1.1,
+    batches: int = 1,
+    full_scan_every: int = 0,
+    seed: int = 0,
+    name: str = "DLRM",
+) -> KernelTrace:
+    """One DLRM training iteration (``batches`` minibatches) as a trace.
+
+    Real recommendation training draws *fresh* lookup indices every
+    minibatch; ``batches > 1`` concatenates several minibatches with
+    independently drawn (but same-Zipf) chunk selections, so recency-only
+    policies face genuinely shifting access sets within an iteration.
+
+    ``full_scan_every = N`` inserts a full-table scan after every Nth
+    minibatch — an eval/checkpoint pass touching every chunk once. Scans are
+    the classic LRU poison: they make cold capacity look recently used,
+    which is exactly where frequency-aware policies earn their keep.
+    """
+    if tables < 1 or chunks_per_table < 1:
+        raise ConfigurationError("need at least one table and one chunk")
+    if batches < 1:
+        raise ConfigurationError(f"batches must be >= 1, got {batches}")
+    if not 1 <= lookups_per_table <= chunks_per_table:
+        raise ConfigurationError(
+            f"lookups_per_table must be in [1, {chunks_per_table}]"
+        )
+    rng = np.random.default_rng(seed)
+    trace = KernelTrace(name=name)
+    dtype_bytes = 4
+
+    # --- persistent state: embedding chunks + MLP weights + their grads ---
+    for table in range(tables):
+        for chunk in range(chunks_per_table):
+            trace.add_tensor(
+                TensorSpec(
+                    f"emb_t{table}_c{chunk}",
+                    chunk_bytes,
+                    kind="state",
+                    persistent=True,
+                )
+            )
+            trace.append(Alloc(f"emb_t{table}_c{chunk}"))
+    mlp_weights = []
+    for label, rows, cols in (
+        ("w_bot0", mlp_hidden, dense_dim),
+        ("w_bot1", dense_dim, mlp_hidden),
+        ("w_top0", mlp_hidden, dense_dim * 2),
+        ("w_top1", 1, mlp_hidden),
+    ):
+        nbytes = rows * cols * dtype_bytes
+        trace.add_tensor(TensorSpec(label, nbytes, kind="weight", persistent=True))
+        trace.add_tensor(
+            TensorSpec(f"grad({label})", nbytes, kind="gradient", persistent=True)
+        )
+        trace.append(Alloc(label))
+        trace.append(Alloc(f"grad({label})"))
+        mlp_weights.append((label, nbytes, rows * cols))
+
+    ranks = np.arange(1, chunks_per_table + 1, dtype=np.float64)
+    popularity = ranks**-zipf_exponent
+    popularity /= popularity.sum()
+
+    def activation(label: str, nbytes: int) -> str:
+        trace.add_tensor(TensorSpec(label, nbytes, kind="activation"))
+        trace.append(Alloc(label))
+        return label
+
+    for b in range(batches):
+        touched: list[str] = []
+        dense_bytes = batch * dense_dim * dtype_bytes
+
+        # --- forward ---
+        dense_in = activation(f"dense_in_b{b}", dense_bytes)
+        bot_h = activation(f"bot_hidden_b{b}", batch * mlp_hidden * dtype_bytes)
+        trace.append(
+            Kernel(
+                f"bot_mlp0_b{b}",
+                reads=(dense_in, "w_bot0"),
+                writes=(bot_h,),
+                flops=2.0 * batch * dense_dim * mlp_hidden,
+                phase="forward",
+            )
+        )
+        bot_out = activation(f"bot_out_b{b}", dense_bytes)
+        trace.append(
+            Kernel(
+                f"bot_mlp1_b{b}",
+                reads=(bot_h, "w_bot1"),
+                writes=(bot_out,),
+                flops=2.0 * batch * mlp_hidden * dense_dim,
+                phase="forward",
+            )
+        )
+        pooled: list[str] = []
+        for table in range(tables):
+            chosen = rng.choice(
+                chunks_per_table, size=lookups_per_table, replace=False, p=popularity
+            )
+            chunk_names = tuple(f"emb_t{table}_c{int(c)}" for c in chosen)
+            touched.extend(chunk_names)
+            out = activation(f"pooled_t{table}_b{b}", dense_bytes)
+            pooled.append(out)
+            trace.append(
+                Kernel(
+                    f"lookup_t{table}_b{b}",
+                    reads=chunk_names,
+                    writes=(out,),
+                    flops=float(batch * dense_dim * lookups_per_table),
+                    phase="forward",
+                    # Gathers are latency/bandwidth bound and random: expose them.
+                    read_sensitivity=1.0,
+                )
+            )
+        interact = activation(f"interaction_b{b}", 2 * dense_bytes)
+        trace.append(
+            Kernel(
+                f"interaction_b{b}",
+                reads=tuple(pooled) + (bot_out,),
+                writes=(interact,),
+                flops=2.0 * batch * dense_dim * (tables + 1),
+                phase="forward",
+            )
+        )
+        top_h = activation(f"top_hidden_b{b}", batch * mlp_hidden * dtype_bytes)
+        trace.append(
+            Kernel(
+                f"top_mlp0_b{b}",
+                reads=(interact, "w_top0"),
+                writes=(top_h,),
+                flops=2.0 * batch * 2 * dense_dim * mlp_hidden,
+                phase="forward",
+            )
+        )
+        logit = activation(f"logit_b{b}", batch * dtype_bytes)
+        trace.append(
+            Kernel(
+                f"top_mlp1_b{b}",
+                reads=(top_h, "w_top1"),
+                writes=(logit,),
+                flops=2.0 * batch * mlp_hidden,
+                phase="forward",
+            )
+        )
+
+        # --- backward (reverse order; grads accumulate into persistent buffers) ---
+        glogit = activation(f"grad_logit_b{b}", batch * dtype_bytes)
+        trace.append(
+            Kernel(
+                f"loss_bwd_b{b}", reads=(logit,), writes=(glogit,), flops=5.0 * batch,
+                phase="backward",
+            )
+        )
+        trace.append(Free(logit))
+        gtop_h = activation(f"grad_top_hidden_b{b}", batch * mlp_hidden * dtype_bytes)
+        trace.append(
+            Kernel(
+                f"top_mlp1_bwd_b{b}",
+                reads=(glogit, top_h, "w_top1"),
+                writes=(gtop_h, "grad(w_top1)"),
+                flops=4.0 * batch * mlp_hidden,
+                phase="backward",
+            )
+        )
+        trace.append(Free(glogit))
+        trace.append(Free(top_h))
+        ginteract = activation(f"grad_interaction_b{b}", 2 * dense_bytes)
+        trace.append(
+            Kernel(
+                f"top_mlp0_bwd_b{b}",
+                reads=(gtop_h, interact, "w_top0"),
+                writes=(ginteract, "grad(w_top0)"),
+                flops=4.0 * batch * 2 * dense_dim * mlp_hidden,
+                phase="backward",
+            )
+        )
+        trace.append(Free(gtop_h))
+        trace.append(Free(interact))
+        # Embedding-gradient scatter back into the touched chunks.
+        trace.append(
+            Kernel(
+                f"emb_scatter_b{b}",
+                reads=(ginteract,),
+                writes=tuple(dict.fromkeys(touched)),
+                flops=float(batch * dense_dim * tables),
+                phase="backward",
+            )
+        )
+        gbot = activation(f"grad_bot_out_b{b}", dense_bytes)
+        trace.append(
+            Kernel(
+                f"interaction_bwd_b{b}",
+                reads=(ginteract, bot_out),
+                writes=(gbot,),
+                flops=2.0 * batch * dense_dim * (tables + 1),
+                phase="backward",
+            )
+        )
+        trace.append(Free(ginteract))
+        for p in pooled:
+            trace.append(Free(p))
+        trace.append(Free(bot_out))
+        gbot_h = activation(f"grad_bot_hidden_b{b}", batch * mlp_hidden * dtype_bytes)
+        trace.append(
+            Kernel(
+                f"bot_mlp1_bwd_b{b}",
+                reads=(gbot, bot_h, "w_bot1"),
+                writes=(gbot_h, "grad(w_bot1)"),
+                flops=4.0 * batch * mlp_hidden * dense_dim,
+                phase="backward",
+            )
+        )
+        trace.append(Free(gbot))
+        trace.append(Free(bot_h))
+        trace.append(
+            Kernel(
+                f"bot_mlp0_bwd_b{b}",
+                reads=(gbot_h, dense_in, "w_bot0"),
+                writes=("grad(w_bot0)",),
+                flops=4.0 * batch * dense_dim * mlp_hidden,
+                phase="backward",
+            )
+        )
+        trace.append(Free(gbot_h))
+        trace.append(Free(dense_in))
+
+        # --- updates: MLP weights + only the touched chunks ---
+        for label, nbytes, elements in mlp_weights:
+            trace.append(
+                Kernel(
+                    f"sgd:{label}_b{b}",
+                    reads=(f"grad({label})",),
+                    writes=(label,),
+                    flops=2.0 * elements,
+                    phase="update",
+                )
+            )
+        for chunk_name in dict.fromkeys(touched):
+            trace.append(
+                Kernel(
+                    f"sgd:{chunk_name}_b{b}",
+                    reads=(chunk_name,),
+                    writes=(chunk_name,),
+                    flops=float(chunk_bytes // dtype_bytes),
+                    phase="update",
+                )
+            )
+        if full_scan_every and (b + 1) % full_scan_every == 0:
+            all_chunks = tuple(
+                f"emb_t{t}_c{c}"
+                for t in range(tables)
+                for c in range(chunks_per_table)
+            )
+            scan_out = activation(f"scan_out_b{b}", dense_bytes)
+            trace.append(
+                Kernel(
+                    f"full_scan_b{b}",
+                    reads=all_chunks,
+                    writes=(scan_out,),
+                    flops=float(tables * chunks_per_table * chunk_bytes // dtype_bytes),
+                    phase="forward",
+                    read_sensitivity=0.0,  # a streaming pass, easily overlapped
+                    hinted=False,  # scans carry no will_read: do not prefetch
+                )
+            )
+            trace.append(Free(scan_out))
+    trace.append(IterEnd())
+    trace.validate()
+    return trace

@@ -1,0 +1,143 @@
+"""Trace serialization: kernel traces as portable JSON artifacts.
+
+A downstream user profiling a real application wants to capture its kernel
+trace once and replay it against many policies/platforms. This module gives
+traces a stable, versioned JSON representation with full round-trip fidelity
+(tensors, every event type, kernel attributes), plus iteration-result export
+for the CLI's ``--json`` mode.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Any
+
+from repro.errors import TraceError
+from repro.workloads.trace import (
+    Alloc,
+    Archive,
+    Event,
+    Free,
+    GcDefer,
+    IterEnd,
+    Kernel,
+    KernelTrace,
+    Retire,
+    TensorSpec,
+    WillRead,
+    WillWrite,
+)
+
+__all__ = ["trace_to_dict", "trace_from_dict", "save_trace", "load_trace"]
+
+FORMAT_VERSION = 1
+
+_TENSOR_EVENTS: dict[str, type] = {
+    "alloc": Alloc,
+    "free": Free,
+    "retire": Retire,
+    "gc_defer": GcDefer,
+    "archive": Archive,
+    "will_read": WillRead,
+    "will_write": WillWrite,
+}
+_EVENT_NAMES = {cls: name for name, cls in _TENSOR_EVENTS.items()}
+
+
+def _event_to_dict(event: Event) -> dict[str, Any]:
+    if isinstance(event, Kernel):
+        out: dict[str, Any] = {
+            "type": "kernel",
+            "name": event.name,
+            "reads": list(event.reads),
+            "writes": list(event.writes),
+            "flops": event.flops,
+            "phase": event.phase,
+        }
+        # Keep the common case compact: omit defaulted attributes.
+        if event.read_factor != 1.0:
+            out["read_factor"] = event.read_factor
+        if event.write_factor != 1.0:
+            out["write_factor"] = event.write_factor
+        if event.read_sensitivity != 1.0:
+            out["read_sensitivity"] = event.read_sensitivity
+        if not event.hinted:
+            out["hinted"] = False
+        return out
+    if isinstance(event, IterEnd):
+        return {"type": "iter_end"}
+    name = _EVENT_NAMES.get(type(event))
+    if name is None:
+        raise TraceError(f"cannot serialise event {event!r}")
+    return {"type": name, "tensor": event.tensor}
+
+
+def _event_from_dict(data: dict[str, Any]) -> Event:
+    kind = data.get("type")
+    if kind == "kernel":
+        return Kernel(
+            name=data["name"],
+            reads=tuple(data["reads"]),
+            writes=tuple(data["writes"]),
+            flops=float(data["flops"]),
+            phase=data.get("phase", "forward"),
+            read_factor=float(data.get("read_factor", 1.0)),
+            write_factor=float(data.get("write_factor", 1.0)),
+            read_sensitivity=float(data.get("read_sensitivity", 1.0)),
+            hinted=bool(data.get("hinted", True)),
+        )
+    if kind == "iter_end":
+        return IterEnd()
+    cls = _TENSOR_EVENTS.get(kind or "")
+    if cls is None:
+        raise TraceError(f"unknown event type {kind!r}")
+    return cls(data["tensor"])
+
+
+def trace_to_dict(trace: KernelTrace) -> dict[str, Any]:
+    """A JSON-safe dict capturing the trace exactly."""
+    return {
+        "format": FORMAT_VERSION,
+        "name": trace.name,
+        "tensors": [
+            {
+                "name": spec.name,
+                "nbytes": spec.nbytes,
+                "kind": spec.kind,
+                "persistent": spec.persistent,
+            }
+            for spec in trace.tensors.values()
+        ],
+        "events": [_event_to_dict(event) for event in trace.events],
+    }
+
+
+def trace_from_dict(data: dict[str, Any]) -> KernelTrace:
+    """Rebuild a trace; validates structure and event stream."""
+    version = data.get("format")
+    if version != FORMAT_VERSION:
+        raise TraceError(f"unsupported trace format {version!r}")
+    trace = KernelTrace(name=data.get("name", "trace"))
+    for tensor in data.get("tensors", ()):
+        trace.add_tensor(
+            TensorSpec(
+                name=tensor["name"],
+                nbytes=int(tensor["nbytes"]),
+                kind=tensor.get("kind", "temp"),
+                persistent=bool(tensor.get("persistent", False)),
+            )
+        )
+    for event in data.get("events", ()):
+        trace.append(_event_from_dict(event))
+    trace.validate()
+    return trace
+
+
+def save_trace(trace: KernelTrace, fp: IO[str]) -> None:
+    """Write a trace as JSON to an open text file."""
+    json.dump(trace_to_dict(trace), fp)
+
+
+def load_trace(fp: IO[str]) -> KernelTrace:
+    """Read a trace previously written by :func:`save_trace`."""
+    return trace_from_dict(json.load(fp))

@@ -1,0 +1,228 @@
+"""Synthetic workload generators for tests, micro-benchmarks, and ablations.
+
+Three access-pattern families that stress different parts of the tiering
+machinery:
+
+* :func:`streaming_trace` — produce-consume-free pipeline; minimal reuse,
+  exercises local allocation and eager retirement;
+* :func:`filo_stack_trace` — the CNN-training shape: a forward phase stacks
+  up activations, a backward phase consumes them first-in-last-out;
+* :func:`random_reuse_trace` — a DLRM-ish pattern with seeded random reuse
+  of a working set larger than fast memory, exercising LRU quality.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.workloads.trace import Alloc, Free, IterEnd, Kernel, KernelTrace, TensorSpec
+
+__all__ = [
+    "streaming_trace",
+    "filo_stack_trace",
+    "random_reuse_trace",
+    "shifting_reuse_trace",
+]
+
+
+def streaming_trace(
+    stages: int = 16,
+    tensor_bytes: int = 1 << 20,
+    flops_per_stage: float = 1e9,
+) -> KernelTrace:
+    """stage_i reads t_{i-1}, writes t_i; t_{i-1} dies immediately after."""
+    if stages < 1:
+        raise TraceError(f"need at least one stage, got {stages}")
+    trace = KernelTrace(name=f"stream{stages}")
+    previous = trace.add_tensor(TensorSpec("t0", tensor_bytes, kind="input"))
+    trace.append(Alloc(previous.name))
+    for i in range(1, stages + 1):
+        current = trace.add_tensor(TensorSpec(f"t{i}", tensor_bytes))
+        trace.append(Alloc(current.name))
+        trace.append(
+            Kernel(
+                name=f"stage{i}",
+                reads=(previous.name,),
+                writes=(current.name,),
+                flops=flops_per_stage,
+            )
+        )
+        trace.append(Free(previous.name))
+        previous = current
+    trace.append(Free(previous.name))
+    trace.append(IterEnd())
+    trace.validate()
+    return trace
+
+
+def filo_stack_trace(
+    depth: int = 12,
+    activation_bytes: int = 1 << 20,
+    weight_bytes: int = 1 << 18,
+    flops_per_layer: float = 1e9,
+) -> KernelTrace:
+    """Forward stacks activations; backward consumes them in FILO order.
+
+    The shape of Section III-E: intermediate activations produced on the
+    forward pass are "not consumed until the backward pass ... generally
+    used and freed in a first-in last-out manner".
+    """
+    if depth < 1:
+        raise TraceError(f"need at least one layer, got {depth}")
+    trace = KernelTrace(name=f"filo{depth}")
+    for i in range(depth):
+        trace.add_tensor(
+            TensorSpec(f"w{i}", weight_bytes, kind="weight", persistent=True)
+        )
+        trace.append(Alloc(f"w{i}"))
+    trace.add_tensor(TensorSpec("a0", activation_bytes, kind="input"))
+    trace.append(Alloc("a0"))
+    # Forward pass.
+    for i in range(depth):
+        trace.add_tensor(TensorSpec(f"a{i + 1}", activation_bytes, kind="activation"))
+        trace.append(Alloc(f"a{i + 1}"))
+        trace.append(
+            Kernel(
+                name=f"fwd{i}",
+                reads=(f"a{i}", f"w{i}"),
+                writes=(f"a{i + 1}",),
+                flops=flops_per_layer,
+                phase="forward",
+            )
+        )
+    # Backward pass, FILO.
+    trace.add_tensor(TensorSpec(f"g{depth}", activation_bytes, kind="gradient"))
+    trace.append(Alloc(f"g{depth}"))
+    for i in reversed(range(depth)):
+        trace.add_tensor(TensorSpec(f"g{i}", activation_bytes, kind="gradient"))
+        trace.add_tensor(TensorSpec(f"wg{i}", weight_bytes, kind="gradient"))
+        trace.append(Alloc(f"g{i}"))
+        trace.append(Alloc(f"wg{i}"))
+        trace.append(
+            Kernel(
+                name=f"bwd{i}",
+                reads=(f"g{i + 1}", f"a{i}", f"w{i}"),
+                writes=(f"g{i}", f"wg{i}"),
+                flops=2 * flops_per_layer,
+                phase="backward",
+            )
+        )
+        trace.append(Free(f"g{i + 1}"))
+        trace.append(Free(f"a{i + 1}"))
+        trace.append(
+            Kernel(
+                name=f"sgd{i}",
+                reads=(f"wg{i}",),
+                writes=(f"w{i}",),
+                flops=weight_bytes / 4,
+                phase="update",
+            )
+        )
+        trace.append(Free(f"wg{i}"))
+    trace.append(Free("g0"))
+    trace.append(Free("a0"))
+    trace.append(IterEnd())
+    trace.validate()
+    return trace
+
+
+def random_reuse_trace(
+    working_set: int = 64,
+    kernels: int = 256,
+    tensor_bytes: int = 1 << 20,
+    flops_per_kernel: float = 5e8,
+    *,
+    hot_fraction: float = 0.2,
+    hot_probability: float = 0.8,
+    seed: int = 0,
+) -> KernelTrace:
+    """Skewed random reuse over a persistent working set (DLRM-like).
+
+    A ``hot_fraction`` of tensors receives ``hot_probability`` of the
+    accesses; the rest form a cold tail. Deterministic for a given seed.
+    """
+    if not 0.0 < hot_fraction < 1.0:
+        raise TraceError(f"hot_fraction must be in (0,1), got {hot_fraction}")
+    rng = np.random.default_rng(seed)
+    trace = KernelTrace(name=f"reuse{working_set}x{kernels}")
+    for i in range(working_set):
+        trace.add_tensor(
+            TensorSpec(f"e{i}", tensor_bytes, kind="state", persistent=True)
+        )
+        trace.append(Alloc(f"e{i}"))
+    hot_count = max(1, int(working_set * hot_fraction))
+    for k in range(kernels):
+        if rng.random() < hot_probability:
+            index = int(rng.integers(0, hot_count))
+        else:
+            index = int(rng.integers(hot_count, working_set))
+        out = trace.add_tensor(TensorSpec(f"tmp{k}", tensor_bytes))
+        trace.append(Alloc(out.name))
+        trace.append(
+            Kernel(
+                name=f"lookup{k}",
+                reads=(f"e{index}",),
+                writes=(out.name,),
+                flops=flops_per_kernel,
+            )
+        )
+        trace.append(Free(out.name))
+    trace.append(IterEnd())
+    trace.validate()
+    return trace
+
+
+def shifting_reuse_trace(
+    working_set: int = 64,
+    kernels_per_phase: int = 128,
+    phases: int = 3,
+    tensor_bytes: int = 1 << 20,
+    flops_per_kernel: float = 5e8,
+    *,
+    hot_fraction: float = 0.2,
+    hot_probability: float = 0.85,
+    seed: int = 0,
+) -> KernelTrace:
+    """DLRM-style skewed reuse whose hot set *rotates* every phase.
+
+    Section VI's motivating case: "the locality of the data changes based on
+    user input". A frequency-only policy overfits the first phase's hot set;
+    recency-only thrashes within each phase — the adaptive policy must track
+    the shift.
+    """
+    if phases < 1:
+        raise TraceError(f"need at least one phase, got {phases}")
+    if not 0.0 < hot_fraction < 1.0:
+        raise TraceError(f"hot_fraction must be in (0,1), got {hot_fraction}")
+    rng = np.random.default_rng(seed)
+    trace = KernelTrace(name=f"shift{working_set}x{phases}")
+    for i in range(working_set):
+        trace.add_tensor(
+            TensorSpec(f"e{i}", tensor_bytes, kind="state", persistent=True)
+        )
+        trace.append(Alloc(f"e{i}"))
+    hot_count = max(1, int(working_set * hot_fraction))
+    counter = 0
+    for phase in range(phases):
+        hot_base = (phase * hot_count) % working_set
+        for _ in range(kernels_per_phase):
+            if rng.random() < hot_probability:
+                index = (hot_base + int(rng.integers(0, hot_count))) % working_set
+            else:
+                index = int(rng.integers(0, working_set))
+            out = trace.add_tensor(TensorSpec(f"tmp{counter}", tensor_bytes))
+            trace.append(Alloc(out.name))
+            trace.append(
+                Kernel(
+                    name=f"lookup{counter}",
+                    reads=(f"e{index}",),
+                    writes=(out.name,),
+                    flops=flops_per_kernel,
+                )
+            )
+            trace.append(Free(out.name))
+            counter += 1
+    trace.append(IterEnd())
+    trace.validate()
+    return trace

@@ -1,0 +1,287 @@
+"""DataManager: the Section III-C data-management API, function by function."""
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    LinkError,
+    ObjectStateError,
+    OutOfMemoryError,
+    PolicyError,
+    RegionStateError,
+)
+from repro.units import KiB
+
+
+def test_requires_a_heap():
+    from repro.core.manager import DataManager
+    from repro.memory.copyengine import CopyEngine
+    from repro.sim.clock import SimClock
+
+    with pytest.raises(ConfigurationError):
+        DataManager({}, CopyEngine(SimClock()))
+
+
+def test_unknown_device_rejected(manager):
+    with pytest.raises(ConfigurationError):
+        manager.heap("HBM")
+
+
+class TestObjectFunctions:
+    def test_getprimary_setprimary(self, manager):
+        obj = manager.new_object(KiB)
+        region = manager.allocate("DRAM", KiB)
+        manager.setprimary(obj, region)
+        assert manager.getprimary(obj) is region
+
+    def test_getprimary_without_region(self, manager):
+        obj = manager.new_object(KiB)
+        with pytest.raises(ObjectStateError):
+            manager.getprimary(obj)
+
+    def test_setprimary_switches(self, manager):
+        obj = manager.new_object(KiB)
+        fast = manager.allocate("DRAM", KiB)
+        slow = manager.allocate("NVRAM", KiB)
+        manager.setprimary(obj, fast)
+        manager.setprimary(obj, slow)
+        assert manager.getprimary(obj) is slow
+        assert manager.getlinked(slow, "DRAM") is fast  # both still attached
+
+    def test_destroy_object_frees_all_regions(self, manager):
+        obj = manager.new_object(KiB)
+        fast = manager.allocate("DRAM", KiB)
+        slow = manager.allocate("NVRAM", KiB)
+        manager.setprimary(obj, fast)
+        manager.link(fast, slow)
+        manager.destroy_object(obj)
+        assert fast.freed and slow.freed
+        assert obj.retired
+        with pytest.raises(ObjectStateError):
+            manager.getprimary(obj)
+        manager.check_invariants()
+
+    def test_destroy_pinned_rejected(self, manager):
+        obj = manager.new_object(KiB)
+        manager.setprimary(obj, manager.allocate("DRAM", KiB))
+        obj.pin()
+        with pytest.raises(ObjectStateError):
+            manager.destroy_object(obj)
+
+
+class TestRegionFunctions:
+    def test_allocate_free_roundtrip(self, manager):
+        region = manager.allocate("DRAM", KiB)
+        assert manager.in_device(region, "DRAM")
+        manager.free(region)
+        assert region.freed
+        manager.check_invariants()
+
+    def test_allocate_oom(self, manager):
+        with pytest.raises(OutOfMemoryError):
+            manager.allocate("DRAM", 1024 * KiB)
+
+    def test_try_allocate_none_on_oom(self, manager):
+        assert manager.try_allocate("DRAM", 1024 * KiB) is None
+        assert manager.try_allocate("DRAM", KiB) is not None
+
+    def test_free_primary_rejected(self, manager):
+        obj = manager.new_object(KiB)
+        region = manager.allocate("DRAM", KiB)
+        manager.setprimary(obj, region)
+        with pytest.raises(RegionStateError):
+            manager.free(region)
+
+    def test_free_secondary_auto_detaches(self, manager):
+        obj = manager.new_object(KiB)
+        fast = manager.allocate("DRAM", KiB)
+        slow = manager.allocate("NVRAM", KiB)
+        manager.setprimary(obj, fast)
+        manager.link(fast, slow)
+        manager.free(slow)
+        assert obj.region_on("NVRAM") is None
+        manager.check_invariants()
+
+    def test_copyto_advances_clock_and_counters(self, manager):
+        src = manager.allocate("DRAM", KiB)
+        dst = manager.allocate("NVRAM", KiB)
+        manager.copyto(dst, src)
+        assert manager.heap("DRAM").traffic.read_bytes == KiB
+        assert manager.heap("NVRAM").traffic.write_bytes == KiB
+        assert manager.engine.clock.now > 0
+
+    def test_copyto_smaller_target_rejected(self, manager):
+        src = manager.allocate("DRAM", 2 * KiB)
+        dst = manager.allocate("NVRAM", KiB)
+        with pytest.raises(RegionStateError):
+            manager.copyto(dst, src)
+
+    def test_copyto_into_larger_target_ok(self, manager):
+        src = manager.allocate("DRAM", KiB)
+        dst = manager.allocate("NVRAM", 2 * KiB)
+        manager.copyto(dst, src)
+
+
+class TestLinking:
+    def test_link_attaches_orphan(self, manager):
+        obj = manager.new_object(KiB)
+        fast = manager.allocate("DRAM", KiB)
+        slow = manager.allocate("NVRAM", KiB)
+        manager.setprimary(obj, fast)
+        manager.link(fast, slow)
+        assert manager.getlinked(fast, "NVRAM") is slow
+        assert manager.parent(slow) is obj
+
+    def test_link_order_symmetric(self, manager):
+        obj = manager.new_object(KiB)
+        fast = manager.allocate("DRAM", KiB)
+        slow = manager.allocate("NVRAM", KiB)
+        manager.setprimary(obj, slow)
+        manager.link(fast, slow)  # orphan first
+        assert manager.parent(fast) is obj
+
+    def test_link_two_orphans_rejected(self, manager):
+        a = manager.allocate("DRAM", KiB)
+        b = manager.allocate("NVRAM", KiB)
+        with pytest.raises(LinkError):
+            manager.link(a, b)
+
+    def test_link_across_objects_rejected(self, manager):
+        obj1 = manager.new_object(KiB)
+        obj2 = manager.new_object(KiB)
+        a = manager.allocate("DRAM", KiB)
+        b = manager.allocate("NVRAM", KiB)
+        manager.setprimary(obj1, a)
+        manager.setprimary(obj2, b)
+        with pytest.raises(LinkError):
+            manager.link(a, b)
+
+    def test_link_already_linked_is_noop(self, manager):
+        obj = manager.new_object(KiB)
+        a = manager.allocate("DRAM", KiB)
+        b = manager.allocate("NVRAM", KiB)
+        manager.setprimary(obj, a)
+        manager.link(a, b)
+        manager.link(a, b)
+        manager.link(b, a)
+
+    def test_unlink_detaches_non_primary(self, manager):
+        obj = manager.new_object(KiB)
+        a = manager.allocate("DRAM", KiB)
+        b = manager.allocate("NVRAM", KiB)
+        manager.setprimary(obj, a)
+        manager.link(a, b)
+        manager.unlink(a, b)
+        assert b.parent is None
+        assert obj.primary is a
+
+    def test_unlink_unlinked_rejected(self, manager):
+        a = manager.allocate("DRAM", KiB)
+        b = manager.allocate("NVRAM", KiB)
+        with pytest.raises(LinkError):
+            manager.unlink(a, b)
+
+
+class TestQueries:
+    def test_sizeof(self, manager):
+        obj = manager.new_object(3 * KiB)
+        region = manager.allocate("DRAM", KiB)
+        assert manager.sizeof(obj) == 3 * KiB
+        assert manager.sizeof(region) == KiB
+
+    def test_in_device_validates_name(self, manager):
+        region = manager.allocate("DRAM", KiB)
+        with pytest.raises(ConfigurationError):
+            manager.in_device(region, "HBM")
+
+    def test_dirty_tracking(self, manager):
+        region = manager.allocate("DRAM", KiB)
+        assert not manager.isdirty(region)
+        manager.setdirty(region)
+        assert manager.isdirty(region)
+        manager.setdirty(region, False)
+        assert not manager.isdirty(region)
+
+    def test_parent_of_orphan_rejected(self, manager):
+        region = manager.allocate("DRAM", KiB)
+        with pytest.raises(ObjectStateError):
+            manager.parent(region)
+
+    def test_region_at(self, manager):
+        region = manager.allocate("DRAM", KiB)
+        assert manager.region_at("DRAM", region.offset) is region
+        with pytest.raises(RegionStateError):
+            manager.region_at("DRAM", region.offset + 64)
+
+    def test_regions_on_in_address_order(self, manager):
+        regions = [manager.allocate("DRAM", KiB) for _ in range(3)]
+        manager.free(regions[1])
+        listed = list(manager.regions_on("DRAM"))
+        assert listed == [regions[0], regions[2]]
+
+
+class TestEvictFrom:
+    def _fill_dram(self, manager, count=4):
+        objs = []
+        for _ in range(count):
+            obj = manager.new_object(16 * KiB)
+            manager.setprimary(obj, manager.allocate("DRAM", 16 * KiB))
+            objs.append(obj)
+        return objs
+
+    def test_span_victims_query(self, manager):
+        objs = self._fill_dram(manager)
+        start = manager.getprimary(objs[1])
+        victims = manager.span_victims("DRAM", start, 32 * KiB)
+        assert victims == [manager.getprimary(objs[1]), manager.getprimary(objs[2])]
+
+    def test_span_victims_wraps_to_bottom(self, manager):
+        objs = self._fill_dram(manager)
+        start = manager.getprimary(objs[3])
+        victims = manager.span_victims("DRAM", start, 32 * KiB)
+        # Hitting the arena end falls back to offset 0.
+        assert victims[0] is manager.getprimary(objs[0])
+
+    def test_evictfrom_runs_callback_and_checks_freed(self, manager):
+        objs = self._fill_dram(manager)
+        evicted = []
+
+        def evict(region):
+            obj = manager.parent(region)
+            slow = manager.allocate("NVRAM", region.size)
+            manager.copyto(slow, region)
+            manager.setprimary(obj, slow)
+            manager.free(region)
+            evicted.append(obj)
+
+        start = manager.getprimary(objs[0])
+        manager.evictfrom("DRAM", start, 32 * KiB, evict)
+        assert evicted == objs[:2]
+        assert manager.try_allocate("DRAM", 32 * KiB) is not None
+
+    def test_evictfrom_rejects_lazy_callback(self, manager):
+        objs = self._fill_dram(manager)
+        with pytest.raises(PolicyError):
+            manager.evictfrom(
+                "DRAM", manager.getprimary(objs[0]), 16 * KiB, lambda region: None
+            )
+
+    def test_evictfrom_wrong_device_rejected(self, manager):
+        obj = manager.new_object(KiB)
+        manager.setprimary(obj, manager.allocate("NVRAM", KiB))
+        with pytest.raises(RegionStateError):
+            manager.evictfrom(
+                "DRAM", manager.getprimary(obj), KiB, lambda region: None
+            )
+
+
+class TestDefragment:
+    def test_defragment_repoints_regions(self, manager):
+        a = manager.allocate("DRAM", KiB)
+        b = manager.allocate("DRAM", KiB)
+        manager.free(a)
+        moved = manager.defragment("DRAM")
+        assert moved == 1
+        assert b.offset == 0
+        assert manager.region_at("DRAM", 0) is b
+        manager.check_invariants()

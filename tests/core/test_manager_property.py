@@ -1,0 +1,79 @@
+"""Property test: manager invariants under random API call sequences."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.manager import DataManager
+from repro.errors import CachedArraysError
+from repro.memory.copyengine import CopyEngine
+from repro.memory.device import MemoryDevice
+from repro.memory.heap import Heap
+from repro.sim.clock import SimClock
+from repro.units import KiB
+
+
+def fresh_manager() -> DataManager:
+    heaps = {
+        "DRAM": Heap(MemoryDevice.dram(32 * KiB)),
+        "NVRAM": Heap(MemoryDevice.nvram(128 * KiB)),
+    }
+    return DataManager(heaps, CopyEngine(SimClock()))
+
+
+OPS = st.sampled_from(
+    ["new", "place_fast", "place_slow", "link", "unlink", "move", "destroy", "defrag"]
+)
+
+
+@given(st.lists(st.tuples(OPS, st.integers(0, 7), st.integers(64, 4096)), max_size=50))
+@settings(max_examples=60, deadline=None)
+def test_random_api_sequences_keep_invariants(ops):
+    """Whatever the (possibly ill-formed) call sequence, each op either
+    raises a CachedArraysError or leaves the cross-layer state consistent."""
+    manager = fresh_manager()
+    objects = []
+    for op, index, size in ops:
+        obj = objects[index % len(objects)] if objects else None
+        try:
+            if op == "new":
+                objects.append(manager.new_object(size))
+            elif op in ("place_fast", "place_slow") and obj is not None:
+                device = "DRAM" if op == "place_fast" else "NVRAM"
+                if obj.region_on(device) is None:
+                    region = manager.try_allocate(device, obj.size)
+                    if region is not None:
+                        manager.setprimary(obj, region)
+            elif op == "link" and obj is not None and obj.primary is not None:
+                other = (
+                    "NVRAM" if obj.primary.device_name == "DRAM" else "DRAM"
+                )
+                if obj.region_on(other) is None:
+                    region = manager.try_allocate(other, obj.size)
+                    if region is not None:
+                        manager.link(obj.primary, region)
+            elif op == "unlink" and obj is not None and obj.primary is not None:
+                primary = obj.primary
+                for region in obj.regions():
+                    if region is not primary:
+                        manager.unlink(primary, region)
+                        manager.free(region)
+            elif op == "move" and obj is not None and obj.primary is not None:
+                # promote the secondary, if one exists
+                for region in obj.regions():
+                    if region is not obj.primary:
+                        manager.copyto(region, obj.primary)
+                        manager.setprimary(obj, region)
+                        break
+            elif op == "destroy" and obj is not None and not obj.retired:
+                manager.destroy_object(obj)
+                objects.remove(obj)
+            elif op == "defrag":
+                manager.defragment("DRAM")
+                manager.defragment("NVRAM")
+        except CachedArraysError:
+            pass
+        manager.check_invariants()
+    # Teardown: destroying everything must empty both heaps.
+    for obj in objects:
+        manager.destroy_object(obj)
+    assert manager.heap("DRAM").used_bytes == 0
+    assert manager.heap("NVRAM").used_bytes == 0

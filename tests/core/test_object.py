@@ -1,0 +1,175 @@
+"""MemObject/Region attachment, pinning, and lifecycle rules."""
+
+import pytest
+
+from repro.core.object import MemObject, Region
+from repro.errors import LinkError, ObjectStateError, RegionStateError
+from repro.memory.device import MemoryDevice
+from repro.memory.heap import Heap
+from repro.units import KiB
+
+
+@pytest.fixture
+def heaps():
+    return Heap(MemoryDevice.dram(64 * KiB)), Heap(MemoryDevice.nvram(64 * KiB))
+
+
+def region_on(heap, size=KiB):
+    return Region(heap, heap.allocate(size), size)
+
+
+def test_object_requires_positive_size():
+    with pytest.raises(ObjectStateError):
+        MemObject(0)
+
+
+def test_attach_primary(heaps):
+    dram, _ = heaps
+    obj = MemObject(KiB, "x")
+    region = region_on(dram)
+    obj.attach(region, primary=True)
+    assert obj.primary is region
+    assert region.parent is obj
+    assert region.is_primary
+
+
+def test_attach_secondary_keeps_primary(heaps):
+    dram, nvram = heaps
+    obj = MemObject(KiB)
+    first = region_on(dram)
+    second = region_on(nvram)
+    obj.attach(first, primary=True)
+    obj.attach(second, primary=False)
+    assert obj.primary is first
+    assert not second.is_primary
+    assert obj.region_on("NVRAM") is second
+
+
+def test_one_region_per_device(heaps):
+    dram, _ = heaps
+    obj = MemObject(KiB)
+    obj.attach(region_on(dram), primary=True)
+    with pytest.raises(LinkError):
+        obj.attach(region_on(dram), primary=False)
+
+
+def test_region_belongs_to_one_object(heaps):
+    dram, _ = heaps
+    region = region_on(dram)
+    MemObject(KiB).attach(region, primary=True)
+    with pytest.raises(LinkError):
+        MemObject(KiB).attach(region, primary=True)
+
+
+def test_reattach_same_region_is_idempotent(heaps):
+    dram, _ = heaps
+    obj = MemObject(KiB)
+    region = region_on(dram)
+    obj.attach(region, primary=True)
+    obj.attach(region, primary=True)
+    assert obj.primary is region
+
+
+def test_detach(heaps):
+    dram, nvram = heaps
+    obj = MemObject(KiB)
+    a = region_on(dram)
+    b = region_on(nvram)
+    obj.attach(a, primary=True)
+    obj.attach(b, primary=False)
+    obj.detach(b)
+    assert b.parent is None
+    assert obj.region_on("NVRAM") is None
+
+
+def test_detach_primary_clears_it(heaps):
+    dram, _ = heaps
+    obj = MemObject(KiB)
+    region = region_on(dram)
+    obj.attach(region, primary=True)
+    obj.detach(region)
+    assert obj.primary is None
+
+
+def test_detach_unattached_rejected(heaps):
+    dram, _ = heaps
+    obj = MemObject(KiB)
+    with pytest.raises(LinkError):
+        obj.detach(region_on(dram))
+
+
+class TestPinning:
+    def test_pin_requires_primary(self):
+        obj = MemObject(KiB)
+        with pytest.raises(ObjectStateError):
+            obj.pin()
+
+    def test_pin_blocks_primary_change(self, heaps):
+        dram, nvram = heaps
+        obj = MemObject(KiB)
+        obj.attach(region_on(dram), primary=True)
+        obj.pin()
+        with pytest.raises(ObjectStateError):
+            obj.attach(region_on(nvram), primary=True)
+        obj.unpin()
+        obj.attach(region_on(nvram), primary=True)  # allowed after unpin
+
+    def test_pin_blocks_primary_detach(self, heaps):
+        dram, _ = heaps
+        obj = MemObject(KiB)
+        region = region_on(dram)
+        obj.attach(region, primary=True)
+        obj.pin()
+        with pytest.raises(ObjectStateError):
+            obj.detach(region)
+
+    def test_pin_allows_secondary_ops(self, heaps):
+        dram, nvram = heaps
+        obj = MemObject(KiB)
+        obj.attach(region_on(dram), primary=True)
+        obj.pin()
+        secondary = region_on(nvram)
+        obj.attach(secondary, primary=False)
+        obj.detach(secondary)
+
+    def test_pin_counts_nest(self, heaps):
+        dram, _ = heaps
+        obj = MemObject(KiB)
+        obj.attach(region_on(dram), primary=True)
+        obj.pin()
+        obj.pin()
+        obj.unpin()
+        assert obj.pinned
+        obj.unpin()
+        assert not obj.pinned
+
+    def test_unbalanced_unpin(self):
+        with pytest.raises(ObjectStateError):
+            MemObject(KiB).unpin()
+
+    def test_retired_object_cannot_pin(self, heaps):
+        obj = MemObject(KiB)
+        obj.retired = True
+        with pytest.raises(ObjectStateError):
+            obj.pin()
+
+
+def test_freed_region_is_inert(heaps):
+    dram, _ = heaps
+    region = region_on(dram)
+    region.freed = True
+    with pytest.raises(RegionStateError):
+        region.check_live()
+    obj = MemObject(KiB)
+    with pytest.raises(RegionStateError):
+        obj.attach(region, primary=True)
+
+
+def test_regions_iteration_is_snapshot(heaps):
+    dram, nvram = heaps
+    obj = MemObject(KiB)
+    obj.attach(region_on(dram), primary=True)
+    obj.attach(region_on(nvram), primary=False)
+    regions = obj.regions()
+    obj.detach(obj.region_on("NVRAM"))
+    assert len(list(regions)) == 2  # snapshot taken before the detach

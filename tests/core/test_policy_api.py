@@ -1,0 +1,88 @@
+"""Policy base-class contract (Table II surface)."""
+
+import pytest
+
+from repro.core.manager import DataManager
+from repro.core.object import MemObject, Region
+from repro.core.policy_api import AccessIntent, Policy
+from repro.memory.copyengine import CopyEngine
+from repro.memory.device import MemoryDevice
+from repro.memory.heap import Heap
+from repro.sim.clock import SimClock
+from repro.units import KiB, MiB
+
+
+class RecordingPolicy(Policy):
+    """Minimal concrete policy that records the hints it receives."""
+
+    def __init__(self):
+        super().__init__()
+        self.calls: list[tuple[str, str]] = []
+
+    def place(self, obj: MemObject) -> Region:
+        region = self.manager.allocate("MEM", obj.size)
+        self.manager.setprimary(obj, region)
+        return region
+
+    def ensure_resident(self, obj: MemObject, intent: AccessIntent) -> Region:
+        return self.manager.getprimary(obj)
+
+    def will_use(self, obj):
+        self.calls.append(("use", obj.name))
+
+    def archive(self, obj):
+        self.calls.append(("archive", obj.name))
+
+
+@pytest.fixture
+def bound_policy():
+    heaps = {"MEM": Heap(MemoryDevice.dram(MiB, name="MEM"))}
+    manager = DataManager(heaps, CopyEngine(SimClock()))
+    policy = RecordingPolicy()
+    policy.bind(manager)
+    return policy, manager
+
+
+def test_unbound_policy_rejects_manager_access():
+    with pytest.raises(RuntimeError):
+        RecordingPolicy().manager
+
+
+def test_bind_twice_same_manager_ok(bound_policy):
+    policy, manager = bound_policy
+    policy.bind(manager)
+
+
+def test_bind_to_different_manager_rejected(bound_policy):
+    policy, _ = bound_policy
+    other = DataManager(
+        {"MEM": Heap(MemoryDevice.dram(MiB, name="MEM"))}, CopyEngine(SimClock())
+    )
+    with pytest.raises(RuntimeError):
+        policy.bind(other)
+
+
+def test_will_read_write_default_to_will_use(bound_policy):
+    policy, manager = bound_policy
+    obj = manager.new_object(KiB, "t")
+    policy.will_read(obj)
+    policy.will_write(obj)
+    assert policy.calls == [("use", "t"), ("use", "t")]
+
+
+def test_default_retire_destroys_object(bound_policy):
+    policy, manager = bound_policy
+    obj = manager.new_object(KiB, "t")
+    policy.place(obj)
+    policy.retire(obj)
+    assert obj.retired
+
+
+def test_table2_hint_surface_is_complete():
+    """Every Table II operation exists on the Policy interface."""
+    for hint in ("will_use", "will_read", "will_write", "archive", "retire"):
+        assert callable(getattr(Policy, hint))
+
+
+def test_access_intents():
+    assert {intent.value for intent in AccessIntent} == {"use", "read", "write"}

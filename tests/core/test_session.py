@@ -1,0 +1,131 @@
+"""Session wiring: devices, kernel scopes, hints, maintenance."""
+
+import numpy as np
+import pytest
+
+from repro.core.session import Session, SessionConfig
+from repro.errors import ConfigurationError
+from repro.memory.device import MemoryDevice
+from repro.policies.noop import SingleDevicePolicy
+from repro.policies.optimizing import OptimizingPolicy
+from repro.units import KiB, MiB
+
+
+def test_default_config_builds_paper_platform():
+    session = Session()
+    assert set(session.heaps) == {"DRAM", "NVRAM"}
+    assert session.heaps["DRAM"].capacity == 180 * 10**9
+    assert isinstance(session.policy, OptimizingPolicy)
+    session.close()
+
+
+def test_explicit_devices():
+    devices = [MemoryDevice.dram(MiB), MemoryDevice.nvram(4 * MiB)]
+    session = Session(SessionConfig(devices=devices))
+    assert session.heaps["DRAM"].capacity == MiB
+    session.close()
+
+
+def test_single_device_gets_single_device_policy():
+    session = Session(SessionConfig(dram=None, nvram=MiB))
+    assert isinstance(session.policy, SingleDevicePolicy)
+    array = session.empty((4,))
+    assert array.device == "NVRAM"
+    session.close()
+
+
+def test_duplicate_device_names_rejected():
+    devices = [MemoryDevice.dram(MiB), MemoryDevice.dram(MiB)]
+    with pytest.raises(ConfigurationError):
+        Session(SessionConfig(devices=devices))
+
+
+def test_no_devices_rejected():
+    with pytest.raises(ConfigurationError):
+        Session(SessionConfig(dram=None, nvram=None))
+
+
+def test_is_real(real_session, virtual_session):
+    assert real_session.is_real
+    assert not virtual_session.is_real
+
+
+def test_kernel_pins_operands(real_session):
+    a = real_session.zeros((8,), name="a")
+    with real_session.kernel(reads=[a]):
+        assert a.obj.pinned
+    assert not a.obj.pinned
+
+
+def test_kernel_unpins_on_exception(real_session):
+    a = real_session.zeros((8,), name="a")
+    with pytest.raises(RuntimeError):
+        with real_session.kernel(reads=[a]):
+            raise RuntimeError("kernel blew up")
+    assert not a.obj.pinned
+
+
+def test_kernel_same_array_read_and_write(real_session):
+    a = real_session.zeros((8,), name="a")
+    with real_session.kernel(reads=[a], writes=[a]) as ((rv,), (wv,)):
+        wv[...] = rv + 1
+    assert (a.read() == 1).all()
+
+
+def test_kernel_marks_writes_dirty(real_session):
+    a = real_session.zeros((8,), name="a")
+    with real_session.kernel(writes=[a]) as (_, (view,)):
+        view[...] = 1
+    primary = a.obj.primary
+    assert primary is not None and primary.dirty
+
+
+def test_kernel_virtual_yields_no_views(virtual_session):
+    a = virtual_session.empty((8,), name="a")
+    with virtual_session.kernel(reads=[a]) as (reads, writes):
+        assert reads == [] and writes == []
+
+
+def test_occupancy_and_traffic_shapes(virtual_session):
+    virtual_session.empty((1024,), name="a")
+    occupancy = virtual_session.occupancy()
+    assert set(occupancy) == {"DRAM", "NVRAM"}
+    assert sum(occupancy.values()) >= 4096
+    assert set(virtual_session.traffic()) == {"DRAM", "NVRAM"}
+
+
+def test_defragment_runs_on_all_heaps(virtual_session):
+    a = virtual_session.empty((256,), name="a")
+    virtual_session.empty((256,), name="b")
+    a.retire()
+    moved = virtual_session.defragment()
+    assert set(moved) == {"DRAM", "NVRAM"}
+
+
+def test_context_manager():
+    with Session(SessionConfig(dram=MiB, nvram=MiB * 4)) as session:
+        session.empty((16,))
+
+
+def test_zeros_initialises_real_memory():
+    with Session(SessionConfig(dram=KiB * 64, nvram=MiB, real=True)) as session:
+        # dirty the arena first so zeros actually has to clear bytes
+        scratch = session.empty((1024,), name="scratch")
+        scratch.write(7.0)
+        scratch.retire()
+        fresh = session.zeros((1024,), name="fresh")
+        assert (fresh.read() == 0).all()
+
+
+def test_release_via_policy(real_session):
+    array = real_session.zeros((8,), name="x")
+    real_session.release(array)
+    assert array.retired
+
+
+def test_describe_snapshot(virtual_session):
+    virtual_session.empty((1024,), name="a")
+    text = virtual_session.describe()
+    assert "DRAM" in text and "NVRAM" in text
+    assert "live objects: 1" in text
+    assert "fragmentation" in text

@@ -1,0 +1,68 @@
+"""CLI entry point."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_table3(capsys):
+    assert main(["table3"]) == 0
+    out = capsys.readouterr().out
+    assert "Table III" in out and "ResNet 200" in out
+
+
+def test_fig4_with_scale(capsys):
+    assert main(["fig4", "--scale", "256", "--iterations", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 4" in out and "dirty miss" in out
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(SystemExit):
+        main(["fig99"])
+
+
+def test_help_lists_experiments(capsys):
+    with pytest.raises(SystemExit):
+        main(["--help"])
+    out = capsys.readouterr().out
+    for name in ("table3", "fig2", "fig7"):
+        assert name in out
+
+
+def test_json_output(capsys):
+    import json
+
+    assert main(["fig4", "--scale", "256", "--iterations", "1", "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert "fig4" in data
+    assert 0 < data["fig4"]["2LM:M"]["hit_rate"] <= 1
+
+
+def test_table3_json(capsys):
+    import json
+
+    assert main(["table3", "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert "resnet200-large" in data["table3"]
+
+
+def test_trace_export_roundtrip(tmp_path, capsys):
+    from repro.workloads.serialize import load_trace
+
+    out = tmp_path / "trace.json"
+    assert main(
+        ["trace", "--model", "vgg116-small", "--scale", "64", "--out", str(out)]
+    ) == 0
+    with open(out, encoding="utf-8") as fp:
+        trace = load_trace(fp)
+    assert len(trace.events) > 100
+
+
+def test_trace_requires_model():
+    with pytest.raises(SystemExit):
+        main(["trace"])
+
+
+def test_trace_unknown_model(capsys):
+    assert main(["trace", "--model", "alexnet"]) == 2

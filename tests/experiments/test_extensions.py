@@ -1,0 +1,59 @@
+"""Section VI extension experiment module."""
+
+import pytest
+
+from repro.experiments import extensions
+from repro.experiments.common import ExperimentConfig
+
+
+@pytest.fixture(scope="module")
+def result():
+    return extensions.run(
+        ExperimentConfig(scale=256, iterations=1, sample_timeline=False)
+    )
+
+
+def test_all_panels_populated(result):
+    assert len(result.platforms) == 3
+    assert len(result.async_movement) == 2
+    assert len(result.dlrm) == 2
+    assert len(result.numa) == 3
+
+
+def test_cxl_platform_beats_nvram(result):
+    """CXL's symmetric bandwidth makes the slow tier cheaper to spill to."""
+    paper = result.platforms["DRAM+NVRAM (paper)"].seconds
+    cxl = result.platforms["DRAM+CXL (same policy)"].seconds
+    assert cxl < paper
+
+
+def test_three_tier_at_least_matches_cxl(result):
+    cxl = result.platforms["DRAM+CXL (same policy)"].seconds
+    three = result.platforms["DRAM+CXL+NVRAM (3-tier)"].seconds
+    assert three == pytest.approx(cxl, rel=0.15)
+
+
+def test_async_bounded_by_sync_and_projection(result):
+    for numbers in result.async_movement.values():
+        assert numbers["projection"] <= numbers["async"] * 1.05
+        assert numbers["async"] <= numbers["sync"] * 1.01
+
+
+def test_adaptive_beats_lru_on_stable_skew(result):
+    stable = result.dlrm["stable hot set"]
+    assert (
+        stable["adaptive"].traffic["NVRAM"].read_bytes
+        < stable["LRU"].traffic["NVRAM"].read_bytes
+    )
+
+
+def test_hints_beat_numa_baselines(result):
+    hinted = result.numa["CA: LM (hints)"].seconds
+    assert result.numa["NUMA interleave"].seconds > hinted
+    assert result.numa["NUMA first-touch"].seconds > hinted
+
+
+def test_render(result):
+    text = extensions.render(result)
+    for marker in ("[1]", "[2]", "[3]", "[4]", "CXL", "NUMA", "adaptive"):
+        assert marker in text

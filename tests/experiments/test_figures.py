@@ -1,0 +1,152 @@
+"""Figure/table harness modules: structure and rendering (fast configs)."""
+
+import pytest
+
+from repro.experiments import (
+    fig2_runtime,
+    fig3_heap,
+    fig4_cachestats,
+    fig5_traffic,
+    fig6_utilization,
+    fig7_sensitivity,
+    table3_models,
+)
+from repro.experiments.common import ExperimentConfig
+
+FAST = ExperimentConfig(scale=256, iterations=1, sample_timeline=False)
+FAST_TL = ExperimentConfig(scale=256, iterations=1, sample_timeline=True)
+ONE_MODEL = ("resnet200-large",)
+TWO_MODES = ("2LM:0", "CA:LM")
+
+
+class TestFig2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig2_runtime.run(FAST, models=ONE_MODEL, modes=TWO_MODES)
+
+    def test_structure(self, result):
+        assert set(result.results) == set(ONE_MODEL)
+        assert set(result.results["resnet200-large"]) == set(TWO_MODES)
+
+    def test_seconds_rescaled(self, result):
+        raw = result.results["resnet200-large"]["CA:LM"].iteration.seconds
+        assert result.seconds("resnet200-large", "CA:LM") == raw * 256
+
+    def test_speedup(self, result):
+        assert result.speedup("resnet200-large") > 1.0
+
+    def test_render_mentions_modes(self, result):
+        text = fig2_runtime.render(result)
+        assert "Figure 2" in text
+        assert "CA: LM" in text and "2LM: ∅" in text
+        assert "speedup" in text
+
+
+class TestFig3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig3_heap.run(FAST_TL, model="resnet200-large")
+
+    def test_requires_timeline(self):
+        with pytest.raises(ValueError):
+            fig3_heap.run(FAST, model="resnet200-large")
+
+    def test_gc_run_has_higher_peak(self, result):
+        assert result.peak_gb(result.unoptimized) > result.peak_gb(result.optimized)
+
+    def test_optimized_peak_is_footprint(self, result):
+        footprint_gb = result.optimized.footprint_bytes * 256 / 1e9
+        assert result.peak_gb(result.optimized) == pytest.approx(
+            footprint_gb, rel=0.05
+        )
+
+    def test_render(self, result):
+        text = fig3_heap.render(result)
+        assert "Figure 3" in text and "2LM:M" in text
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig4_cachestats.run(FAST)
+
+    def test_directions(self, result):
+        assert result.hit_rate_uplift > 0
+        assert result.dirty_miss_drop > 0
+
+    def test_render(self, result):
+        text = fig4_cachestats.render(result)
+        assert "hit" in text and "dirty" in text and "%" in text
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig5_traffic.run(FAST, models=ONE_MODEL, modes=("CA:L", "CA:LM", "CA:LMP"))
+
+    def test_reduction_factors(self, result):
+        assert result.nvram_write_drop_with_memopt("resnet200-large") > 1.0
+        assert result.nvram_read_drop_with_prefetch("resnet200-large") > 1.0
+
+    def test_render(self, result):
+        text = fig5_traffic.render(result)
+        assert "NVRAM read" in text and "GB" in text
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig6_utilization.run(FAST, models=ONE_MODEL, modes=TWO_MODES)
+
+    def test_utilizations_in_unit_range(self, result):
+        for mode in TWO_MODES:
+            assert 0.0 < result.utilization("resnet200-large", mode) < 1.0
+
+    def test_render(self, result):
+        assert "utilisation" in fig6_utilization.render(result)
+
+
+class TestFig7:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig7_sensitivity.run(
+            FAST, models=("densenet264-small",), budgets_gb=(180, 45, 0)
+        )
+
+    def test_monotone_slowdown(self, result):
+        t180 = result.seconds("densenet264-small", 180)
+        t45 = result.seconds("densenet264-small", 45)
+        t0 = result.seconds("densenet264-small", 0)
+        assert t180 < t45 < t0
+
+    def test_penalty(self, result):
+        assert result.nvram_only_penalty("densenet264-small") > 2.0
+
+    def test_async_at_most_wall(self, result):
+        for budget in (180, 45, 0):
+            assert result.async_seconds("densenet264-small", budget) <= (
+                result.seconds("densenet264-small", budget) + 1e-9
+            )
+
+    def test_render(self, result):
+        text = fig7_sensitivity.render(result)
+        assert "DRAM budget" in text and "NVRAM-only penalty" in text
+
+
+class TestTable3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return table3_models.run()
+
+    def test_six_rows(self, result):
+        assert len(result.rows) == 6
+
+    def test_errors_within_band(self, result):
+        for row in result.rows:
+            if row.relative_error is not None:
+                assert abs(row.relative_error) < 0.18
+
+    def test_render(self, result):
+        text = table3_models.render(result)
+        assert "Table III" in text
+        assert "ResNet 200" in text and "VGG 416" in text

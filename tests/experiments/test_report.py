@@ -1,0 +1,45 @@
+"""Report rendering helpers."""
+
+import pytest
+
+from repro.experiments.report import bars, header, table
+
+
+def test_header_with_subtitle():
+    text = header("Title", "subtitle")
+    assert "Title" in text and "subtitle" in text
+    assert text.startswith("=")
+
+
+def test_table_alignment():
+    text = table(("name", "value"), [("a", 1), ("bcd", 22)])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert lines[0].startswith("name")
+    assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+
+def test_table_empty_rows():
+    text = table(("col",), [])
+    assert "col" in text
+
+
+def test_bars_proportional():
+    text = bars(["a", "b"], [1.0, 2.0], width=10)
+    lines = text.splitlines()
+    assert lines[0].count("#") == 5
+    assert lines[1].count("#") == 10
+
+
+def test_bars_zero_values():
+    text = bars(["a"], [0.0])
+    assert "#" not in text
+
+
+def test_bars_unit_suffix():
+    assert "s" in bars(["a"], [1.0], unit=" s")
+
+
+def test_bars_length_mismatch():
+    with pytest.raises(ValueError):
+        bars(["a"], [1.0, 2.0])

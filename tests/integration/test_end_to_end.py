@@ -1,0 +1,167 @@
+"""Cross-layer end-to-end integration tests.
+
+These exercise whole vertical slices: real training + simulated experiments
+on the same architecture, trace export/replay, async + adaptive + multitier
+features composed, and determinism of the entire stack.
+"""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.core.session import Session, SessionConfig
+from repro.experiments.common import ExperimentConfig, run_trace_mode
+from repro.nn.graph import GraphBuilder
+from repro.nn.training import train_mlp
+from repro.policies import AdaptivePolicy, MultiTierPolicy, OptimizingPolicy
+from repro.memory.device import MemoryDevice
+from repro.runtime.executor import CachedArraysAdapter, Executor
+from repro.runtime.kernel import ExecutionParams
+from repro.units import KiB, MiB
+from repro.workloads.annotate import annotate
+from repro.workloads.serialize import load_trace, save_trace
+
+
+def small_cnn_graph(batch=8):
+    g = GraphBuilder(batch, input_hw=(16, 16), in_channels=3, name="e2e")
+    x = g.conv(g.input, 8)
+    x = g.pool(x, 2)
+    x = g.conv(x, 16)
+    x = g.global_pool(x)
+    g.classifier(x, classes=4)
+    return g
+
+
+class TestTraceLifecycle:
+    def test_build_export_reload_execute(self):
+        """Model -> trace -> JSON -> reload -> execute on both systems."""
+        trace = small_cnn_graph().training_trace()
+        buffer = io.StringIO()
+        save_trace(trace, buffer)
+        buffer.seek(0)
+        reloaded = load_trace(buffer)
+        config = ExperimentConfig(
+            scale=1,
+            iterations=2,
+            dram_bytes=2 * MiB,
+            nvram_bytes=64 * MiB,
+            sample_timeline=False,
+        )
+        for mode in ("CA:LM", "2LM:0"):
+            annotated = annotate(reloaded, memopt=mode.endswith("M"))
+            result = run_trace_mode(annotated, mode, config, model_label="e2e")
+            assert result.iteration.seconds > 0
+
+    def test_simulated_footprint_matches_trace_metadata(self):
+        graph = small_cnn_graph()
+        trace = graph.training_trace()
+        assert trace.peak_live_bytes() >= graph.activation_bytes()
+
+
+class TestDeterminism:
+    def test_identical_runs_produce_identical_results(self):
+        config = ExperimentConfig(
+            scale=64, iterations=2, sample_timeline=False
+        )
+        first = run_trace_mode(
+            annotate(small_cnn_graph(64).training_trace(), memopt=True),
+            "CA:LM",
+            config,
+            model_label="det",
+        ).iteration
+        second = run_trace_mode(
+            annotate(small_cnn_graph(64).training_trace(), memopt=True),
+            "CA:LM",
+            config,
+            model_label="det",
+        ).iteration
+        assert first.seconds == second.seconds
+        for device in first.traffic:
+            assert (
+                first.traffic[device].total_bytes
+                == second.traffic[device].total_bytes
+            )
+
+    def test_training_deterministic_per_seed(self):
+        with Session(
+            SessionConfig(dram=MiB, nvram=32 * MiB, real=True),
+            policy=OptimizingPolicy(local_alloc=True),
+        ) as a:
+            losses_a = train_mlp(a, steps=8, seed=11).losses
+        with Session(
+            SessionConfig(dram=MiB, nvram=32 * MiB, real=True),
+            policy=OptimizingPolicy(local_alloc=True),
+        ) as b:
+            losses_b = train_mlp(b, steps=8, seed=11).losses
+        assert losses_a == losses_b
+
+
+class TestFeatureComposition:
+    def test_adaptive_policy_on_cnn_trace(self):
+        """The DLRM policy still handles CNN training correctly."""
+        trace = annotate(small_cnn_graph(32).training_trace(), memopt=True)
+        session = Session(
+            SessionConfig(dram=512 * KiB, nvram=64 * MiB),
+            policy=AdaptivePolicy(local_alloc=True),
+        )
+        executor = Executor(
+            CachedArraysAdapter(session, ExecutionParams()), sample_timeline=False
+        )
+        iteration = executor.run(trace, iterations=2).steady_state()
+        session.manager.check_invariants()
+        session.close()
+        assert iteration.seconds > 0
+
+    def test_multitier_with_async_movement(self):
+        trace = annotate(small_cnn_graph(32).training_trace(), memopt=True)
+        devices = [
+            MemoryDevice.dram(512 * KiB),
+            MemoryDevice.cxl(2 * MiB, name="CXL"),
+            MemoryDevice.nvram(64 * MiB),
+        ]
+        session = Session(
+            SessionConfig(devices=devices, async_movement=True),
+            policy=MultiTierPolicy(["DRAM", "CXL", "NVRAM"]),
+        )
+        executor = Executor(
+            CachedArraysAdapter(session, ExecutionParams()), sample_timeline=False
+        )
+        iteration = executor.run(trace, iterations=2).steady_state()
+        session.manager.check_invariants()
+        session.close()
+        assert iteration.seconds > 0
+
+    def test_lookahead_with_prefetch_policy_and_async(self):
+        trace = annotate(
+            small_cnn_graph(32).training_trace(), memopt=True, lookahead=4
+        )
+        session = Session(
+            SessionConfig(dram=512 * KiB, nvram=64 * MiB, async_movement=True),
+            policy=OptimizingPolicy(local_alloc=True, prefetch=True),
+        )
+        executor = Executor(
+            CachedArraysAdapter(session, ExecutionParams()), sample_timeline=False
+        )
+        iteration = executor.run(trace, iterations=2).steady_state()
+        session.close()
+        assert iteration.seconds > 0
+
+
+class TestRealAndSimulatedConsistency:
+    def test_real_training_traffic_nonzero_iff_spilling(self):
+        roomy = Session(
+            SessionConfig(dram=32 * MiB, nvram=64 * MiB, real=True),
+            policy=OptimizingPolicy(local_alloc=True),
+        )
+        result = train_mlp(roomy, steps=5)
+        roomy.close()
+        assert result.traffic["NVRAM"] == (0, 0)
+
+        tight = Session(
+            SessionConfig(dram=128 * KiB, nvram=64 * MiB, real=True),
+            policy=OptimizingPolicy(local_alloc=True),
+        )
+        result = train_mlp(tight, steps=5)
+        tight.close()
+        assert sum(result.traffic["NVRAM"]) > 0

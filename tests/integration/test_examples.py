@@ -1,0 +1,37 @@
+"""Every shipped example must run clean (smoke, subprocess)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parents[2] / "examples").glob("*.py")
+)
+
+
+def test_examples_exist():
+    names = {path.name for path in EXAMPLES}
+    assert {
+        "quickstart.py",
+        "train_tiered_mlp.py",
+        "paper_experiments.py",
+        "custom_policy.py",
+        "dram_sweep.py",
+        "cxl_three_tier.py",
+    } <= names
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(path):
+    args = [sys.executable, str(path)]
+    if path.name == "paper_experiments.py":
+        args += ["resnet200-large", "256"]  # small scale for speed
+    if path.name == "dram_sweep.py":
+        args += ["densenet264-small"]
+    completed = subprocess.run(
+        args, capture_output=True, text=True, timeout=300
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert completed.stdout.strip()

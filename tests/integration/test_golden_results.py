@@ -1,0 +1,63 @@
+"""Golden-result pins for the Figure 2 matrix.
+
+The simulator is fully deterministic, so these values are stable; the pin
+protects the calibration (DESIGN.md §2 / EXPERIMENTS.md "Calibration
+notes") from accidental drift. If you *intentionally* recalibrate, first
+re-check every claim in ``tests/integration/test_paper_claims.py``, then
+regenerate this table with::
+
+    python -c "
+    from repro.experiments.common import ExperimentConfig, run_modes
+    cfg = ExperimentConfig(scale=64, iterations=2, sample_timeline=False)
+    for m in GOLDEN:  # noqa
+        res = run_modes(m, list(MODES), cfg)
+        print(m, {k: round(r.iteration.seconds * 64, 1) for k, r in res.items()})
+    "
+"""
+
+import pytest
+
+from repro.experiments.common import ExperimentConfig, run_modes
+
+SCALE = 64
+MODES = ("2LM:0", "2LM:M", "CA:0", "CA:L", "CA:LM", "CA:LMP")
+
+# Iteration seconds at paper magnitude, scale 64, 2 iterations (steady state).
+GOLDEN: dict[str, dict[str, float]] = {
+    "densenet264-large": {
+        "2LM:0": 251.5,
+        "2LM:M": 170.9,
+        "CA:0": 241.9,
+        "CA:L": 136.4,
+        "CA:LM": 107.7,
+        "CA:LMP": 111.1,
+    },
+    "resnet200-large": {
+        "2LM:0": 357.8,
+        "2LM:M": 270.9,
+        "CA:0": 333.5,
+        "CA:L": 246.2,
+        "CA:LM": 152.9,
+        "CA:LMP": 174.6,
+    },
+    "vgg416-large": {
+        "2LM:0": 601.1,
+        "2LM:M": 527.9,
+        "CA:0": 602.0,
+        "CA:L": 579.4,
+        "CA:LM": 475.7,
+        "CA:LMP": 462.5,
+    },
+}
+
+
+@pytest.mark.parametrize("model", sorted(GOLDEN))
+def test_fig2_matrix_matches_golden(model):
+    config = ExperimentConfig(scale=SCALE, iterations=2, sample_timeline=False)
+    results = run_modes(model, list(MODES), config)
+    for mode, expected in GOLDEN[model].items():
+        measured = results[mode].iteration.seconds * SCALE
+        assert measured == pytest.approx(expected, rel=0.03), (
+            f"{model} {mode}: {measured:.1f}s vs golden {expected:.1f}s — "
+            "calibration drifted; see this file's docstring"
+        )

@@ -1,0 +1,131 @@
+"""Copy engine: accounting, timing, thread tuning, real memcpy."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.memory.copyengine import CopyEngine
+from repro.memory.device import MemoryDevice
+from repro.memory.heap import Heap
+from repro.sim.clock import SimClock
+from repro.units import KiB, MiB
+
+
+def heap_pair(real=False):
+    return (
+        Heap(MemoryDevice.dram(4 * MiB, real=real)),
+        Heap(MemoryDevice.nvram(16 * MiB, real=real)),
+    )
+
+
+def test_copy_accounts_traffic_and_time():
+    clock = SimClock()
+    engine = CopyEngine(clock)
+    dram, nvram = heap_pair()
+    src = dram.allocate(MiB)
+    dst = nvram.allocate(MiB)
+    record = engine.copy(dram, src, nvram, dst, MiB)
+    assert dram.traffic.read_bytes == MiB
+    assert nvram.traffic.write_bytes == MiB
+    assert clock.now == record.seconds > 0
+    assert clock.busy("movement") == record.seconds
+
+
+def test_copy_zero_bytes_free():
+    clock = SimClock()
+    engine = CopyEngine(clock)
+    dram, nvram = heap_pair()
+    record = engine.copy(dram, 0, nvram, 0, 0)
+    assert record.seconds == 0.0
+    assert clock.now == 0.0
+
+
+def test_negative_size_rejected():
+    engine = CopyEngine(SimClock())
+    dram, nvram = heap_pair()
+    with pytest.raises(ConfigurationError):
+        engine.copy(dram, 0, nvram, 0, -1)
+
+
+def test_threads_tuned_per_direction():
+    engine = CopyEngine(SimClock(), max_threads=28)
+    dram, nvram = heap_pair()
+    toward_nvram = engine.threads_for(dram, nvram, nt_stores=True)
+    from_nvram = engine.threads_for(nvram, dram, nt_stores=True)
+    assert toward_nvram < from_nvram  # Optane write collapse vs read ramp
+
+
+def test_eviction_slower_than_fill():
+    """DRAM->NVRAM copies beat NVRAM->DRAM in traffic-shaping terms."""
+    engine = CopyEngine(SimClock())
+    dram, nvram = heap_pair()
+    a = dram.allocate(MiB)
+    b = nvram.allocate(MiB)
+    evict = engine.copy(dram, a, nvram, b, MiB)
+    fill = engine.copy(nvram, b, dram, a, MiB)
+    assert evict.seconds > fill.seconds
+
+
+def test_per_transfer_overhead_added_once():
+    clock = SimClock()
+    base = CopyEngine(SimClock())
+    taxed = CopyEngine(clock, per_transfer_overhead=0.5)
+    dram, nvram = heap_pair()
+    a = dram.allocate(KiB)
+    b = nvram.allocate(KiB)
+    r0 = base.copy(dram, a, nvram, b, KiB)
+    r1 = taxed.copy(dram, a, nvram, b, KiB)
+    assert r1.seconds == pytest.approx(r0.seconds + 0.5)
+
+
+def test_overhead_rejected_negative():
+    with pytest.raises(ConfigurationError):
+        CopyEngine(SimClock(), per_transfer_overhead=-1.0)
+
+
+def test_real_copy_moves_bytes():
+    engine = CopyEngine(SimClock())
+    dram, nvram = heap_pair(real=True)
+    src = dram.allocate(KiB)
+    dst = nvram.allocate(KiB)
+    dram.view(src)[:] = np.arange(KiB, dtype=np.uint8) % 250
+    engine.copy(dram, src, nvram, dst, KiB)
+    assert np.array_equal(nvram.view(dst, KiB), dram.view(src, KiB))
+
+
+def test_real_copy_parallel_path():
+    engine = CopyEngine(SimClock(), parallel_threshold=KiB, pool_workers=3)
+    dram, nvram = heap_pair(real=True)
+    src = dram.allocate(2 * MiB)
+    dst = nvram.allocate(2 * MiB)
+    data = np.random.default_rng(0).integers(0, 255, 2 * MiB, dtype=np.uint8)
+    dram.view(src)[:] = data
+    engine.copy(dram, src, nvram, dst, 2 * MiB)
+    assert np.array_equal(nvram.view(dst, 2 * MiB), data)
+    engine.shutdown()
+
+
+def test_mixed_real_virtual_rejected():
+    engine = CopyEngine(SimClock())
+    real = Heap(MemoryDevice.dram(MiB, real=True))
+    virtual = Heap(MemoryDevice.nvram(MiB))
+    a = real.allocate(KiB)
+    b = virtual.allocate(KiB)
+    with pytest.raises(ConfigurationError):
+        engine.copy(real, a, virtual, b, KiB)
+
+
+def test_keep_records():
+    engine = CopyEngine(SimClock())
+    engine.keep_records = True
+    dram, nvram = heap_pair()
+    engine.copy(dram, 0, nvram, 0, KiB)
+    engine.copy(nvram, 0, dram, 0, KiB)
+    assert [r.source for r in engine.records] == ["DRAM", "NVRAM"]
+
+
+def test_context_manager_shuts_down():
+    with CopyEngine(SimClock()) as engine:
+        assert engine._pool is None
+    # shutdown idempotent
+    engine.shutdown()

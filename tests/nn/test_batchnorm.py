@@ -1,0 +1,117 @@
+"""Batch normalisation: forward semantics and gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelError
+from repro.nn import ops
+
+RNG = np.random.default_rng(7)
+
+
+def numerical_grad(f, x, eps=1e-4):
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        up = f()
+        flat[i] = orig - eps
+        down = f()
+        flat[i] = orig
+        grad_flat[i] = (up - down) / (2 * eps)
+    return grad
+
+
+class TestForward:
+    def test_output_normalised_per_channel(self):
+        x = RNG.normal(3.0, 2.0, size=(8, 4, 5, 5))
+        out, _ = ops.batchnorm_forward(x, np.ones(4), np.zeros(4))
+        np.testing.assert_allclose(out.mean(axis=(0, 2, 3)), 0.0, atol=1e-7)
+        np.testing.assert_allclose(out.std(axis=(0, 2, 3)), 1.0, atol=1e-3)
+
+    def test_gamma_beta_affine(self):
+        x = RNG.normal(size=(16, 3))
+        gamma = np.array([2.0, 3.0, 4.0])
+        beta = np.array([1.0, -1.0, 0.5])
+        out, _ = ops.batchnorm_forward(x, gamma, beta)
+        np.testing.assert_allclose(out.mean(axis=0), beta, atol=1e-7)
+        np.testing.assert_allclose(out.std(axis=0), gamma, atol=1e-3)
+
+    def test_2d_and_4d_supported(self):
+        for shape in ((6, 3), (2, 3, 4, 4)):
+            out, _ = ops.batchnorm_forward(
+                RNG.normal(size=shape), np.ones(3), np.zeros(3)
+            )
+            assert out.shape == shape
+
+    def test_bad_rank_rejected(self):
+        with pytest.raises(KernelError):
+            ops.batchnorm_forward(RNG.normal(size=(2, 3, 4)), np.ones(3), np.zeros(3))
+
+    def test_bad_param_shape_rejected(self):
+        with pytest.raises(KernelError):
+            ops.batchnorm_forward(RNG.normal(size=(4, 3)), np.ones(2), np.zeros(3))
+
+
+class TestBackward:
+    @pytest.mark.parametrize("shape", [(5, 3), (2, 2, 3, 3)])
+    def test_gradients_numerically(self, shape):
+        x = RNG.normal(size=shape)
+        channels = shape[1]
+        gamma = RNG.normal(size=channels) + 1.5
+        beta = RNG.normal(size=channels)
+        grad_out = RNG.normal(size=shape)
+
+        def loss():
+            out, _ = ops.batchnorm_forward(x, gamma, beta)
+            return float((out * grad_out).sum())
+
+        _, cache = ops.batchnorm_forward(x, gamma, beta)
+        grad_x, grad_gamma, grad_beta = ops.batchnorm_backward(
+            grad_out, cache, gamma
+        )
+        np.testing.assert_allclose(grad_x, numerical_grad(loss, x), atol=2e-4)
+        np.testing.assert_allclose(
+            grad_gamma, numerical_grad(loss, gamma), atol=2e-4
+        )
+        np.testing.assert_allclose(
+            grad_beta, numerical_grad(loss, beta), atol=2e-4
+        )
+
+
+class TestAutogradIntegration:
+    def test_bn_mlp_trains_on_tiered_memory(self):
+        from repro.core.session import Session, SessionConfig
+        from repro.nn.autograd import Tape
+        from repro.nn.training import make_blobs
+        from repro.policies.optimizing import OptimizingPolicy
+        from repro.units import KiB, MiB
+
+        session = Session(
+            SessionConfig(dram=256 * KiB, nvram=64 * MiB, real=True),
+            policy=OptimizingPolicy(local_alloc=True),
+        )
+        rng = np.random.default_rng(0)
+        data, labels = make_blobs(128, 16, 3, seed=0)
+        tape = Tape(session)
+        w1 = tape.parameter(rng.normal(scale=0.2, size=(32, 16)), "w1")
+        b1 = tape.parameter(np.zeros(32), "b1")
+        gamma = tape.parameter(np.ones(32), "gamma")
+        beta = tape.parameter(np.zeros(32), "beta")
+        w2 = tape.parameter(rng.normal(scale=0.2, size=(3, 32)), "w2")
+        b2 = tape.parameter(np.zeros(3), "b2")
+        params = [w1, b1, gamma, beta, w2, b2]
+        losses = []
+        for _ in range(20):
+            x = tape.input(data)
+            h = tape.relu(tape.batchnorm(tape.linear(x, w1, b1), gamma, beta))
+            logits = tape.linear(h, w2, b2)
+            losses.append(tape.softmax_cross_entropy(logits, labels))
+            tape.backward()
+            tape.sgd_step(params, lr=0.1)
+            x.retire()
+        session.close()
+        assert losses[-1] < losses[0] * 0.5
+        assert gamma is params[2]  # gamma survived as a parameter

@@ -1,0 +1,171 @@
+"""Numpy kernels: forward correctness and gradient checks.
+
+Every backward implementation is verified against central-difference
+numerical gradients — the strongest available oracle.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelError
+from repro.nn import ops
+
+RNG = np.random.default_rng(42)
+
+
+def numerical_grad(f, x, eps=1e-3):
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        up = f()
+        flat[i] = orig - eps
+        down = f()
+        flat[i] = orig
+        grad_flat[i] = (up - down) / (2 * eps)
+    return grad
+
+
+class TestConv2d:
+    def test_forward_matches_naive(self):
+        x = RNG.random((2, 3, 5, 5))
+        w = RNG.random((4, 3, 3, 3))
+        b = RNG.random(4)
+        out, _ = ops.conv2d_forward(x, w, b, stride=1, padding=1)
+        assert out.shape == (2, 4, 5, 5)
+        # Naive direct convolution at one output point.
+        padded = np.pad(x, ((0, 0), (0, 0), (1, 1), (1, 1)))
+        expected = (padded[0, :, 1:4, 1:4] * w[2]).sum() + b[2]
+        assert out[0, 2, 1, 1] == pytest.approx(expected)
+
+    def test_forward_stride_and_padding(self):
+        x = RNG.random((1, 1, 8, 8))
+        w = RNG.random((2, 1, 3, 3))
+        out, _ = ops.conv2d_forward(x, w, np.zeros(2), stride=2, padding=1)
+        assert out.shape == (1, 2, 4, 4)
+
+    def test_channel_mismatch_rejected(self):
+        with pytest.raises(KernelError):
+            ops.conv2d_forward(
+                RNG.random((1, 3, 4, 4)), RNG.random((2, 4, 3, 3)), np.zeros(2)
+            )
+
+    def test_gradients_numerically(self):
+        x = RNG.random((2, 2, 4, 4))
+        w = RNG.random((3, 2, 3, 3))
+        b = RNG.random(3)
+        grad_out = RNG.random((2, 3, 4, 4))
+
+        def loss():
+            out, _ = ops.conv2d_forward(x, w, b)
+            return float((out * grad_out).sum())
+
+        _, cols = ops.conv2d_forward(x, w, b)
+        grad_x, grad_w, grad_b = ops.conv2d_backward(
+            grad_out, x.shape, cols, w
+        )
+        np.testing.assert_allclose(grad_x, numerical_grad(loss, x), atol=1e-4)
+        np.testing.assert_allclose(grad_w, numerical_grad(loss, w), atol=1e-4)
+        np.testing.assert_allclose(grad_b, numerical_grad(loss, b), atol=1e-4)
+
+
+class TestIm2col:
+    def test_col2im_is_adjoint_of_im2col(self):
+        """<im2col(x), y> == <x, col2im(y)> for all x, y (adjoint test)."""
+        x = RNG.random((2, 3, 6, 6))
+        cols, _ = ops.im2col(x, kernel=3, stride=1, padding=1)
+        y = RNG.random(cols.shape)
+        lhs = float((cols * y).sum())
+        rhs = float((x * ops.col2im(y, x.shape, 3, 1, 1)).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(KernelError):
+            ops.im2col(RNG.random((1, 1, 2, 2)), kernel=5, stride=1, padding=0)
+
+
+class TestLinear:
+    def test_forward(self):
+        x = RNG.random((4, 3))
+        w = RNG.random((2, 3))
+        b = RNG.random(2)
+        out = ops.linear_forward(x, w, b)
+        np.testing.assert_allclose(out, x @ w.T + b)
+
+    def test_gradients_numerically(self):
+        x = RNG.random((3, 4))
+        w = RNG.random((2, 4))
+        grad_out = RNG.random((3, 2))
+
+        def loss():
+            return float((ops.linear_forward(x, w, b) * grad_out).sum())
+
+        b = RNG.random(2)
+        grad_x, grad_w, grad_b = ops.linear_backward(grad_out, x, w)
+        np.testing.assert_allclose(grad_x, numerical_grad(loss, x), atol=1e-5)
+        np.testing.assert_allclose(grad_w, numerical_grad(loss, w), atol=1e-5)
+        np.testing.assert_allclose(grad_b, numerical_grad(loss, b), atol=1e-5)
+
+
+class TestRelu:
+    def test_forward(self):
+        x = np.array([-1.0, 0.0, 2.0])
+        np.testing.assert_array_equal(ops.relu_forward(x), [0.0, 0.0, 2.0])
+
+    def test_backward_masks_negative(self):
+        out = ops.relu_forward(np.array([-1.0, 3.0]))
+        grad = ops.relu_backward(np.array([5.0, 5.0]), out)
+        np.testing.assert_array_equal(grad, [0.0, 5.0])
+
+
+class TestMaxPool:
+    def test_forward_picks_max(self):
+        x = np.arange(16, dtype=np.float64).reshape(1, 1, 4, 4)
+        out, _ = ops.maxpool2d_forward(x, 2)
+        np.testing.assert_array_equal(out[0, 0], [[5, 7], [13, 15]])
+
+    def test_backward_routes_gradient_to_argmax(self):
+        x = np.arange(16, dtype=np.float64).reshape(1, 1, 4, 4)
+        out, mask = ops.maxpool2d_forward(x, 2)
+        grad = ops.maxpool2d_backward(np.ones_like(out), mask, x.shape, 2)
+        assert grad.sum() == 4.0
+        assert grad[0, 0, 1, 1] == 1.0  # position of "5"
+        assert grad[0, 0, 0, 0] == 0.0
+
+    def test_overlapping_stride_rejected(self):
+        with pytest.raises(KernelError):
+            ops.maxpool2d_forward(RNG.random((1, 1, 4, 4)), kernel=2, stride=1)
+
+
+class TestSoftmaxXent:
+    def test_loss_of_perfect_prediction_near_zero(self):
+        logits = np.array([[100.0, 0.0], [0.0, 100.0]], dtype=np.float32)
+        loss, _ = ops.softmax_cross_entropy(logits, np.array([0, 1]))
+        assert loss < 1e-6
+
+    def test_uniform_logits_log_classes(self):
+        logits = np.zeros((4, 8), dtype=np.float32)
+        loss, _ = ops.softmax_cross_entropy(logits, np.zeros(4, dtype=np.int64))
+        assert loss == pytest.approx(np.log(8), rel=1e-5)
+
+    def test_gradient_numerically(self):
+        logits = RNG.random((3, 5)).astype(np.float64)
+        labels = np.array([1, 4, 2])
+
+        def loss():
+            value, _ = ops.softmax_cross_entropy(logits, labels)
+            return value
+
+        _, grad = ops.softmax_cross_entropy(logits, labels)
+        np.testing.assert_allclose(grad, numerical_grad(loss, logits), atol=1e-5)
+
+    def test_gradient_rows_sum_to_zero(self):
+        logits = RNG.random((4, 6)).astype(np.float32)
+        _, grad = ops.softmax_cross_entropy(logits, np.array([0, 1, 2, 3]))
+        np.testing.assert_allclose(grad.sum(axis=1), 0.0, atol=1e-6)
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(KernelError):
+            ops.softmax_cross_entropy(np.zeros((2, 2, 2)), np.zeros(2, dtype=int))

@@ -1,0 +1,74 @@
+"""LSTM workload builder: BPTT lifetime structure."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nn.rnn import lstm
+from repro.workloads.trace import Free, Kernel
+
+
+def test_trace_validates():
+    lstm(layers=2, batch=4, seq=16, dim=32).training_trace().validate()
+
+
+def test_configuration_checked():
+    with pytest.raises(ConfigurationError):
+        lstm(layers=0, batch=1, seq=4, dim=8)
+    with pytest.raises(ConfigurationError):
+        lstm(layers=1, batch=1, seq=0, dim=8)
+
+
+def test_weights_shared_across_timesteps():
+    g = lstm(layers=2, batch=2, seq=8, dim=16)
+    trace = g.training_trace()
+    updates = [k for k in trace.kernels() if k.phase == "update"]
+    # 2 layers x (weight + bias + h0) + classifier (w, b) = 8 updates,
+    # regardless of seq.
+    assert len(updates) == 8
+
+
+def test_kernel_count_scales_with_sequence():
+    short = sum(1 for _ in lstm(layers=1, batch=2, seq=8, dim=16).training_trace().kernels())
+    long = sum(1 for _ in lstm(layers=1, batch=2, seq=32, dim=16).training_trace().kernels())
+    assert long > 3 * short
+
+
+def test_bptt_frees_states_in_reverse_time_order():
+    g = lstm(layers=1, batch=2, seq=6, dim=8)
+    trace = g.training_trace()
+    state_names = [
+        n.output.name for n in g.nodes if n.op.startswith("lstm_state")
+    ]
+    free_order = [
+        e.tensor for e in trace.events
+        if isinstance(e, Free) and e.tensor in state_names
+    ]
+    assert free_order == list(reversed(state_names))
+
+
+def test_many_small_tensors_profile():
+    """The RNN profile: far more, far smaller tensors than a CNN."""
+    g = lstm(layers=2, batch=8, seq=64, dim=64)
+    trace = g.training_trace()
+    sizes = [spec.nbytes for spec in trace.tensors.values()]
+    assert len(sizes) > 600
+    assert max(sizes) < 20 * 1024 * 1024  # classifier head is the biggest
+
+
+def test_runs_under_memory_pressure():
+    from repro.experiments.common import ExperimentConfig, run_trace_mode
+    from repro.units import KiB, MiB
+    from repro.workloads.annotate import annotate
+
+    trace = lstm(layers=2, batch=8, seq=32, dim=64).training_trace()
+    config = ExperimentConfig(
+        scale=1,
+        iterations=2,
+        dram_bytes=512 * KiB,
+        nvram_bytes=64 * MiB,
+        sample_timeline=False,
+    )
+    for mode in ("CA:LM", "2LM:0"):
+        annotated = annotate(trace, memopt=mode.endswith("M"))
+        result = run_trace_mode(annotated, mode, config, model_label="lstm")
+        assert result.iteration.seconds > 0

@@ -1,0 +1,158 @@
+"""Transformer / MoE workload builders (Section VI)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nn.transformer import moe_transformer, transformer
+from repro.workloads.trace import Alloc, Kernel
+
+
+def small_transformer(**kwargs):
+    defaults = dict(layers=4, batch=2, seq=64, dim=32, heads=4)
+    defaults.update(kwargs)
+    return transformer(**defaults)
+
+
+class TestTransformer:
+    def test_trace_validates(self):
+        small_transformer().training_trace().validate()
+
+    def test_dim_heads_divisibility(self):
+        with pytest.raises(ConfigurationError):
+            transformer(layers=1, batch=1, seq=8, dim=30, heads=4)
+
+    def test_needs_layers(self):
+        with pytest.raises(ConfigurationError):
+            transformer(layers=0, batch=1, seq=8, dim=32, heads=4)
+
+    def test_attention_scores_materialised(self):
+        g = small_transformer()
+        scores = [n for n in g.nodes if n.op == "attn_scores"]
+        assert len(scores) == 4
+        assert scores[0].output.shape == (2, 4, 64, 64)
+
+    def test_footprint_quadratic_in_sequence(self):
+        """The (B,H,S,S) score tensors dominate at long sequences."""
+        short = (
+            small_transformer(seq=128, vocab=100).training_trace().peak_live_bytes()
+        )
+        long = (
+            small_transformer(seq=512, vocab=100).training_trace().peak_live_bytes()
+        )
+        assert long > 8 * short  # ~quadratic, not linear
+
+    def test_flops_counts(self):
+        g = small_transformer(layers=1)
+        qkv = next(n for n in g.nodes if n.op == "qkv_proj")
+        assert qkv.flops == 2.0 * 2 * 64 * 32 * 96
+
+    def test_residual_adds_present(self):
+        g = small_transformer(layers=3)
+        assert sum(1 for n in g.nodes if n.op == "add") == 6  # 2 per layer
+
+
+class TestMoE:
+    def make(self, **kwargs):
+        defaults = dict(
+            layers=6, batch=2, seq=32, dim=32, heads=4,
+            experts=8, active_per_layer=2, seed=0,
+        )
+        defaults.update(kwargs)
+        return moe_transformer(**defaults)
+
+    def test_trace_validates(self):
+        self.make().training_trace().validate()
+
+    def test_active_bounds_checked(self):
+        with pytest.raises(ConfigurationError):
+            self.make(active_per_layer=9)
+
+    def test_all_expert_weights_resident(self):
+        """Cold experts still consume memory — the MoE capacity burden."""
+        g = self.make(experts=8)
+        trace = g.training_trace()
+        allocs = {e.tensor for e in trace.events if isinstance(e, Alloc)}
+        for index in range(8):
+            assert any(f"w_expert{index}_up" in name for name in allocs)
+
+    def test_only_active_experts_compute(self):
+        g = self.make(experts=8, active_per_layer=2, layers=6)
+        expert_kernels = [n for n in g.nodes if n.op.startswith("expert")]
+        assert len(expert_kernels) == 12  # 2 per layer
+        used = {n.op for n in expert_kernels}
+        assert len(used) < 8  # Zipf skew: some experts never chosen
+
+    def test_shared_experts_update_once(self):
+        trace = self.make().training_trace()
+        updates = [
+            k.name for k in trace.kernels()
+            if k.phase == "update" and "expert" in k.name
+        ]
+        assert len(updates) == len(set(updates))
+
+    def test_expert_selection_deterministic_per_seed(self):
+        a = self.make(seed=5)
+        b = self.make(seed=5)
+        assert [n.op for n in a.nodes] == [n.op for n in b.nodes]
+        c = self.make(seed=6)
+        assert [n.op for n in a.nodes] != [n.op for n in c.nodes]
+
+    def test_zipf_skew_concentrates_on_head_experts(self):
+        g = self.make(layers=32, experts=8, zipf_exponent=1.5, seed=2)
+        counts: dict[str, int] = {}
+        for node in g.nodes:
+            if node.op.startswith("expert"):
+                counts[node.op] = counts.get(node.op, 0) + 1
+        assert counts.get("expert0", 0) >= max(
+            counts.get(f"expert{i}", 0) for i in range(4, 8)
+        )
+
+
+class TestExecution:
+    def test_transformer_runs_on_both_systems(self):
+        from repro.experiments.common import ExperimentConfig, run_trace_mode
+        from repro.units import MiB
+        from repro.workloads.annotate import annotate
+
+        trace = small_transformer(seq=128).training_trace()
+        config = ExperimentConfig(
+            scale=1,
+            iterations=2,
+            dram_bytes=8 * MiB,
+            nvram_bytes=512 * MiB,
+            sample_timeline=False,
+        )
+        ca = run_trace_mode(annotate(trace, memopt=True), "CA:LM", config)
+        lm = run_trace_mode(annotate(trace, memopt=False), "2LM:0", config)
+        assert ca.iteration.seconds > 0
+        assert lm.iteration.cache is not None
+
+    def test_moe_cold_experts_end_up_in_slow_memory(self):
+        """The tiering win for MoE: cold experts sink to NVRAM."""
+        from repro.core.session import Session, SessionConfig
+        from repro.policies import OptimizingPolicy
+        from repro.runtime.executor import CachedArraysAdapter, Executor
+        from repro.runtime.kernel import ExecutionParams
+        from repro.units import MiB
+        from repro.workloads.annotate import annotate
+
+        g = moe_transformer(
+            layers=8, batch=2, seq=64, dim=64, heads=4,
+            experts=16, active_per_layer=1, zipf_exponent=2.0, seed=1,
+        )
+        trace = annotate(g.training_trace(), memopt=True)
+        session = Session(
+            SessionConfig(dram=2 * MiB, nvram=256 * MiB),
+            policy=OptimizingPolicy(local_alloc=True),
+        )
+        executor = Executor(
+            CachedArraysAdapter(session, ExecutionParams()), sample_timeline=False
+        )
+        executor.run(trace, iterations=2)
+        cold_in_slow = 0
+        for name, obj in executor.adapter.objects.items():
+            if "w_expert" in name and obj.primary is not None:
+                if obj.primary.device_name == "NVRAM":
+                    cold_in_slow += 1
+        session.close()
+        assert cold_in_slow > 8  # most of the 32 expert halves sank

@@ -1,0 +1,103 @@
+"""Adaptive (frequency/regret) policy on DLRM-style workloads."""
+
+import pytest
+
+from repro.core.session import Session, SessionConfig
+from repro.policies.adaptive import AdaptivePolicy
+from repro.policies.optimizing import OptimizingPolicy
+from repro.runtime.executor import CachedArraysAdapter, Executor
+from repro.runtime.kernel import ExecutionParams
+from repro.units import MiB
+from repro.workloads.annotate import annotate
+from repro.workloads.synthetic import random_reuse_trace, shifting_reuse_trace
+
+
+def run_policy(policy, trace, *, dram=16 * MiB):
+    session = Session(SessionConfig(dram=dram, nvram=256 * MiB), policy=policy)
+    executor = Executor(CachedArraysAdapter(session, ExecutionParams()))
+    iteration = executor.run(trace, iterations=2).steady_state()
+    session.close()
+    return iteration
+
+
+@pytest.fixture(scope="module")
+def skewed_trace():
+    return annotate(
+        random_reuse_trace(working_set=64, kernels=600, tensor_bytes=MiB, seed=1),
+        memopt=True,
+    )
+
+
+def test_alpha_validated():
+    with pytest.raises(ValueError):
+        AdaptivePolicy(alpha=1.5)
+
+
+def test_beats_lru_on_stable_skew(skewed_trace):
+    """Frequency awareness keeps the hot head resident under skewed reuse."""
+    lru = run_policy(OptimizingPolicy(local_alloc=True, prefetch=True), skewed_trace)
+    adaptive = run_policy(
+        AdaptivePolicy(local_alloc=True, prefetch=True), skewed_trace
+    )
+    assert (
+        adaptive.traffic["NVRAM"].read_bytes < lru.traffic["NVRAM"].read_bytes
+    )
+    assert adaptive.policy_stats["evictions"] < lru.policy_stats["evictions"]
+
+
+def test_regrets_push_alpha_toward_frequency(skewed_trace):
+    policy = AdaptivePolicy(local_alloc=True, prefetch=True, alpha=0.2)
+    run_policy(policy, skewed_trace)
+    assert policy.regrets > 0
+    assert policy.alpha > 0.2
+
+
+def test_competitive_on_shifting_hotset():
+    """When locality shifts, the adaptive policy must not collapse."""
+    trace = annotate(
+        shifting_reuse_trace(
+            working_set=64, kernels_per_phase=200, phases=3, tensor_bytes=MiB, seed=1
+        ),
+        memopt=True,
+    )
+    lru = run_policy(OptimizingPolicy(local_alloc=True, prefetch=True), trace)
+    adaptive = run_policy(AdaptivePolicy(local_alloc=True, prefetch=True), trace)
+    assert (
+        adaptive.traffic["NVRAM"].read_bytes
+        < 1.15 * lru.traffic["NVRAM"].read_bytes
+    )
+
+
+def test_no_pressure_means_no_behavior_change(skewed_trace):
+    """With DRAM large enough, the policy never needs to choose victims."""
+    adaptive = run_policy(
+        AdaptivePolicy(local_alloc=True, prefetch=True),
+        skewed_trace,
+        dram=256 * MiB,
+    )
+    assert adaptive.policy_stats["evictions"] == 0
+    assert adaptive.traffic["NVRAM"].total_bytes == 0
+
+
+def test_inherits_correctness_machinery(skewed_trace):
+    """The adaptive policy reuses the base invariant unchanged."""
+    policy = AdaptivePolicy(local_alloc=True, prefetch=True)
+    session = Session(SessionConfig(dram=16 * MiB, nvram=256 * MiB), policy=policy)
+    executor = Executor(CachedArraysAdapter(session, ExecutionParams()))
+    executor.run(skewed_trace)
+    policy.check_invariant()
+    session.manager.check_invariants()
+    session.close()
+
+
+def test_retire_cleans_tracking_state():
+    policy = AdaptivePolicy(local_alloc=True)
+    session = Session(SessionConfig(dram=16 * MiB, nvram=64 * MiB), policy=policy)
+    obj = session.manager.new_object(MiB, "x")
+    policy.place(obj)
+    policy.will_use(obj)
+    assert obj.id in policy._frequency
+    policy.retire(obj)
+    assert obj.id not in policy._frequency
+    assert obj.id not in policy._last_touch
+    session.close()

@@ -1,0 +1,112 @@
+"""Data integrity through arbitrary migration sequences (real-backed).
+
+The strongest end-to-end property: however the policy shuffles objects
+between devices (hints, pressure-driven evictions, prefetches, kernels,
+defragmentation), every array's contents always match a host-side shadow
+copy, and the policy invariant (fast regions are primaries) holds throughout.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.session import Session, SessionConfig
+from repro.policies.optimizing import OptimizingPolicy
+from repro.units import KiB
+
+
+OPS = st.sampled_from(
+    ["create", "write", "read", "will_read", "will_write", "archive",
+     "retire", "defrag", "kernel"]
+)
+
+
+@given(
+    st.lists(st.tuples(OPS, st.integers(0, 30), st.integers(0, 1000)), max_size=60),
+    st.booleans(),
+)
+@settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_contents_survive_any_migration_sequence(ops, prefetch):
+    policy = OptimizingPolicy(local_alloc=True, prefetch=prefetch)
+    session = Session(
+        SessionConfig(dram=24 * KiB, nvram=512 * KiB, real=True), policy=policy
+    )
+    shadow: dict[int, np.ndarray] = {}
+    arrays: dict[int, object] = {}
+    counter = 0
+    try:
+        for op, index, seed in ops:
+            live = sorted(arrays)
+            target = arrays[live[index % len(live)]] if live else None
+            if op == "create":
+                size = 64 * (1 + seed % 48)  # 256 B .. 12 KiB
+                array = session.empty((size,), np.float32, name=f"t{counter}")
+                values = np.full(size, float(seed), dtype=np.float32)
+                array.write(values)
+                arrays[counter] = array
+                shadow[counter] = values
+                counter += 1
+            elif target is None:
+                continue
+            elif op == "write":
+                key = [k for k, v in arrays.items() if v is target][0]
+                values = np.arange(target.size, dtype=np.float32) + seed
+                target.write(values)
+                shadow[key] = values
+            elif op == "read":
+                key = [k for k, v in arrays.items() if v is target][0]
+                assert np.array_equal(target.read(), shadow[key])
+            elif op == "will_read":
+                target.will_read()
+            elif op == "will_write":
+                target.will_write()
+            elif op == "archive":
+                target.archive()
+            elif op == "retire":
+                key = [k for k, v in arrays.items() if v is target][0]
+                target.retire()
+                del arrays[key], shadow[key]
+            elif op == "defrag":
+                session.defragment()
+            elif op == "kernel":
+                key = [k for k, v in arrays.items() if v is target][0]
+                with session.kernel(reads=[target], writes=[target]) as (
+                    (rv,),
+                    (wv,),
+                ):
+                    wv[...] = rv * 2.0
+                shadow[key] = shadow[key] * 2.0
+            policy.check_invariant()
+            session.manager.check_invariants()
+        # Final sweep: every surviving array still holds its shadow value.
+        for key, array in arrays.items():
+            assert np.array_equal(array.read(), shadow[key])
+    finally:
+        session.close()
+
+
+@given(st.integers(0, 2**32 - 1))
+@settings(max_examples=10, deadline=None)
+def test_pressure_storm_keeps_contents(seed):
+    """Allocate far beyond DRAM; every array must survive the churn."""
+    rng = np.random.default_rng(seed)
+    session = Session(
+        SessionConfig(dram=16 * KiB, nvram=1024 * KiB, real=True),
+        policy=OptimizingPolicy(local_alloc=True),
+    )
+    try:
+        arrays = []
+        for i in range(40):
+            size = int(rng.integers(16, 2048))
+            array = session.empty((size,), np.float32, name=f"s{i}")
+            values = rng.random(size).astype(np.float32)
+            array.write(values)
+            arrays.append((array, values))
+        for array, values in arrays:
+            assert np.array_equal(array.read(), values)
+    finally:
+        session.close()

@@ -1,0 +1,94 @@
+"""NUMA baselines: interleave and first-touch placement."""
+
+import pytest
+
+from repro.core.manager import DataManager
+from repro.core.policy_api import AccessIntent
+from repro.errors import ConfigurationError, OutOfMemoryError
+from repro.memory.copyengine import CopyEngine
+from repro.memory.device import MemoryDevice
+from repro.memory.heap import Heap
+from repro.policies.interleave import FirstTouchPolicy, InterleavePolicy
+from repro.sim.clock import SimClock
+from repro.units import KiB
+
+
+def build(policy, dram=64 * KiB, nvram=192 * KiB):
+    heaps = {
+        "DRAM": Heap(MemoryDevice.dram(dram)),
+        "NVRAM": Heap(MemoryDevice.nvram(nvram)),
+    }
+    manager = DataManager(heaps, CopyEngine(SimClock()))
+    policy.bind(manager)
+    return manager, policy
+
+
+def place_many(manager, policy, count, size=8 * KiB):
+    objs = []
+    for i in range(count):
+        obj = manager.new_object(size, f"o{i}")
+        policy.place(obj)
+        objs.append(obj)
+    return objs
+
+
+class TestInterleave:
+    def test_capacity_weighted_distribution(self):
+        manager, policy = build(InterleavePolicy())  # 1:3 capacity ratio
+        objs = place_many(manager, policy, 16)
+        on_dram = sum(
+            1 for o in objs if manager.getprimary(o).device_name == "DRAM"
+        )
+        assert on_dram == 4  # 16 x 64/(64+192)
+
+    def test_unknown_device_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build(InterleavePolicy(["HBM"]))
+
+    def test_hints_are_noops(self):
+        manager, policy = build(InterleavePolicy())
+        obj = place_many(manager, policy, 1)[0]
+        before = manager.getprimary(obj)
+        policy.will_write(obj)
+        policy.will_read(obj)
+        policy.archive(obj)
+        assert manager.getprimary(obj) is before
+        for intent in AccessIntent:
+            assert policy.ensure_resident(obj, intent) is before
+
+    def test_spills_when_preferred_device_full(self):
+        manager, policy = build(InterleavePolicy(), dram=8 * KiB)
+        objs = place_many(manager, policy, 8)
+        assert all(
+            manager.getprimary(o).device_name in ("DRAM", "NVRAM") for o in objs
+        )
+
+    def test_oom_when_everything_full(self):
+        manager, policy = build(InterleavePolicy(), dram=8 * KiB, nvram=8 * KiB)
+        with pytest.raises(OutOfMemoryError):
+            place_many(manager, policy, 1, size=32 * KiB)
+
+    def test_retire_inherited(self):
+        manager, policy = build(InterleavePolicy())
+        obj = place_many(manager, policy, 1)[0]
+        policy.retire(obj)
+        assert obj.retired
+
+
+class TestFirstTouch:
+    def test_fills_first_node_then_spills(self):
+        manager, policy = build(FirstTouchPolicy(["DRAM", "NVRAM"]))
+        objs = place_many(manager, policy, 12)
+        devices = [manager.getprimary(o).device_name for o in objs]
+        assert devices[:8] == ["DRAM"] * 8  # 64 KiB / 8 KiB
+        assert set(devices[8:]) == {"NVRAM"}
+
+    def test_default_order_is_device_order(self):
+        manager, policy = build(FirstTouchPolicy())
+        assert policy.order == ["DRAM", "NVRAM"]
+
+    def test_never_moves(self):
+        manager, policy = build(FirstTouchPolicy())
+        obj = place_many(manager, policy, 1)[0]
+        policy.will_write(obj)
+        assert manager.getprimary(obj).device_name == "DRAM"

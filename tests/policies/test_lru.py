@@ -1,0 +1,81 @@
+"""LRU tracker ordering semantics."""
+
+from repro.core.object import MemObject
+from repro.policies.lru import LruTracker
+
+
+def objs(n):
+    return [MemObject(64, f"o{i}") for i in range(n)]
+
+
+def test_touch_orders_cold_to_hot():
+    tracker = LruTracker()
+    a, b, c = objs(3)
+    for obj in (a, b, c):
+        tracker.touch(obj)
+    assert list(tracker.coldest_first()) == [a, b, c]
+
+
+def test_touch_moves_to_hot_end():
+    tracker = LruTracker()
+    a, b, c = objs(3)
+    for obj in (a, b, c):
+        tracker.touch(obj)
+    tracker.touch(a)
+    assert list(tracker.coldest_first()) == [b, c, a]
+
+
+def test_demote_moves_to_cold_end():
+    tracker = LruTracker()
+    a, b, c = objs(3)
+    for obj in (a, b, c):
+        tracker.touch(obj)
+    tracker.demote(c)
+    assert list(tracker.coldest_first()) == [c, a, b]
+
+
+def test_demote_untracked_inserts_cold():
+    tracker = LruTracker()
+    a, b = objs(2)
+    tracker.touch(a)
+    tracker.demote(b)
+    assert list(tracker.coldest_first()) == [b, a]
+
+
+def test_discard():
+    tracker = LruTracker()
+    a, b = objs(2)
+    tracker.touch(a)
+    tracker.touch(b)
+    tracker.discard(a)
+    assert a not in tracker
+    assert list(tracker.coldest_first()) == [b]
+    tracker.discard(a)  # idempotent
+
+
+def test_contains_and_len():
+    tracker = LruTracker()
+    a, b = objs(2)
+    tracker.touch(a)
+    assert a in tracker and b not in tracker
+    assert len(tracker) == 1
+
+
+def test_iteration_safe_against_mutation():
+    tracker = LruTracker()
+    items = objs(4)
+    for obj in items:
+        tracker.touch(obj)
+    seen = []
+    for obj in tracker.coldest_first():
+        tracker.discard(obj)
+        seen.append(obj)
+    assert seen == items
+
+
+def test_clear():
+    tracker = LruTracker()
+    for obj in objs(3):
+        tracker.touch(obj)
+    tracker.clear()
+    assert len(tracker) == 0

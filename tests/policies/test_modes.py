@@ -1,0 +1,57 @@
+"""The six Section IV operating modes and their canonical toggles."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.policies.modes import MODES, mode
+
+
+def test_all_six_modes_registered():
+    assert set(MODES) == {"2LM:0", "2LM:M", "CA:0", "CA:L", "CA:LM", "CA:LMP"}
+
+
+@pytest.mark.parametrize(
+    "name, system, local, memopt, prefetch",
+    [
+        ("2LM:0", "2lm", False, False, False),
+        ("2LM:M", "2lm", False, True, False),
+        ("CA:0", "ca", False, False, False),
+        ("CA:L", "ca", True, False, False),
+        ("CA:LM", "ca", True, True, False),
+        ("CA:LMP", "ca", True, True, True),
+    ],
+)
+def test_mode_toggles_match_paper(name, system, local, memopt, prefetch):
+    cfg = mode(name)
+    assert cfg.system == system
+    assert cfg.local_alloc is local
+    assert cfg.memopt is memopt
+    assert cfg.prefetch is prefetch
+
+
+def test_mode_lookup_tolerant():
+    assert mode("ca:lm").name == "CA:LM"
+    assert mode("CA: LMP").name == "CA:LMP"
+    assert mode("2LM:∅").name == "2LM:0"
+
+
+def test_unknown_mode_rejected():
+    with pytest.raises(ConfigurationError):
+        mode("CA:X")
+
+
+def test_pretty_names():
+    assert mode("CA:0").pretty == "CA: ∅"
+    assert mode("CA:LM").pretty == "CA: LM"
+
+
+def test_ca_modes_make_policies():
+    policy = mode("CA:LMP").make_policy("DRAM", "NVRAM")
+    assert policy.local_alloc and policy.prefetch
+    policy = mode("CA:0").make_policy("DRAM", "NVRAM")
+    assert not policy.local_alloc and not policy.prefetch
+
+
+def test_2lm_modes_have_no_policy():
+    with pytest.raises(ConfigurationError):
+        mode("2LM:M").make_policy("DRAM", "NVRAM")

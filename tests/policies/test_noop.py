@@ -1,0 +1,68 @@
+"""Single-device and pinned-placement policies."""
+
+import pytest
+
+from repro.core.manager import DataManager
+from repro.core.policy_api import AccessIntent
+from repro.errors import OutOfMemoryError
+from repro.memory.copyengine import CopyEngine
+from repro.memory.device import MemoryDevice
+from repro.memory.heap import Heap
+from repro.policies.noop import PinnedPolicy, SingleDevicePolicy
+from repro.sim.clock import SimClock
+from repro.units import KiB, MiB
+
+
+def build(policy):
+    heaps = {
+        "DRAM": Heap(MemoryDevice.dram(64 * KiB)),
+        "NVRAM": Heap(MemoryDevice.nvram(MiB)),
+    }
+    manager = DataManager(heaps, CopyEngine(SimClock()))
+    policy.bind(manager)
+    return manager, policy
+
+
+def test_single_device_places_on_its_device():
+    manager, policy = build(SingleDevicePolicy("NVRAM"))
+    obj = manager.new_object(KiB)
+    policy.place(obj)
+    assert manager.getprimary(obj).device_name == "NVRAM"
+
+
+def test_single_device_never_moves():
+    manager, policy = build(SingleDevicePolicy("NVRAM"))
+    obj = manager.new_object(KiB)
+    policy.place(obj)
+    for intent in AccessIntent:
+        assert policy.ensure_resident(obj, intent).device_name == "NVRAM"
+    policy.will_read(obj)
+    policy.archive(obj)
+    assert manager.heap("DRAM").used_bytes == 0
+
+
+def test_single_device_oom_propagates():
+    manager, policy = build(SingleDevicePolicy("DRAM"))
+    obj = manager.new_object(2 * MiB)
+    with pytest.raises(OutOfMemoryError):
+        policy.place(obj)
+
+
+def test_pinned_policy_honours_map():
+    manager, policy = build(
+        PinnedPolicy("NVRAM", placement={"hot": "DRAM"})
+    )
+    hot = manager.new_object(KiB, "hot")
+    cold = manager.new_object(KiB, "cold")
+    policy.place(hot)
+    policy.place(cold)
+    assert manager.getprimary(hot).device_name == "DRAM"
+    assert manager.getprimary(cold).device_name == "NVRAM"
+
+
+def test_pinned_policy_retire_inherited():
+    manager, policy = build(PinnedPolicy("NVRAM"))
+    obj = manager.new_object(KiB, "x")
+    policy.place(obj)
+    policy.retire(obj)
+    assert obj.retired

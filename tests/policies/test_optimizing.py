@@ -1,0 +1,202 @@
+"""The reference policy: L/P toggles, LRU victims, invariant, stats."""
+
+import pytest
+
+from repro.core.manager import DataManager
+from repro.core.policy_api import AccessIntent
+from repro.errors import ConfigurationError
+from repro.memory.copyengine import CopyEngine
+from repro.memory.device import MemoryDevice
+from repro.memory.heap import Heap
+from repro.policies.optimizing import OptimizingPolicy
+from repro.sim.clock import SimClock
+from repro.units import KiB
+
+
+def build(fast_capacity=64 * KiB, **policy_kwargs):
+    heaps = {
+        "DRAM": Heap(MemoryDevice.dram(fast_capacity)),
+        "NVRAM": Heap(MemoryDevice.nvram(1024 * KiB)),
+    }
+    manager = DataManager(heaps, CopyEngine(SimClock()))
+    policy = OptimizingPolicy(local_alloc=True, **policy_kwargs)
+    policy.bind(manager)
+    return manager, policy
+
+
+def new_obj(manager, policy, size=16 * KiB, name=""):
+    obj = manager.new_object(size, name)
+    policy.place(obj)
+    return obj
+
+
+def test_fast_and_slow_must_differ():
+    with pytest.raises(ConfigurationError):
+        OptimizingPolicy(fast="DRAM", slow="DRAM")
+
+
+def test_bind_validates_devices():
+    heaps = {"DRAM": Heap(MemoryDevice.dram(KiB))}
+    manager = DataManager(heaps, CopyEngine(SimClock()))
+    with pytest.raises(ConfigurationError):
+        OptimizingPolicy(fast="DRAM", slow="NVRAM").bind(manager)
+
+
+class TestPlacement:
+    def test_local_alloc_places_in_fast(self):
+        manager, policy = build()
+        obj = new_obj(manager, policy)
+        assert manager.getprimary(obj).device_name == "DRAM"
+        assert policy.stats.placed_fast == 1
+
+    def test_without_local_alloc_places_in_slow(self):
+        manager, policy = build()
+        policy.local_alloc = False
+        obj = new_obj(manager, policy)
+        assert manager.getprimary(obj).device_name == "NVRAM"
+        assert policy.stats.placed_slow == 1
+
+    def test_oversized_object_falls_back_to_slow(self):
+        manager, policy = build(fast_capacity=8 * KiB)
+        obj = new_obj(manager, policy, size=16 * KiB)
+        assert manager.getprimary(obj).device_name == "NVRAM"
+
+    def test_placement_evicts_cold_objects_under_pressure(self):
+        manager, policy = build(fast_capacity=64 * KiB)
+        old = [new_obj(manager, policy, name=f"old{i}") for i in range(4)]
+        fresh = new_obj(manager, policy, name="fresh")
+        assert manager.getprimary(fresh).device_name == "DRAM"
+        assert policy.stats.evictions >= 1
+        assert any(
+            manager.getprimary(obj).device_name == "NVRAM" for obj in old
+        )
+
+    def test_lru_picks_coldest_victim(self):
+        manager, policy = build(fast_capacity=64 * KiB)
+        objs = [new_obj(manager, policy, name=f"o{i}") for i in range(4)]
+        for obj in objs[1:]:
+            policy.will_use(obj)  # o0 is now coldest
+        new_obj(manager, policy, name="fresh")
+        assert manager.getprimary(objs[0]).device_name == "NVRAM"
+
+    def test_archive_demotes_to_preferred_victim(self):
+        manager, policy = build(fast_capacity=64 * KiB)
+        objs = [new_obj(manager, policy, name=f"o{i}") for i in range(4)]
+        policy.archive(objs[3])  # most-recent becomes coldest
+        assert manager.getprimary(objs[3]).device_name == "DRAM"  # no eager move
+        new_obj(manager, policy, name="fresh")
+        assert manager.getprimary(objs[3]).device_name == "NVRAM"
+
+
+class TestHints:
+    def test_will_write_migrates_to_fast(self):
+        manager, policy = build()
+        policy.local_alloc = False
+        obj = new_obj(manager, policy)
+        policy.will_write(obj)
+        assert manager.getprimary(obj).device_name == "DRAM"
+
+    def test_will_read_no_prefetch_by_default(self):
+        manager, policy = build(prefetch=False)
+        policy.local_alloc = False
+        obj = new_obj(manager, policy)
+        policy.will_read(obj)
+        assert manager.getprimary(obj).device_name == "NVRAM"
+
+    def test_will_read_prefetches_when_enabled(self):
+        manager, policy = build(prefetch=True)
+        policy.local_alloc = False
+        obj = new_obj(manager, policy)
+        policy.will_read(obj)
+        assert manager.getprimary(obj).device_name == "DRAM"
+        assert policy.stats.prefetches == 1
+
+    def test_retire_frees_everything(self):
+        manager, policy = build()
+        obj = new_obj(manager, policy)
+        policy.retire(obj)
+        assert obj.retired
+        assert manager.heap("DRAM").used_bytes == 0
+        assert policy.stats.retires == 1
+
+
+class TestResidency:
+    def test_read_intent_stays_in_slow_with_local_alloc(self):
+        manager, policy = build()
+        policy.local_alloc = False
+        policy.local_alloc = True
+        obj = manager.new_object(KiB)
+        manager.setprimary(obj, manager.allocate("NVRAM", KiB))
+        region = policy.ensure_resident(obj, AccessIntent.READ)
+        assert region.device_name == "NVRAM"
+
+    def test_read_intent_migrates_in_cache_like_mode(self):
+        manager, policy = build()
+        policy.local_alloc = False  # CA:0 — cache-like
+        obj = new_obj(manager, policy)
+        region = policy.ensure_resident(obj, AccessIntent.READ)
+        assert region.device_name == "DRAM"
+
+    def test_write_intent_migrates(self):
+        manager, policy = build()
+        obj = manager.new_object(KiB)
+        manager.setprimary(obj, manager.allocate("NVRAM", KiB))
+        region = policy.ensure_resident(obj, AccessIntent.WRITE)
+        assert region.device_name == "DRAM"
+
+    def test_pinned_objects_never_chosen_as_victims(self):
+        manager, policy = build(fast_capacity=32 * KiB)
+        a = new_obj(manager, policy, size=16 * KiB, name="a")
+        b = new_obj(manager, policy, size=16 * KiB, name="b")
+        a.pin()
+        b.pin()
+        # No unpinned victims -> placement must fall back to slow.
+        c = new_obj(manager, policy, size=16 * KiB, name="c")
+        assert manager.getprimary(c).device_name == "NVRAM"
+        assert manager.getprimary(a).device_name == "DRAM"
+        a.unpin()
+        b.unpin()
+
+    def test_nvram_only_mode(self):
+        heaps = {"NVRAM": Heap(MemoryDevice.nvram(1024 * KiB))}
+        manager = DataManager(heaps, CopyEngine(SimClock()))
+        policy = OptimizingPolicy(fast=None, slow="NVRAM")
+        policy.bind(manager)
+        obj = manager.new_object(KiB)
+        policy.place(obj)
+        assert manager.getprimary(obj).device_name == "NVRAM"
+        region = policy.ensure_resident(obj, AccessIntent.WRITE)
+        assert region.device_name == "NVRAM"
+
+
+class TestInvariant:
+    def test_fast_regions_are_always_primaries(self):
+        """The paper's stated policy invariant, after a mixed workload."""
+        manager, policy = build(fast_capacity=64 * KiB)
+        objs = [new_obj(manager, policy, name=f"o{i}") for i in range(8)]
+        for i, obj in enumerate(objs):
+            if i % 2:
+                policy.archive(obj)
+            else:
+                policy.will_write(obj)
+        policy.check_invariant()
+        manager.check_invariants()
+
+    def test_dirty_write_then_eviction_writes_back(self):
+        manager, policy = build(fast_capacity=32 * KiB)
+        a = new_obj(manager, policy, size=16 * KiB, name="a")
+        policy.on_kernel_finish([], [a])  # marks a dirty
+        written_before = manager.heap("NVRAM").traffic.write_bytes
+        new_obj(manager, policy, size=32 * KiB, name="big")  # evicts a
+        assert manager.heap("NVRAM").traffic.write_bytes > written_before
+
+    def test_clean_eviction_elides_writeback(self):
+        manager, policy = build(fast_capacity=32 * KiB)
+        policy.local_alloc = False  # born in NVRAM, prefetched (linked) copy
+        a = new_obj(manager, policy, size=16 * KiB)
+        policy.ensure_resident(a, AccessIntent.READ)  # cache-like migrate
+        written_before = manager.heap("NVRAM").traffic.write_bytes
+        policy.local_alloc = True
+        new_obj(manager, policy, size=32 * KiB)  # evicts clean a
+        assert manager.heap("NVRAM").traffic.write_bytes == written_before
+        assert policy.stats.elided_writebacks >= 1

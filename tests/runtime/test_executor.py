@@ -1,0 +1,188 @@
+"""Executor: trace walking on both systems, GC integration, telemetry."""
+
+import pytest
+
+from repro.core.session import Session, SessionConfig
+from repro.errors import TraceError
+from repro.memory.device import MemoryDevice
+from repro.policies.optimizing import OptimizingPolicy
+from repro.runtime.executor import CachedArraysAdapter, Executor, TwoLMAdapter
+from repro.runtime.gc import GcConfig
+from repro.runtime.kernel import ExecutionParams
+from repro.twolm.system import TwoLMSystem
+from repro.units import KiB, MiB
+from repro.workloads.annotate import annotate
+from repro.workloads.synthetic import filo_stack_trace, streaming_trace
+from repro.workloads.trace import IterEnd, KernelTrace, TensorSpec
+
+PARAMS = ExecutionParams()
+
+
+def ca_executor(dram=4 * MiB, nvram=64 * MiB, **policy_kwargs):
+    session = Session(
+        SessionConfig(dram=dram, nvram=nvram),
+        policy=OptimizingPolicy(local_alloc=True, **policy_kwargs),
+    )
+    return Executor(
+        CachedArraysAdapter(session, PARAMS),
+        gc_config=GcConfig(trigger_bytes=8 * MiB),
+    )
+
+
+def twolm_executor(dram=4 * MiB, nvram=64 * MiB):
+    system = TwoLMSystem(
+        MemoryDevice.dram(dram), MemoryDevice.nvram(nvram), line_size=4096
+    )
+    return Executor(
+        TwoLMAdapter(system, PARAMS), gc_config=GcConfig(trigger_bytes=8 * MiB)
+    )
+
+
+@pytest.fixture(params=["ca", "2lm"])
+def executor(request):
+    return ca_executor() if request.param == "ca" else twolm_executor()
+
+
+def test_runs_annotated_trace(executor):
+    trace = annotate(streaming_trace(stages=8, tensor_bytes=256 * KiB), memopt=True)
+    result = executor.run(trace, iterations=2)
+    assert len(result.iterations) == 2
+    assert all(it.seconds > 0 for it in result.iterations)
+
+
+def test_iterations_are_consistent_after_warmup(executor):
+    trace = annotate(filo_stack_trace(depth=8, activation_bytes=256 * KiB), memopt=True)
+    result = executor.run(trace, iterations=3)
+    second, third = result.iterations[1], result.iterations[2]
+    assert second.seconds == pytest.approx(third.seconds, rel=0.05)
+
+
+def test_persistent_tensors_allocated_once(executor):
+    trace = annotate(filo_stack_trace(depth=4), memopt=True)
+    result = executor.run(trace, iterations=2)
+    # Weights stay alive between iterations; only one allocation each.
+    assert executor.adapter.exists("w0")
+
+
+def test_gc_mode_defers_frees():
+    executor = ca_executor()
+    trace = annotate(
+        streaming_trace(stages=16, tensor_bytes=256 * KiB), memopt=False
+    )
+    result = executor.run(trace)
+    iteration = result.iterations[0]
+    assert iteration.gc_collections >= 1  # at least the end-of-iteration one
+    assert executor.gc.reclaimed_objects == 17  # all stream tensors
+
+
+def test_memopt_mode_retires_eagerly():
+    executor = ca_executor()
+    trace = annotate(
+        streaming_trace(stages=16, tensor_bytes=256 * KiB), memopt=True
+    )
+    executor.run(trace)
+    assert executor.gc.reclaimed_objects == 0
+    assert executor.adapter.live_count() == 0
+
+
+def test_memopt_lowers_peak_occupancy():
+    base = ca_executor()
+    base.run(annotate(streaming_trace(stages=16, tensor_bytes=256 * KiB), memopt=False))
+    eager = ca_executor()
+    eager.run(annotate(streaming_trace(stages=16, tensor_bytes=256 * KiB), memopt=True))
+    peak_base = max(base._timelines["total"].values())
+    peak_eager = max(eager._timelines["total"].values())
+    assert peak_eager < peak_base
+
+
+def test_emergency_collection_on_oom():
+    """Dead-but-deferred data must be collected when allocation fails."""
+    executor = ca_executor(dram=512 * KiB, nvram=4 * MiB)
+    executor.gc.config = GcConfig(trigger_bytes=1 << 60)  # never auto-trigger
+    trace = annotate(
+        streaming_trace(stages=24, tensor_bytes=512 * KiB), memopt=False
+    )
+    result = executor.run(trace)  # footprint would exceed NVRAM without GC
+    assert result.iterations[0].gc_collections >= 1
+
+
+def test_trace_without_iterend_rejected():
+    executor = ca_executor()
+    trace = KernelTrace()
+    trace.add_tensor(TensorSpec("t", 64))
+    from repro.workloads.trace import Alloc, Free
+
+    trace.events = [Alloc("t"), Free("t")]
+    with pytest.raises(TraceError):
+        executor.run(annotate(trace, memopt=True))
+
+
+def test_zero_iterations_rejected(executor):
+    trace = annotate(streaming_trace(stages=2), memopt=True)
+    with pytest.raises(TraceError):
+        executor.run(trace, iterations=0)
+
+
+def test_traffic_deltas_per_iteration():
+    executor = ca_executor(dram=512 * KiB)
+    trace = annotate(filo_stack_trace(depth=8, activation_bytes=256 * KiB), memopt=True)
+    result = executor.run(trace, iterations=2)
+    for iteration in result.iterations:
+        assert set(iteration.traffic) == {"DRAM", "NVRAM"}
+        # spilling workload: NVRAM must have seen traffic
+        assert iteration.traffic["NVRAM"].total_bytes > 0
+
+
+def test_cache_stats_only_on_2lm():
+    trace = annotate(streaming_trace(stages=4), memopt=True)
+    ca_result = ca_executor().run(trace)
+    assert ca_result.iterations[0].cache is None
+    lm_result = twolm_executor().run(trace)
+    cache = lm_result.iterations[0].cache
+    assert cache is not None and cache.accesses > 0
+
+
+def test_policy_stats_only_on_ca():
+    trace = annotate(streaming_trace(stages=4), memopt=True)
+    assert ca_executor().run(trace).iterations[0].policy_stats
+    assert not twolm_executor().run(trace).iterations[0].policy_stats
+
+
+def test_occupancy_timeline_recorded():
+    executor = ca_executor()
+    trace = annotate(filo_stack_trace(depth=6), memopt=True)
+    result = executor.run(trace)
+    timeline = result.occupancy_timeline["total"]
+    assert len(timeline) > 10
+    assert timeline.peak() > 0
+
+
+def test_async_projection_bounds():
+    executor = ca_executor(dram=512 * KiB)
+    trace = annotate(filo_stack_trace(depth=8, activation_bytes=256 * KiB), memopt=True)
+    iteration = executor.run(trace).iterations[0]
+    assert iteration.compute_seconds <= iteration.projected_async_seconds
+    assert iteration.projected_async_seconds <= iteration.seconds
+
+
+def test_run_result_helpers():
+    executor = ca_executor()
+    trace = annotate(streaming_trace(stages=4), memopt=True)
+    result = executor.run(trace, iterations=3)
+    assert result.steady_state() is result.iterations[-1]
+    assert result.mean_seconds() > 0
+
+
+def test_iteration_variance_low_in_steady_state():
+    """The paper's per-iteration consistency check, as an API."""
+    executor = ca_executor()
+    trace = annotate(filo_stack_trace(depth=8, activation_bytes=256 * KiB), memopt=True)
+    result = executor.run(trace, iterations=4)
+    assert result.iteration_variance() < 0.02
+
+
+def test_iteration_variance_degenerate_cases():
+    executor = ca_executor()
+    trace = annotate(streaming_trace(stages=2), memopt=True)
+    result = executor.run(trace, iterations=1)
+    assert result.iteration_variance() == 0.0

@@ -1,0 +1,73 @@
+"""Garbage collector model: deferral, triggering, pauses."""
+
+import pytest
+
+from repro.runtime.gc import GarbageCollector, GcConfig
+
+
+def make(trigger=1000, live=lambda: 10, **kwargs):
+    released = []
+    gc = GarbageCollector(
+        GcConfig(trigger_bytes=trigger, **kwargs),
+        release=released.append,
+        live_objects=live,
+    )
+    return gc, released
+
+
+def test_defer_does_not_release():
+    gc, released = make()
+    gc.defer("t0")
+    assert released == []
+    assert gc.deferred_count == 1
+
+
+def test_collect_releases_all_deferred():
+    gc, released = make()
+    gc.defer("t0")
+    gc.defer("t1")
+    gc.collect()
+    assert released == ["t0", "t1"]
+    assert gc.deferred_count == 0
+    assert gc.reclaimed_objects == 2
+    assert gc.collections == 1
+
+
+def test_trigger_on_allocation_volume():
+    gc, _ = make(trigger=1000)
+    gc.defer("t0")
+    gc.on_alloc(500)
+    assert not gc.should_collect()
+    gc.on_alloc(500)
+    assert gc.should_collect()
+
+
+def test_no_trigger_without_deferred_garbage():
+    gc, _ = make(trigger=100)
+    gc.on_alloc(1000)
+    assert not gc.should_collect()
+
+
+def test_collect_resets_allocation_counter():
+    gc, _ = make(trigger=100)
+    gc.defer("t0")
+    gc.on_alloc(200)
+    gc.collect()
+    gc.defer("t1")
+    assert not gc.should_collect()
+
+
+def test_pause_model():
+    gc, _ = make(live=lambda: 1000, pause_per_object=1e-3, base_pause=0.5)
+    gc.defer("t0")
+    pause = gc.collect()
+    assert pause == pytest.approx(0.5 + 1.0)
+    assert gc.total_pause == pytest.approx(pause)
+
+
+def test_empty_collect_is_cheap_but_counted():
+    gc, released = make()
+    pause = gc.collect()
+    assert released == []
+    assert pause > 0
+    assert gc.collections == 1

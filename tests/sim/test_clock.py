@@ -1,0 +1,78 @@
+"""Virtual clock semantics: monotonicity, categories, checkpoints."""
+
+import pytest
+
+from repro.sim.clock import SimClock
+
+
+def test_starts_at_zero():
+    assert SimClock().now == 0.0
+
+
+def test_advance_returns_new_time():
+    clock = SimClock()
+    assert clock.advance(1.5) == 1.5
+    assert clock.advance(0.5) == 2.0
+
+
+def test_advance_accumulates_categories():
+    clock = SimClock()
+    clock.advance(1.0, "kernel")
+    clock.advance(2.0, "movement")
+    clock.advance(3.0, "kernel")
+    assert clock.busy("kernel") == pytest.approx(4.0)
+    assert clock.busy("movement") == pytest.approx(2.0)
+    assert clock.now == pytest.approx(6.0)
+
+
+def test_unknown_category_is_zero():
+    assert SimClock().busy("nope") == 0.0
+
+
+def test_negative_advance_rejected():
+    with pytest.raises(ValueError):
+        SimClock().advance(-0.1)
+
+
+def test_zero_advance_allowed():
+    clock = SimClock()
+    clock.advance(0.0, "idle")
+    assert clock.now == 0.0
+    assert clock.busy("idle") == 0.0
+
+
+def test_checkpoint_delta():
+    clock = SimClock()
+    clock.advance(1.0, "kernel")
+    mark = clock.checkpoint()
+    clock.advance(2.0, "kernel")
+    clock.advance(0.5, "gc")
+    delta = clock.since(mark)
+    assert delta.elapsed == pytest.approx(2.5)
+    assert delta.of("kernel") == pytest.approx(2.0)
+    assert delta.of("gc") == pytest.approx(0.5)
+    assert delta.of("absent") == 0.0
+
+
+def test_checkpoint_is_immutable_snapshot():
+    clock = SimClock()
+    mark = clock.checkpoint()
+    clock.advance(5.0, "kernel")
+    assert mark.now == 0.0
+    assert mark.busy == {}
+
+
+def test_categories_returns_copy():
+    clock = SimClock()
+    clock.advance(1.0, "a")
+    cats = clock.categories()
+    cats["a"] = 99.0
+    assert clock.busy("a") == 1.0
+
+
+def test_reset():
+    clock = SimClock()
+    clock.advance(3.0, "kernel")
+    clock.reset()
+    assert clock.now == 0.0
+    assert clock.busy("kernel") == 0.0

@@ -1,0 +1,77 @@
+"""Traffic counter semantics."""
+
+import pytest
+
+from repro.telemetry.counters import TrafficCounters, TrafficSnapshot
+
+
+def test_counters_start_zero():
+    counters = TrafficCounters("DRAM")
+    assert counters.read_bytes == 0
+    assert counters.write_bytes == 0
+    assert counters.total_bytes == 0
+
+
+def test_record_and_total():
+    counters = TrafficCounters("DRAM")
+    counters.record_read(100)
+    counters.record_write(50)
+    counters.record_read(10)
+    assert counters.read_bytes == 110
+    assert counters.write_bytes == 50
+    assert counters.total_bytes == 160
+
+
+def test_negative_rejected():
+    counters = TrafficCounters("DRAM")
+    with pytest.raises(ValueError):
+        counters.record_read(-1)
+    with pytest.raises(ValueError):
+        counters.record_write(-1)
+
+
+def test_zero_allowed():
+    counters = TrafficCounters("DRAM")
+    counters.record_read(0)
+    assert counters.read_bytes == 0
+
+
+def test_snapshot_is_immutable_view():
+    counters = TrafficCounters("NVRAM")
+    counters.record_read(7)
+    snap = counters.snapshot()
+    counters.record_read(3)
+    assert snap.read_bytes == 7
+    assert counters.read_bytes == 10
+
+
+def test_snapshot_diff():
+    counters = TrafficCounters("NVRAM")
+    counters.record_write(5)
+    before = counters.snapshot()
+    counters.record_write(10)
+    counters.record_read(2)
+    delta = counters.snapshot() - before
+    assert delta.read_bytes == 2
+    assert delta.write_bytes == 10
+    assert delta.device == "NVRAM"
+
+
+def test_snapshot_diff_device_mismatch():
+    a = TrafficSnapshot("DRAM", 0, 0)
+    b = TrafficSnapshot("NVRAM", 0, 0)
+    with pytest.raises(ValueError):
+        a - b
+
+
+def test_reset():
+    counters = TrafficCounters("DRAM")
+    counters.record_read(4)
+    counters.reset()
+    assert counters.total_bytes == 0
+
+
+def test_str_human_readable():
+    counters = TrafficCounters("DRAM")
+    counters.record_read(2 * 10**9)
+    assert "2.00 GB" in str(counters.snapshot())

@@ -1,0 +1,80 @@
+"""Timeline recording and step-function queries."""
+
+import pytest
+
+from repro.telemetry.timeline import Timeline
+
+
+def make(samples):
+    timeline = Timeline("heap")
+    for t, v in samples:
+        timeline.record(t, v)
+    return timeline
+
+
+def test_empty():
+    timeline = Timeline("x")
+    assert len(timeline) == 0
+    assert timeline.peak() == 0.0
+    assert timeline.last() == 0.0
+    assert timeline.value_at(5.0) == 0.0
+
+
+def test_record_and_iterate():
+    timeline = make([(0.0, 1.0), (1.0, 2.0)])
+    samples = list(timeline)
+    assert [(s.time, s.value) for s in samples] == [(0.0, 1.0), (1.0, 2.0)]
+
+
+def test_time_must_not_go_backwards():
+    timeline = make([(1.0, 1.0)])
+    with pytest.raises(ValueError):
+        timeline.record(0.5, 2.0)
+
+
+def test_equal_times_allowed():
+    timeline = make([(1.0, 1.0), (1.0, 2.0)])
+    assert len(timeline) == 2
+
+
+def test_peak_and_last():
+    timeline = make([(0, 5), (1, 9), (2, 3)])
+    assert timeline.peak() == 9
+    assert timeline.last() == 3
+
+
+def test_value_at_step_semantics():
+    timeline = make([(1.0, 10.0), (3.0, 20.0)])
+    assert timeline.value_at(0.5) == 0.0  # before first sample
+    assert timeline.value_at(1.0) == 10.0
+    assert timeline.value_at(2.9) == 10.0
+    assert timeline.value_at(3.0) == 20.0
+    assert timeline.value_at(99.0) == 20.0
+
+
+def test_time_average_weighted():
+    # value 10 for 1s, then 20 for 1s -> average 15
+    timeline = make([(0.0, 10.0), (1.0, 20.0), (2.0, 20.0)])
+    assert timeline.time_average() == pytest.approx(15.0)
+
+
+def test_time_average_single_sample():
+    assert make([(0.0, 7.0)]).time_average() == 7.0
+
+
+def test_downsample_keeps_endpoints():
+    timeline = make([(float(i), float(i)) for i in range(100)])
+    thinned = timeline.downsample(10)
+    assert len(thinned) == 10
+    assert thinned.times()[0] == 0.0
+    assert thinned.times()[-1] == 99.0
+
+
+def test_downsample_noop_when_small():
+    timeline = make([(0.0, 1.0), (1.0, 2.0)])
+    assert timeline.downsample(10) is timeline
+
+
+def test_downsample_requires_two_points():
+    with pytest.raises(ValueError):
+        make([(0.0, 1.0)]).downsample(1)

@@ -1,0 +1,40 @@
+"""Exception taxonomy: hierarchy and catchability."""
+
+import pytest
+
+from repro import errors
+
+
+def test_all_errors_derive_from_base():
+    for name in errors.__all__:
+        cls = getattr(errors, name)
+        assert issubclass(cls, errors.CachedArraysError)
+
+
+def test_oom_is_an_allocation_error():
+    assert issubclass(errors.OutOfMemoryError, errors.AllocationError)
+
+
+def test_oom_carries_context():
+    err = errors.OutOfMemoryError("DRAM", requested=1024, free=512)
+    assert err.device == "DRAM"
+    assert err.requested == 1024
+    assert err.free == 512
+    assert "DRAM" in str(err) and "1024" in str(err)
+
+
+def test_single_except_clause_catches_everything():
+    """The promise the taxonomy makes to library users."""
+    from repro.core.session import Session, SessionConfig
+    from repro.units import KiB
+
+    with Session(SessionConfig(dram=64 * KiB, nvram=64 * KiB)) as session:
+        with pytest.raises(errors.CachedArraysError):
+            session.empty((1024 * 1024,))  # cannot fit anywhere
+
+
+def test_public_surface_reexports_key_errors():
+    import repro
+
+    assert repro.CachedArraysError is errors.CachedArraysError
+    assert repro.OutOfMemoryError is errors.OutOfMemoryError

@@ -1,0 +1,51 @@
+"""Platform presets."""
+
+import pytest
+
+import repro
+from repro.errors import ConfigurationError
+from repro.policies import MultiTierPolicy, OptimizingPolicy
+
+
+def test_known_platforms():
+    assert set(repro.PLATFORMS) == {
+        "cascade-lake",
+        "cxl-expander",
+        "three-tier",
+        "nvram-only",
+    }
+
+
+@pytest.mark.parametrize("name", sorted(repro.PLATFORMS))
+def test_every_platform_builds_and_allocates(name):
+    with repro.platform(name, scale=1024) as session:
+        array = session.empty((1024,), name="x")
+        assert array.device in session.heaps
+
+
+def test_cascade_lake_matches_paper_limits():
+    with repro.platform("cascade-lake") as session:
+        assert session.heaps["DRAM"].capacity == 180 * 10**9
+        assert session.heaps["NVRAM"].capacity == 1300 * 10**9
+        assert isinstance(session.policy, OptimizingPolicy)
+
+
+def test_three_tier_default_policy():
+    with repro.platform("three-tier", scale=1024) as session:
+        assert isinstance(session.policy, MultiTierPolicy)
+        assert list(session.heaps) == ["DRAM", "CXL", "NVRAM"]
+
+
+def test_policy_override_travels_across_platforms():
+    """Section VI: the same policy object shape works on a new platform."""
+    policy = OptimizingPolicy(fast="DRAM", slow="CXL", local_alloc=True)
+    with repro.platform("cxl-expander", scale=1024, policy=policy) as session:
+        assert session.policy is policy
+        session.empty((512,), name="x")
+
+
+def test_unknown_platform_rejected():
+    with pytest.raises(ConfigurationError):
+        repro.platform("optane-pc")
+    with pytest.raises(ConfigurationError):
+        repro.platform("cascade-lake", scale=0)

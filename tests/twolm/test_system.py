@@ -1,0 +1,101 @@
+"""TwoLMSystem: flat heap + cache access path + timing split."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.memory.device import MemoryDevice
+from repro.twolm.system import TwoLMSystem
+from repro.units import KiB, MiB
+
+
+def make(**kwargs):
+    return TwoLMSystem(
+        MemoryDevice.dram(64 * KiB),
+        MemoryDevice.nvram(MiB),
+        line_size=64,
+        **kwargs,
+    )
+
+
+def test_allocator_over_nvram_space():
+    system = make()
+    offset = system.allocate(KiB)
+    assert system.used_bytes == KiB
+    system.free(offset)
+    assert system.used_bytes == 0
+    assert system.capacity == MiB
+
+
+def test_access_accounts_device_traffic():
+    system = make()
+    offset = system.allocate(KiB)
+    system.access(offset, KiB, is_write=False)  # cold: 16 clean misses
+    assert system.nvram_traffic.read_bytes == KiB
+    assert system.nvram_traffic.write_bytes == 0
+    assert system.dram_traffic.write_bytes == KiB  # fills
+    # access reads + metadata surcharge
+    assert system.dram_traffic.read_bytes >= KiB
+
+
+def test_metadata_surcharge_applied():
+    plain = make(metadata_overhead=0.0)
+    taxed = make(metadata_overhead=0.5)
+    for system in (plain, taxed):
+        offset = system.allocate(KiB)
+        system.access(offset, KiB, is_write=False)
+    assert taxed.dram_traffic.read_bytes > plain.dram_traffic.read_bytes
+
+
+def test_bad_parameters_rejected():
+    with pytest.raises(ConfigurationError):
+        make(nvram_read_efficiency=0.0)
+    with pytest.raises(ConfigurationError):
+        make(nvram_read_efficiency=1.5)
+    with pytest.raises(ConfigurationError):
+        make(metadata_overhead=-0.1)
+
+
+def test_time_split_by_device():
+    system = make()
+    offset = system.allocate(KiB)
+    result = system.access(offset, KiB, is_write=True)
+    dram_seconds, nvram_seconds = system.time_of(result)
+    assert dram_seconds > 0 and nvram_seconds > 0
+
+
+def test_writeback_time_dominates():
+    """Dirty writebacks (temporal NVRAM writes) are the expensive path."""
+    system = make()
+    system.access(0, 2 * KiB, is_write=True)  # make sets 0..31 dirty
+    # 64 KiB cache -> 1024 sets; the address one cache-size away conflicts.
+    evicting = system.access(64 * KiB, 2 * KiB, is_write=False)
+    assert evicting.dirty_misses == 32
+    _, nvram_with_writeback = system.time_of(evicting)
+    system.cache.reset()
+    refill = system.access(0, 2 * KiB, is_write=False)  # clean fill only
+    _, nvram_clean = system.time_of(refill)
+    assert nvram_with_writeback > nvram_clean
+
+
+def test_cache_stats_and_traffic_snapshots():
+    system = make()
+    offset = system.allocate(KiB)
+    system.access(offset, KiB, is_write=False)
+    system.access(offset, KiB, is_write=False)
+    stats = system.cache_stats()
+    assert stats.hits == 16 and stats.clean_misses == 16
+    traffic = system.traffic()
+    assert set(traffic) == {"DRAM", "NVRAM"}
+
+
+def test_address_reuse_hits_after_free():
+    """The Figure 3/4 mechanism: freed-and-reused addresses still hit."""
+    system = make()
+    a = system.allocate(KiB)
+    system.access(a, KiB, is_write=True)
+    system.free(a)
+    b = system.allocate(KiB)  # first-fit reuses the same offset
+    assert b == a
+    result = system.access(b, KiB, is_write=True)
+    assert result.hits == 16  # dead lines still resident -> no NVRAM traffic
+    assert result.nvram_read_bytes == 0

@@ -1,0 +1,90 @@
+"""Annotation pass: Free -> Retire/GcDefer, archive insertion."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.workloads.annotate import annotate
+from repro.workloads.synthetic import filo_stack_trace, streaming_trace
+from repro.workloads.trace import (
+    Archive,
+    Free,
+    GcDefer,
+    Kernel,
+    KernelTrace,
+    Retire,
+)
+
+
+def test_memopt_turns_frees_into_retires():
+    annotated = annotate(streaming_trace(stages=4), memopt=True)
+    assert not any(isinstance(e, Free) for e in annotated.events)
+    assert not any(isinstance(e, GcDefer) for e in annotated.events)
+    assert sum(isinstance(e, Retire) for e in annotated.events) == 5
+
+
+def test_gc_mode_turns_frees_into_defers():
+    annotated = annotate(streaming_trace(stages=4), memopt=False)
+    assert not any(isinstance(e, Retire) for e in annotated.events)
+    assert sum(isinstance(e, GcDefer) for e in annotated.events) == 5
+
+
+def test_kernel_order_preserved():
+    raw = filo_stack_trace(depth=6)
+    annotated = annotate(raw, memopt=True)
+    raw_kernels = [k.name for k in raw.kernels()]
+    annotated_kernels = [k.name for k in annotated.kernels()]
+    assert raw_kernels == annotated_kernels
+
+
+def test_archive_inserted_after_forward_kernels():
+    annotated = annotate(filo_stack_trace(depth=4), memopt=True)
+    events = annotated.events
+    for index, event in enumerate(events):
+        if isinstance(event, Kernel) and event.phase == "forward":
+            following = events[index + 1 : index + 1 + len(event.reads)]
+            archived = {e.tensor for e in following if isinstance(e, Archive)}
+            # forward kernels archive their read operands (Section III-E)
+            assert archived.issubset(set(event.reads))
+            assert archived  # at least one operand archived
+
+
+def test_no_archive_after_backward_kernels():
+    annotated = annotate(filo_stack_trace(depth=4), memopt=True)
+    events = annotated.events
+    for index, event in enumerate(events):
+        if isinstance(event, Kernel) and event.phase != "forward":
+            next_event = events[index + 1] if index + 1 < len(events) else None
+            assert not isinstance(next_event, Archive)
+
+
+def test_archive_skipped_for_immediately_dead_tensors():
+    annotated = annotate(streaming_trace(stages=4), memopt=True)
+    # stream stages free their input right after the kernel: archiving it
+    # would be hint noise, so no Archive should name a just-freed tensor.
+    events = annotated.events
+    for index, event in enumerate(events):
+        if isinstance(event, Archive):
+            assert not isinstance(events[index + 1], Retire) or (
+                events[index + 1].tensor != event.tensor
+            )
+
+
+def test_archive_hints_can_be_disabled():
+    annotated = annotate(filo_stack_trace(depth=4), memopt=True, archive_hints=False)
+    assert not any(isinstance(e, Archive) for e in annotated.events)
+
+
+def test_annotation_validates_input():
+    from repro.workloads.trace import Alloc, IterEnd, TensorSpec
+
+    bad = KernelTrace()
+    bad.add_tensor(TensorSpec("a", 64))
+    bad.events = [Alloc("a"), Alloc("a"), IterEnd()]
+    with pytest.raises(TraceError):
+        annotate(bad, memopt=True)
+
+
+def test_annotated_name_encodes_mode():
+    raw = streaming_trace(stages=2)
+    assert "M" in annotate(raw, memopt=True).name.split(":")[-1]
+    assert "gc" in annotate(raw, memopt=False).name.split(":")[-1]

@@ -1,0 +1,198 @@
+"""DLRM workload trace: structure and policy behaviour."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.units import KiB, MiB
+from repro.workloads.dlrm import dlrm_trace
+from repro.workloads.trace import Kernel
+
+
+def small(**kwargs):
+    defaults = dict(
+        tables=4, chunks_per_table=16, chunk_bytes=64 * KiB,
+        lookups_per_table=3, batch=64, dense_dim=32, mlp_hidden=64, seed=0,
+    )
+    defaults.update(kwargs)
+    return dlrm_trace(**defaults)
+
+
+def test_trace_validates():
+    small().validate()
+
+
+def test_configuration_checked():
+    with pytest.raises(ConfigurationError):
+        small(tables=0)
+    with pytest.raises(ConfigurationError):
+        small(lookups_per_table=17)
+
+
+def test_embedding_capacity_dominates():
+    trace = small()
+    emb_bytes = sum(
+        spec.nbytes for name, spec in trace.tensors.items() if name.startswith("emb_")
+    )
+    assert emb_bytes == 4 * 16 * 64 * KiB
+    assert emb_bytes > trace.peak_live_bytes() * 0.5
+
+
+def test_only_touched_chunks_updated():
+    trace = small()
+    touched = {
+        name
+        for kernel in trace.kernels()
+        if kernel.name.startswith("lookup_")
+        for name in kernel.reads
+    }
+    updates = {
+        kernel.writes[0]
+        for kernel in trace.kernels()
+        if kernel.phase == "update" and kernel.writes[0].startswith("emb_")
+    }
+    assert updates == touched
+    assert len(touched) < 4 * 16  # sparse: most chunks untouched
+
+
+def test_lookups_are_read_sensitive():
+    for kernel in small().kernels():
+        if kernel.name.startswith("lookup_"):
+            assert kernel.read_sensitivity == 1.0
+
+
+def test_seeded_determinism():
+    a = [k.reads for k in small(seed=3).kernels()]
+    b = [k.reads for k in small(seed=3).kernels()]
+    c = [k.reads for k in small(seed=4).kernels()]
+    assert a == b
+    assert a != c
+
+
+def test_zipf_skew_prefers_low_chunks():
+    trace = small(chunks_per_table=32, lookups_per_table=2, zipf_exponent=2.0, seed=9)
+    chunk_ids = [
+        int(name.split("_c")[1])
+        for kernel in trace.kernels()
+        if kernel.name.startswith("lookup_")
+        for name in kernel.reads
+    ]
+    assert sum(1 for c in chunk_ids if c < 8) > len(chunk_ids) / 2
+
+
+def test_adaptive_policy_keeps_hot_chunks_fast():
+    """Across iterations, frequently-looked-up chunks should stay in DRAM."""
+    from repro.core.session import Session, SessionConfig
+    from repro.policies import AdaptivePolicy
+    from repro.runtime.executor import CachedArraysAdapter, Executor
+    from repro.runtime.kernel import ExecutionParams
+    from repro.workloads.annotate import annotate
+
+    trace = annotate(
+        small(tables=4, chunks_per_table=32, chunk_bytes=256 * KiB,
+              lookups_per_table=2, zipf_exponent=2.0, seed=1),
+        memopt=True,
+    )
+    session = Session(
+        SessionConfig(dram=4 * MiB, nvram=256 * MiB),
+        policy=AdaptivePolicy(local_alloc=True, prefetch=True),
+    )
+    executor = Executor(
+        CachedArraysAdapter(session, ExecutionParams()), sample_timeline=False
+    )
+    executor.run(trace, iterations=3)
+    touched = {
+        name for k in trace.kernels() if k.name.startswith("lookup_")
+        for name in k.reads
+    }
+    hot_in_dram = sum(
+        1
+        for name in touched
+        if executor.adapter.objects[name].primary.device_name == "DRAM"
+    )
+    untouched_in_dram = sum(
+        1
+        for name, obj in executor.adapter.objects.items()
+        if name.startswith("emb_") and name not in touched
+        and obj.primary.device_name == "DRAM"
+    )
+    session.close()
+    # The touched working set is favoured over cold capacity.
+    assert hot_in_dram > 0
+    assert hot_in_dram >= untouched_in_dram
+
+
+def test_runs_on_2lm_too():
+    from repro.experiments.common import ExperimentConfig, run_trace_mode
+    from repro.workloads.annotate import annotate
+
+    config = ExperimentConfig(
+        scale=1, iterations=2, dram_bytes=4 * MiB, nvram_bytes=256 * MiB,
+        sample_timeline=False,
+    )
+    result = run_trace_mode(
+        annotate(small(chunk_bytes=256 * KiB), memopt=False),
+        "2LM:0",
+        config,
+        model_label="dlrm",
+    )
+    assert result.iteration.cache is not None
+    assert result.iteration.seconds > 0
+
+
+def test_multibatch_variation():
+    trace = small(batches=3, chunks_per_table=32, lookups_per_table=2, seed=2)
+    trace.validate()
+    per_batch = {}
+    for kernel in trace.kernels():
+        if kernel.name.startswith("lookup_"):
+            batch = kernel.name.rsplit("_b", 1)[1]
+            per_batch.setdefault(batch, set()).update(kernel.reads)
+    assert len(per_batch) == 3
+    assert len(set().union(*per_batch.values())) > len(per_batch["0"])
+
+
+def test_full_scan_inserted_and_unhinted():
+    trace = small(batches=4, full_scan_every=2)
+    scans = [k for k in trace.kernels() if k.name.startswith("full_scan")]
+    assert len(scans) == 2
+    for scan in scans:
+        assert len(scan.reads) == 4 * 16  # every chunk
+        assert not scan.hinted
+        assert scan.read_sensitivity == 0.0
+
+
+def test_batches_validated():
+    with pytest.raises(ConfigurationError):
+        small(batches=0)
+
+
+def test_unhinted_kernels_skip_policy_hints():
+    from repro.core.session import Session, SessionConfig
+    from repro.policies import OptimizingPolicy
+    from repro.runtime.executor import CachedArraysAdapter, Executor
+    from repro.runtime.kernel import ExecutionParams
+    from repro.workloads.annotate import annotate
+
+    trace = annotate(
+        small(batches=2, full_scan_every=1, chunk_bytes=256 * KiB), memopt=True
+    )
+    policy = OptimizingPolicy(local_alloc=True, prefetch=True)
+    seen_hints: list[str] = []
+    original = policy.will_read
+
+    def spy(obj):
+        seen_hints.append(obj.name)
+        return original(obj)
+
+    policy.will_read = spy  # type: ignore[method-assign]
+    session = Session(SessionConfig(dram=4 * MiB, nvram=256 * MiB), policy=policy)
+    executor = Executor(
+        CachedArraysAdapter(session, ExecutionParams()), sample_timeline=False
+    )
+    executor.run(trace)
+    session.close()
+    # Lookup operands were hinted; the scan's sweep must not multiply them:
+    # each chunk can be hinted by lookups, but the 64-chunk scan would add
+    # hundreds of extra will_reads if it were hinted.
+    emb_hints = [name for name in seen_hints if name.startswith("emb_")]
+    assert len(emb_hints) < 64

@@ -1,0 +1,108 @@
+"""Trace JSON serialization: round-trip fidelity."""
+
+import io
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import TraceError
+from repro.nn.models import vgg
+from repro.workloads.annotate import annotate
+from repro.workloads.serialize import (
+    load_trace,
+    save_trace,
+    trace_from_dict,
+    trace_to_dict,
+)
+from repro.workloads.synthetic import filo_stack_trace, random_reuse_trace
+
+
+def roundtrip(trace):
+    return trace_from_dict(trace_to_dict(trace))
+
+
+def test_roundtrip_preserves_everything():
+    trace = filo_stack_trace(depth=6)
+    again = roundtrip(trace)
+    assert again.name == trace.name
+    assert again.tensors == trace.tensors
+    assert again.events == trace.events
+
+
+def test_roundtrip_annotated_trace_with_all_event_types():
+    trace = annotate(filo_stack_trace(depth=6), memopt=True, lookahead=3)
+    assert roundtrip(trace).events == trace.events
+    gc_trace = annotate(filo_stack_trace(depth=4), memopt=False)
+    assert roundtrip(gc_trace).events == gc_trace.events
+
+
+def test_roundtrip_kernel_attributes():
+    trace = vgg((1, 1, 1, 1, 1), batch=2).training_trace()
+    again = roundtrip(trace)
+    for a, b in zip(trace.kernels(), again.kernels()):
+        assert a == b
+    conv_kernels = [k for k in again.kernels() if "convbnrelu" in k.name]
+    assert all(k.read_factor == 4.0 for k in conv_kernels)  # knob survived
+
+
+def test_file_io_roundtrip():
+    trace = random_reuse_trace(working_set=8, kernels=20)
+    buffer = io.StringIO()
+    save_trace(trace, buffer)
+    buffer.seek(0)
+    assert load_trace(buffer).events == trace.events
+
+
+def test_rejects_unknown_format():
+    with pytest.raises(TraceError):
+        trace_from_dict({"format": 99})
+
+
+def test_rejects_unknown_event_type():
+    data = trace_to_dict(filo_stack_trace(depth=2))
+    data["events"][0] = {"type": "teleport", "tensor": "w0"}
+    with pytest.raises(TraceError):
+        trace_from_dict(data)
+
+
+def test_rejects_corrupted_stream():
+    data = trace_to_dict(filo_stack_trace(depth=2))
+    data["events"] = data["events"][1:]  # drop an Alloc -> use-before-alloc
+    with pytest.raises(TraceError):
+        trace_from_dict(data)
+
+
+def test_compact_defaults_omitted():
+    data = trace_to_dict(filo_stack_trace(depth=2))
+    kernels = [e for e in data["events"] if e["type"] == "kernel"]
+    assert all("write_factor" not in k for k in kernels)
+
+
+@given(
+    st.integers(min_value=1, max_value=8),
+    st.integers(min_value=1, max_value=30),
+)
+@settings(max_examples=20, deadline=None)
+def test_roundtrip_property(depth, kernels):
+    for trace in (
+        filo_stack_trace(depth=depth),
+        random_reuse_trace(working_set=max(2, depth), kernels=kernels),
+    ):
+        again = roundtrip(trace)
+        assert again.events == trace.events
+        assert again.peak_live_bytes() == trace.peak_live_bytes()
+
+
+def test_hinted_flag_roundtrips():
+    from repro.workloads.dlrm import dlrm_trace
+    from repro.units import KiB
+
+    trace = dlrm_trace(
+        tables=2, chunks_per_table=8, chunk_bytes=64 * KiB,
+        lookups_per_table=2, batches=2, full_scan_every=1, seed=0,
+    )
+    again = roundtrip(trace)
+    scans = [k for k in again.kernels() if k.name.startswith("full_scan")]
+    assert scans and all(not k.hinted for k in scans)
+    others = [k for k in again.kernels() if not k.name.startswith("full_scan")]
+    assert all(k.hinted for k in others)

@@ -1,0 +1,88 @@
+"""Synthetic workload generators."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.workloads.synthetic import (
+    filo_stack_trace,
+    random_reuse_trace,
+    streaming_trace,
+)
+from repro.workloads.trace import Alloc, Free, Kernel
+
+
+def test_streaming_validates_and_bounds_memory():
+    trace = streaming_trace(stages=10, tensor_bytes=1000)
+    trace.validate()
+    # At most two tensors live at once -> peak is 2 x tensor size.
+    assert trace.peak_live_bytes() == 2000
+
+
+def test_streaming_requires_stage():
+    with pytest.raises(TraceError):
+        streaming_trace(stages=0)
+
+
+def test_filo_activation_lifetimes():
+    """Activations allocated in forward order, freed in reverse order."""
+    trace = filo_stack_trace(depth=6)
+    trace.validate()
+    alloc_order = [
+        e.tensor for e in trace.events if isinstance(e, Alloc) and e.tensor.startswith("a")
+    ]
+    free_order = [
+        e.tensor for e in trace.events if isinstance(e, Free) and e.tensor.startswith("a")
+    ]
+    # a1..a6 allocated ascending; freed descending (a6 first) then a0 last.
+    assert alloc_order == [f"a{i}" for i in range(7)]
+    assert free_order == [f"a{i}" for i in range(6, 0, -1)] + ["a0"]
+
+
+def test_filo_weights_are_persistent():
+    trace = filo_stack_trace(depth=3)
+    for i in range(3):
+        assert trace.tensors[f"w{i}"].persistent
+        assert not any(
+            isinstance(e, Free) and e.tensor == f"w{i}" for e in trace.events
+        )
+
+
+def test_filo_phases_marked():
+    trace = filo_stack_trace(depth=3)
+    phases = {k.phase for k in trace.kernels()}
+    assert phases == {"forward", "backward", "update"}
+
+
+def test_filo_peak_grows_with_depth():
+    shallow = filo_stack_trace(depth=4).peak_live_bytes()
+    deep = filo_stack_trace(depth=16).peak_live_bytes()
+    assert deep > 2.5 * shallow
+
+
+def test_random_reuse_deterministic():
+    a = random_reuse_trace(seed=7)
+    b = random_reuse_trace(seed=7)
+    assert [k.reads for k in a.kernels()] == [k.reads for k in b.kernels()]
+
+
+def test_random_reuse_seed_changes_pattern():
+    a = random_reuse_trace(seed=1)
+    b = random_reuse_trace(seed=2)
+    assert [k.reads for k in a.kernels()] != [k.reads for k in b.kernels()]
+
+
+def test_random_reuse_skew():
+    trace = random_reuse_trace(
+        working_set=50, kernels=500, hot_fraction=0.2, hot_probability=0.8, seed=3
+    )
+    hot_reads = 0
+    for kernel in trace.kernels():
+        index = int(kernel.reads[0][1:])
+        if index < 10:
+            hot_reads += 1
+    assert hot_reads > 300  # ~80% of 500, generously bounded
+
+
+def test_random_reuse_bad_fraction():
+    with pytest.raises(TraceError):
+        random_reuse_trace(hot_fraction=0.0)
