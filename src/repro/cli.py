@@ -7,12 +7,16 @@ Usage::
     python -m repro fig3 ... fig7
     python -m repro all
     python -m repro trace --model resnet200-large [--out trace.json]
+    python -m repro profile --model tiny [--mode CA:LM] [--out trace.json]
 
 Times are reported rescaled to paper magnitudes (see
 :class:`~repro.experiments.common.ExperimentConfig`). ``--json`` emits a
 machine-readable results summary instead of the text report; ``trace``
 exports a model's kernel trace as a portable JSON artifact
-(:mod:`repro.workloads.serialize`).
+(:mod:`repro.workloads.serialize`); ``profile`` runs a model with event
+tracing on and prints the movement-attribution report, optionally writing a
+Perfetto-loadable Chrome trace (``--out``) and/or a raw event stream
+(``--jsonl``) — see ``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -21,6 +25,7 @@ import argparse
 import json
 import sys
 
+from repro.errors import ConfigurationError
 from repro.experiments.common import ExperimentConfig
 
 __all__ = ["main"]
@@ -170,6 +175,40 @@ def _export_trace(model: str, out_path: str | None, scale: int) -> int:
     return 0
 
 
+def _profile(
+    model: str,
+    mode: str,
+    out_path: str | None,
+    jsonl_path: str | None,
+    config: ExperimentConfig,
+) -> int:
+    from repro.experiments import profile as profile_mod
+    from repro.telemetry.export import write_jsonl
+
+    if model not in profile_mod.available_models():
+        print(
+            f"unknown model {model!r}; known: "
+            f"{', '.join(profile_mod.available_models())}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        result = profile_mod.run_profile(model, mode, config)
+    except ConfigurationError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if out_path:
+        with open(out_path, "w", encoding="utf-8") as fp:
+            json.dump(result.chrome_trace(), fp)
+        print(f"wrote Chrome trace ({len(result.events)} events) -> {out_path}")
+    if jsonl_path:
+        with open(jsonl_path, "w", encoding="utf-8") as fp:
+            write_jsonl(result.events, fp)
+        print(f"wrote event stream -> {jsonl_path}")
+    print(profile_mod.render(result))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="cachedarrays",
@@ -177,9 +216,9 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=EXPERIMENTS + ("all", "trace"),
-        help="which table/figure to regenerate, or 'trace' to export a "
-        "model's kernel trace",
+        choices=EXPERIMENTS + ("all", "trace", "profile"),
+        help="which table/figure to regenerate, 'trace' to export a model's "
+        "kernel trace, or 'profile' to run one with event tracing on",
     )
     parser.add_argument(
         "--scale",
@@ -198,14 +237,32 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="emit a machine-readable summary instead of the text report",
     )
-    parser.add_argument("--model", help="model key for the 'trace' command")
-    parser.add_argument("--out", help="output path for the 'trace' command")
+    parser.add_argument(
+        "--model", help="model key for the 'trace' and 'profile' commands"
+    )
+    parser.add_argument(
+        "--out",
+        help="output path: the kernel trace for 'trace', the Chrome "
+        "trace-event JSON for 'profile'",
+    )
+    parser.add_argument(
+        "--mode",
+        default="CA:LM",
+        help="operating mode for 'profile' (default CA:LM)",
+    )
+    parser.add_argument(
+        "--jsonl", help="also write the raw event stream ('profile' only)"
+    )
     args = parser.parse_args(argv)
     if args.experiment == "trace":
         if not args.model:
             parser.error("trace requires --model")
         return _export_trace(args.model, args.out, args.scale)
     config = ExperimentConfig(scale=args.scale, iterations=args.iterations)
+    if args.experiment == "profile":
+        if not args.model:
+            parser.error("profile requires --model")
+        return _profile(args.model, args.mode, args.out, args.jsonl, config)
     names = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
     for name in names:
         print(_run_one(name, config, as_json=args.json))

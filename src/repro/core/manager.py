@@ -41,6 +41,8 @@ from repro.errors import (
 from repro.core.object import MemObject, Region
 from repro.memory.copyengine import CopyEngine
 from repro.memory.heap import Heap
+from repro.telemetry import trace as tracing
+from repro.telemetry.metrics import MetricsRegistry
 
 __all__ = ["DataManager"]
 
@@ -48,11 +50,20 @@ __all__ = ["DataManager"]
 class DataManager:
     """Mechanism layer: regions, copies, links, and device state queries."""
 
-    def __init__(self, heaps: dict[str, Heap], engine: CopyEngine) -> None:
+    def __init__(
+        self,
+        heaps: dict[str, Heap],
+        engine: CopyEngine,
+        *,
+        tracer: "tracing.Tracer | tracing.NullTracer | None" = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
         if not heaps:
             raise ConfigurationError("DataManager needs at least one heap")
         self.heaps = dict(heaps)
         self.engine = engine
+        self.tracer = tracer if tracer is not None else tracing.NULL_TRACER
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._regions: dict[tuple[str, int], Region] = {}
         self.objects: dict[int, MemObject] = {}
 
@@ -105,6 +116,13 @@ class DataManager:
         obj.check_usable()
         region.check_live()
         obj.attach(region, primary=True)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                tracing.SETPRIMARY,
+                obj=obj.name,
+                device=region.device_name,
+                nbytes=region.size,
+            )
 
     # -- region functions -------------------------------------------------------
 
@@ -114,6 +132,10 @@ class DataManager:
         offset = heap.allocate(size)
         region = Region(heap, offset, size)
         self._regions[(device, offset)] = region
+        if self.tracer.enabled:
+            self.tracer.emit(
+                tracing.ALLOC, device=device, offset=offset, nbytes=size
+            )
         return region
 
     def try_allocate(self, device: str, size: int) -> Region | None:
@@ -140,6 +162,13 @@ class DataManager:
         region.heap.free(region.offset)
         del self._regions[(region.device_name, region.offset)]
         region.freed = True
+        if self.tracer.enabled:
+            self.tracer.emit(
+                tracing.FREE,
+                device=region.device_name,
+                offset=region.offset,
+                nbytes=region.size,
+            )
 
     def copyto(self, dst: Region, src: Region) -> None:
         """Copy the full logical contents of ``src`` into ``dst``."""
@@ -290,6 +319,16 @@ class DataManager:
         victims = self._span(device, start.offset, size)
         if victims is None:
             raise OutOfMemoryError(device, size, self.heap(device).free_bytes)
+        self.metrics.histogram("manager.eviction_cascade_depth").observe(
+            len(victims)
+        )
+        if self.tracer.enabled:
+            self.tracer.emit(
+                tracing.EVICT_SCAN,
+                device=device,
+                depth=len(victims),
+                nbytes=size,
+            )
         for offset in victims:
             region = self._regions[(device, offset)]
             callback(region)
@@ -313,6 +352,8 @@ class DataManager:
             region = self._regions.pop((device, old))
             region.offset = new
             self._regions[(device, new)] = region
+        if self.tracer.enabled and moved:
+            self.tracer.emit(tracing.DEFRAG, device=device, moves=moved)
         return moved
 
     def check_invariants(self) -> None:

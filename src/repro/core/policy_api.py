@@ -27,6 +27,7 @@ import enum
 from typing import TYPE_CHECKING
 
 from repro.core.object import MemObject, Region
+from repro.telemetry.trace import NULL_TRACER
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.manager import DataManager
@@ -60,6 +61,10 @@ class Policy(abc.ABC):
         if self._manager is not None and self._manager is not manager:
             raise RuntimeError("policy is already bound to a different manager")
         self._manager = manager
+        stats = getattr(self, "stats", None)
+        attach = getattr(stats, "attach", None)
+        if attach is not None:
+            attach(manager.metrics)
         self.on_bound()
 
     @property
@@ -67,6 +72,17 @@ class Policy(abc.ABC):
         if self._manager is None:
             raise RuntimeError("policy is not bound to a DataManager yet")
         return self._manager
+
+    @property
+    def tracer(self):
+        """The session's event tracer (a shared no-op when unbound/disabled).
+
+        Policies emit *decision* events (place, prefetch, evict) through
+        this; the manager and engine emit the *mechanism* events they cause.
+        """
+        if self._manager is None:
+            return NULL_TRACER
+        return self._manager.tracer
 
     def on_bound(self) -> None:
         """Hook for subclasses to discover devices once bound."""

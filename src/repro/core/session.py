@@ -28,10 +28,20 @@ from repro.memory.device import MemoryDevice
 from repro.memory.heap import Heap
 from repro.policies.optimizing import OptimizingPolicy
 from repro.sim.clock import SimClock
+from repro.telemetry import trace as tracing
 from repro.telemetry.counters import TrafficSnapshot
+from repro.telemetry.metrics import MetricsRegistry
 from repro.units import parse_size
 
 __all__ = ["Session", "SessionConfig"]
+
+# Precomputed cause-scope labels for kernel residency resolution, so the
+# traced hot path never concatenates strings per operand.
+RESIDENCY_LABELS = {
+    AccessIntent.USE: "resident_use",
+    AccessIntent.READ: "resident_read",
+    AccessIntent.WRITE: "resident_write",
+}
 
 
 @dataclass
@@ -54,6 +64,10 @@ class SessionConfig:
     # Queue copies on a DMA channel overlapping with compute instead of
     # blocking (Section VI; virtual devices only).
     async_movement: bool = False
+    # Record structured trace events (docs/observability.md). Off by
+    # default: the disabled path is a shared no-op tracer with zero
+    # per-kernel cost.
+    tracing: bool = False
 
     def build_devices(self) -> list[MemoryDevice]:
         if self.devices:
@@ -75,6 +89,8 @@ class Session:
         self,
         config: SessionConfig | None = None,
         policy: Policy | None = None,
+        *,
+        tracer: "tracing.Tracer | tracing.NullTracer | None" = None,
     ) -> None:
         self.config = config or SessionConfig()
         self.clock = SimClock()
@@ -90,13 +106,24 @@ class Session:
             raise ConfigurationError(
                 "async_movement is a timing model and requires virtual devices"
             )
+        if tracer is None:
+            tracer = (
+                tracing.Tracer(self.clock)
+                if self.config.tracing
+                else tracing.NULL_TRACER
+            )
+        self.tracer = tracer
+        self.metrics = MetricsRegistry()
         self.engine = CopyEngine(
             self.clock,
             max_threads=self.config.copy_threads,
             per_transfer_overhead=self.config.copy_overhead,
             async_mode=self.config.async_movement,
+            tracer=self.tracer,
         )
-        self.manager = DataManager(self.heaps, self.engine)
+        self.manager = DataManager(
+            self.heaps, self.engine, tracer=self.tracer, metrics=self.metrics
+        )
         if policy is None:
             policy = self._default_policy(names)
         self.policy = policy
@@ -130,7 +157,8 @@ class Session:
         dt = np.dtype(dtype)
         nbytes = int(math.prod(shape)) * dt.itemsize
         obj = self.manager.new_object(nbytes, name)
-        self.policy.place(obj)
+        with self.tracer.scope("place", obj):
+            self.policy.place(obj)
         array = CachedArray(self, obj, tuple(shape), dt)
         self._arrays[obj.id] = array
         return array
@@ -158,7 +186,8 @@ class Session:
     def release(self, array: CachedArray) -> None:
         """Retire an array through the policy (the ``retire`` hint)."""
         self._arrays.pop(array.obj.id, None)
-        self.policy.retire(array.obj)
+        with self.tracer.hint("retire", array.obj):
+            self.policy.retire(array.obj)
 
     # -- kernel scope --------------------------------------------------------------
 
@@ -181,11 +210,14 @@ class Session:
         """
         read_objs = [a.obj for a in reads]
         write_objs = [a.obj for a in writes]
+        tracer = self.tracer
         if hints:
             for obj in read_objs:
-                self.policy.will_read(obj)
+                with tracer.hint("will_read", obj):
+                    self.policy.will_read(obj)
             for obj in write_objs:
-                self.policy.will_write(obj)
+                with tracer.hint("will_write", obj):
+                    self.policy.will_write(obj)
         pinned: list[MemObject] = []
         # Resolve residency once per unique object; write intent dominates
         # when an operand is both read and written (in-place updates).
@@ -196,7 +228,8 @@ class Session:
             intents[obj.id] = (obj, AccessIntent.WRITE)
         try:
             for obj, intent in intents.values():
-                self.policy.ensure_resident(obj, intent)
+                with tracer.scope(RESIDENCY_LABELS[intent], obj):
+                    self.policy.ensure_resident(obj, intent)
                 obj.pin()
                 pinned.append(obj)
             if self.is_real:

@@ -49,6 +49,9 @@ class ExperimentConfig:
     async_movement: bool = False  # overlap copies with compute (Section VI)
     params: ExecutionParams = field(default_factory=ExecutionParams)
     sample_timeline: bool = True
+    # Collect structured trace events (RunResult.trace); off by default so
+    # experiment runs pay nothing for observability they don't use.
+    tracing: bool = False
 
     def scaled_dram(self) -> int:
         return max(self.line_size, self.dram_bytes // self.scale)
@@ -161,6 +164,10 @@ def run_trace_mode(
             line_size=config.line_size,
         )
         adapter = TwoLMAdapter(system, params)
+        if config.tracing:
+            from repro.telemetry.trace import Tracer
+
+            adapter.tracer = Tracer(adapter.clock)
     else:
         devices = (
             [config.build_dram(), config.build_nvram()]
@@ -171,6 +178,7 @@ def run_trace_mode(
             devices=devices,
             copy_overhead=config.copy_overhead / config.scale,
             async_movement=config.async_movement,
+            tracing=config.tracing,
         )
         if config.dram_bytes > 0:
             policy = mode_cfg.make_policy("DRAM", "NVRAM")

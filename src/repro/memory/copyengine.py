@@ -28,6 +28,7 @@ from repro.memory.device import MemoryKind
 from repro.memory.heap import Heap
 from repro.sim.bandwidth import copy_time, optimal_copy_threads
 from repro.sim.clock import SimClock
+from repro.telemetry import trace as tracing
 from repro.units import MiB
 
 __all__ = ["CopyEngine", "CopyRecord"]
@@ -65,6 +66,7 @@ class CopyEngine:
         async_mode: bool = False,
         parallel_threshold: int = 8 * MiB,
         pool_workers: int = 4,
+        tracer: "tracing.Tracer | tracing.NullTracer | None" = None,
     ) -> None:
         if max_threads < 1:
             raise ConfigurationError(f"max_threads must be >= 1, got {max_threads}")
@@ -94,6 +96,10 @@ class CopyEngine:
         self._thread_cache: dict[tuple[int, int, bool], int] = {}
         self.records: list[CopyRecord] = []
         self.keep_records = False
+        # Structured tracing: one copy_start/copy_end event pair per copy,
+        # tagged with a sequence id so exporters can pair them as async spans.
+        self.tracer = tracer if tracer is not None else tracing.NULL_TRACER
+        self._copy_seq = 0
 
     # -- thread tuning ------------------------------------------------------
 
@@ -175,6 +181,30 @@ class CopyEngine:
         )
         if self.keep_records:
             self.records.append(record)
+        tracer = self.tracer
+        if tracer.enabled:
+            # The span runs [completes_at - seconds, completes_at] in both
+            # modes: synchronous copies just advanced the clock by `seconds`,
+            # asynchronous ones queued on the destination's DMA channel.
+            seq = self._copy_seq = self._copy_seq + 1
+            tracer.emit_at(
+                completes_at - seconds,
+                tracing.COPY_START,
+                src=source.name,
+                dst=dest.name,
+                nbytes=nbytes,
+                threads=threads,
+                seconds=seconds,
+                seq=seq,
+            )
+            tracer.emit_at(
+                completes_at,
+                tracing.COPY_END,
+                src=source.name,
+                dst=dest.name,
+                nbytes=nbytes,
+                seq=seq,
+            )
         return record
 
     def _memcpy(

@@ -27,20 +27,44 @@ from repro.core.policy_api import AccessIntent, Policy
 from repro.errors import ConfigurationError, OutOfMemoryError, PolicyError
 from repro.policies.base import evict_object, prefetch_object
 from repro.policies.lru import LruTracker
+from repro.telemetry import trace as tracing
+from repro.telemetry.metrics import MetricsRegistry
 
 __all__ = ["MultiTierPolicy", "TierStats"]
 
 
 @dataclass
 class TierStats:
-    """Per-tier movement counters."""
+    """Per-tier movement counters, mirrored into the metrics registry."""
 
     demotions: dict[str, int] = field(default_factory=dict)
     promotions: dict[str, int] = field(default_factory=dict)
     placed: dict[str, int] = field(default_factory=dict)
+    _registry: "MetricsRegistry | None" = field(
+        default=None, repr=False, compare=False
+    )
+
+    def _named(self) -> tuple[tuple[str, dict[str, int]], ...]:
+        return (
+            ("policy.demotions", self.demotions),
+            ("policy.promotions", self.promotions),
+            ("policy.placed", self.placed),
+        )
+
+    def attach(self, registry: MetricsRegistry) -> None:
+        """Mirror counters into ``registry`` (pre-bind counts carry over)."""
+        self._registry = registry
+        for name, counter in self._named():
+            for tier, count in counter.items():
+                registry.counter(name, tier=tier).value += count
 
     def bump(self, counter: dict[str, int], tier: str) -> None:
         counter[tier] = counter.get(tier, 0) + 1
+        if self._registry is not None:
+            for name, candidate in self._named():
+                if candidate is counter:
+                    self._registry.counter(name, tier=tier).inc()
+                    break
 
     def as_dict(self) -> dict[str, int]:
         """Flattened counters (the executor's policy_stats interface)."""
@@ -107,6 +131,10 @@ class MultiTierPolicy(Policy):
                 self.manager.setprimary(obj, region)
                 self.lru[tier].touch(obj)
                 self.stats.bump(self.stats.placed, tier)
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        tracing.PLACE, obj=obj.name, device=tier, nbytes=obj.size
+                    )
                 return region
         raise OutOfMemoryError(self.tiers[-1], obj.size, 0)
 
@@ -157,7 +185,21 @@ class MultiTierPolicy(Policy):
                 raise OutOfMemoryError(below, region.size, 0)
             # evict_object allocates for itself; release the probe.
             self.manager.free(room)
-        if evict_object(self.manager, obj, self.tiers[index], below):
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.emit(
+                tracing.EVICT,
+                obj=obj.name,
+                src=self.tiers[index],
+                dst=below,
+                nbytes=obj.size,
+                clean=linked is not None and not self.manager.isdirty(region),
+            )
+            with tracer.scope("evict", obj):
+                evicted = evict_object(self.manager, obj, self.tiers[index], below)
+        else:
+            evicted = evict_object(self.manager, obj, self.tiers[index], below)
+        if evicted:
             self.stats.bump(self.stats.demotions, below)
         self.lru[self.tiers[index]].discard(obj)
         self.lru[below].touch(obj)
@@ -209,6 +251,14 @@ class MultiTierPolicy(Policy):
             self.lru[self.tiers[current]].discard(obj)
             self.lru[top].touch(obj)
             self.stats.bump(self.stats.promotions, top)
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    tracing.PREFETCH,
+                    obj=obj.name,
+                    src=self.tiers[current],
+                    dst=top,
+                    nbytes=obj.size,
+                )
         return region
 
     # -- validation ----------------------------------------------------------------------

@@ -25,32 +25,72 @@ Independent of the toggles, the policy:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 from repro.core.manager import DataManager
 from repro.core.object import MemObject, Region
 from repro.core.policy_api import AccessIntent, Policy
 from repro.errors import ConfigurationError, OutOfMemoryError, PolicyError
 from repro.policies.base import evict_object, prefetch_object
 from repro.policies.lru import LruTracker
+from repro.telemetry import trace as tracing
+from repro.telemetry.metrics import Counter, MetricsRegistry
 
 __all__ = ["OptimizingPolicy", "PolicyStats"]
 
 
-@dataclass
 class PolicyStats:
-    """Observable policy behaviour, for reports and regression tests."""
+    """Observable policy behaviour, for reports and regression tests.
 
-    placed_fast: int = 0
-    placed_slow: int = 0
-    prefetches: int = 0
-    evictions: int = 0
-    elided_writebacks: int = 0  # clean evictions that skipped the copy
-    forced_eviction_rounds: int = 0
-    retires: int = 0
+    Attribute access works exactly like the old plain-int dataclass
+    (``stats.evictions += 1``), but each field is backed by a telemetry
+    :class:`Counter`. When the policy binds to a session, :meth:`attach`
+    re-homes the counters into the session's :class:`MetricsRegistry` under
+    ``policy.*`` names, so reports read one flat namespace instead of
+    scattered per-policy dicts.
+    """
+
+    FIELDS = (
+        "placed_fast",
+        "placed_slow",
+        "prefetches",
+        "evictions",
+        "elided_writebacks",  # clean evictions that skipped the copy
+        "forced_eviction_rounds",
+        "retires",
+    )
+
+    def __init__(self) -> None:
+        object.__setattr__(
+            self, "_counters", {name: Counter() for name in self.FIELDS}
+        )
+
+    def attach(self, registry: MetricsRegistry) -> None:
+        """Back the fields with registry counters (pre-bind counts carry over)."""
+        counters = self._counters
+        for name in self.FIELDS:
+            shared = registry.counter(f"policy.{name}")
+            shared.value += counters[name].value
+            counters[name] = shared
+
+    def __getattr__(self, name: str) -> int:
+        counters = object.__getattribute__(self, "_counters")
+        try:
+            return counters[name].value
+        except KeyError:
+            raise AttributeError(name) from None
+
+    def __setattr__(self, name: str, value: int) -> None:
+        counter = self._counters.get(name)
+        if counter is None:
+            object.__setattr__(self, name, value)
+        else:
+            counter.value = value
+
+    def __repr__(self) -> str:
+        fields = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"PolicyStats({fields})"
 
     def as_dict(self) -> dict[str, int]:
-        return dict(vars(self))
+        return {name: counter.value for name, counter in self._counters.items()}
 
 
 class OptimizingPolicy(Policy):
@@ -98,10 +138,21 @@ class OptimizingPolicy(Policy):
                 self.manager.setprimary(obj, region)
                 self.lru.touch(obj)
                 self.stats.placed_fast += 1
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        tracing.PLACE,
+                        obj=obj.name,
+                        device=region.device_name,
+                        nbytes=obj.size,
+                    )
                 return region
         region = self.manager.allocate(self.slow, obj.size)
         self.manager.setprimary(obj, region)
         self.stats.placed_slow += 1
+        if self.tracer.enabled:
+            self.tracer.emit(
+                tracing.PLACE, obj=obj.name, device=self.slow, nbytes=obj.size
+            )
         return region
 
     # -- hints ------------------------------------------------------------------
@@ -163,6 +214,9 @@ class OptimizingPolicy(Policy):
 
     def _prefetch(self, obj: MemObject, *, force: bool) -> Region | None:
         assert self.fast is not None
+        was_slow = (
+            obj.primary is not None and obj.primary.device_name == self.slow
+        )
         region = prefetch_object(
             self.manager,
             obj,
@@ -174,6 +228,15 @@ class OptimizingPolicy(Policy):
         )
         if region is not None and region.device_name == self.fast:
             self.lru.touch(obj)
+            if was_slow and self.tracer.enabled:
+                # An actual slow->fast move, not a no-op on already-fast data.
+                self.tracer.emit(
+                    tracing.PREFETCH,
+                    obj=obj.name,
+                    src=self.slow,
+                    dst=self.fast,
+                    nbytes=obj.size,
+                )
         return region
 
     def _allocate_fast(self, size: int, *, force: bool) -> Region | None:
@@ -221,7 +284,21 @@ class OptimizingPolicy(Policy):
         was_clean = not self.manager.isdirty(region) and (
             self.manager.getlinked(region, self.slow) is not None
         )
-        if evict_object(self.manager, obj, self.fast, self.slow):
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.emit(
+                tracing.EVICT,
+                obj=obj.name,
+                src=self.fast,
+                dst=self.slow,
+                nbytes=obj.size,
+                clean=was_clean,
+            )
+            with tracer.scope("evict", obj):
+                evicted = evict_object(self.manager, obj, self.fast, self.slow)
+        else:
+            evicted = evict_object(self.manager, obj, self.fast, self.slow)
+        if evicted:
             self.stats.evictions += 1
             if was_clean:
                 self.stats.elided_writebacks += 1

@@ -23,13 +23,15 @@ from dataclasses import dataclass, field
 
 from repro.core.object import MemObject
 from repro.core.policy_api import AccessIntent
-from repro.core.session import Session
+from repro.core.session import RESIDENCY_LABELS, Session
 from repro.errors import OutOfMemoryError, TraceError
 from repro.runtime.gc import GarbageCollector, GcConfig
 from repro.runtime.kernel import ExecutionParams, KernelTiming, kernel_timing
 from repro.sim.clock import SimClock
+from repro.telemetry import trace as tracing
 from repro.telemetry.counters import TrafficSnapshot
 from repro.telemetry.timeline import Timeline
+from repro.telemetry.trace import TraceEvent
 from repro.twolm.dramcache import CacheStats
 from repro.twolm.system import TwoLMSystem
 from repro.workloads.trace import (
@@ -64,6 +66,9 @@ class SystemAdapter(abc.ABC):
     """What the executor needs from a memory system."""
 
     clock: SimClock
+    # Structured event tracer; adapters that support tracing override this
+    # per instance. The executor emits kernel-boundary spans through it.
+    tracer: "tracing.Tracer | tracing.NullTracer" = tracing.NULL_TRACER
 
     @abc.abstractmethod
     def alloc(self, spec: TensorSpec) -> None: ...
@@ -112,11 +117,14 @@ class CachedArraysAdapter(SystemAdapter):
         self.session = session
         self.params = params
         self.clock = session.clock
+        self.tracer = session.tracer
         self.objects: dict[str, MemObject] = {}
+        self._kernel_count = 0
 
     def alloc(self, spec: TensorSpec) -> None:
         obj = self.session.manager.new_object(spec.nbytes, spec.name)
-        self.session.policy.place(obj)
+        with self.tracer.scope("place", spec.name):
+            self.session.policy.place(obj)
         self.objects[spec.name] = obj
 
     def exists(self, name: str) -> bool:
@@ -124,26 +132,33 @@ class CachedArraysAdapter(SystemAdapter):
 
     def release(self, name: str) -> None:
         obj = self.objects.pop(name)
-        self.session.policy.retire(obj)
+        with self.tracer.hint("retire", name):
+            self.session.policy.retire(obj)
 
     def archive(self, name: str) -> None:
-        self.session.policy.archive(self.objects[name])
+        with self.tracer.hint("archive", name):
+            self.session.policy.archive(self.objects[name])
 
     def hint_read(self, name: str) -> None:
-        self.session.policy.will_read(self.objects[name])
+        with self.tracer.hint("will_read", name):
+            self.session.policy.will_read(self.objects[name])
 
     def hint_write(self, name: str) -> None:
-        self.session.policy.will_write(self.objects[name])
+        with self.tracer.hint("will_write", name):
+            self.session.policy.will_write(self.objects[name])
 
     def kernel(self, kernel: Kernel, trace: KernelTrace) -> KernelTiming:
         policy = self.session.policy
+        tracer = self.tracer
         read_objs = [self.objects[name] for name in kernel.reads]
         write_objs = [self.objects[name] for name in kernel.writes]
         if kernel.hinted:
             for obj in read_objs:
-                policy.will_read(obj)
+                with tracer.hint("will_read", obj):
+                    policy.will_read(obj)
             for obj in write_objs:
-                policy.will_write(obj)
+                with tracer.hint("will_write", obj):
+                    policy.will_write(obj)
         pinned: list[MemObject] = []
         # Residency is resolved once per unique object (write intent wins
         # for read+write operands) and pinned immediately, so no later
@@ -155,7 +170,8 @@ class CachedArraysAdapter(SystemAdapter):
             intents[obj.id] = (obj, AccessIntent.WRITE)
         try:
             for obj, intent in intents.values():
-                policy.ensure_resident(obj, intent)
+                with tracer.scope(RESIDENCY_LABELS[intent], obj):
+                    policy.ensure_resident(obj, intent)
                 obj.pin()
                 pinned.append(obj)
             # Asynchronous movement: the kernel cannot start until every
@@ -164,7 +180,10 @@ class CachedArraysAdapter(SystemAdapter):
                 (obj.primary.ready_at for obj in pinned if obj.primary), default=0.0
             )
             if ready_at > self.clock.now:
-                self.clock.advance(ready_at - self.clock.now, MOVEMENT_WAIT)
+                wait = ready_at - self.clock.now
+                self.clock.advance(wait, MOVEMENT_WAIT)
+                if tracer.enabled:
+                    tracer.emit(tracing.STALL, kernel=kernel.name, seconds=wait)
             reads: list[tuple] = []
             writes: list[tuple] = []
             for obj in read_objs:
@@ -190,7 +209,20 @@ class CachedArraysAdapter(SystemAdapter):
             for obj in pinned:
                 obj.unpin()
         policy.on_kernel_finish(read_objs, write_objs)
+        self._kernel_count += 1
+        paranoia = self.params.paranoia
+        if paranoia > 0 and self._kernel_count % paranoia == 0:
+            self._check_invariants()
         return timing
+
+    def _check_invariants(self) -> None:
+        """Paranoia mode: validate heap + policy invariants, trace the check."""
+        self.session.manager.check_invariants()
+        check = getattr(self.session.policy, "check_invariant", None)
+        if check is not None:
+            check()
+        if self.tracer.enabled:
+            self.tracer.emit(tracing.INVARIANT_CHECK, kernels=self._kernel_count)
 
     def occupancy(self) -> dict[str, int]:
         return self.session.occupancy()
@@ -222,19 +254,38 @@ class TwoLMAdapter(SystemAdapter):
         self.system = system
         self.params = params
         self.clock = SimClock()
+        self.tracer = tracing.NULL_TRACER
         self.offsets: dict[str, int] = {}
         self.sizes: dict[str, int] = {}
 
     def alloc(self, spec: TensorSpec) -> None:
-        self.offsets[spec.name] = self.system.allocate(spec.nbytes)
+        offset = self.system.allocate(spec.nbytes)
+        self.offsets[spec.name] = offset
         self.sizes[spec.name] = spec.nbytes
+        if self.tracer.enabled:
+            self.tracer.emit(
+                tracing.ALLOC,
+                device=self.system.nvram.name,
+                obj=spec.name,
+                offset=offset,
+                nbytes=spec.nbytes,
+            )
 
     def exists(self, name: str) -> bool:
         return name in self.offsets
 
     def release(self, name: str) -> None:
-        self.system.free(self.offsets.pop(name))
-        del self.sizes[name]
+        offset = self.offsets.pop(name)
+        nbytes = self.sizes.pop(name)
+        self.system.free(offset)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                tracing.FREE,
+                device=self.system.nvram.name,
+                obj=name,
+                offset=offset,
+                nbytes=nbytes,
+            )
 
     def archive(self, name: str) -> None:
         """Hardware caches receive no semantic hints — deliberately a no-op."""
@@ -329,6 +380,8 @@ class RunResult:
     trace_name: str
     iterations: list[IterationResult]
     occupancy_timeline: dict[str, Timeline]
+    # Structured events collected during the run (empty when tracing is off).
+    trace: list[TraceEvent] = field(default_factory=list)
 
     def steady_state(self) -> IterationResult:
         """The last iteration — warmup (first-touch allocation of weights,
@@ -391,13 +444,20 @@ class Executor:
             # Emergency collection under pressure, then one retry.
             if self.gc.deferred_count == 0:
                 raise
+            tracer = self.adapter.tracer
+            if tracer.enabled:
+                tracer.emit(tracing.OOM_RETRY, obj=spec.name, nbytes=spec.nbytes)
             self._collect()
             self.adapter.alloc(spec)
         self.gc.on_alloc(spec.nbytes)
 
     def _collect(self) -> None:
-        pause = self.gc.collect()
+        tracer = self.adapter.tracer
+        with tracer.scope("gc"):
+            pause = self.gc.collect()
         self.adapter.clock.advance(pause, GC)
+        if tracer.enabled:
+            tracer.emit(tracing.GC, seconds=pause)
 
     def _sample(self, label: str = "") -> None:
         if not self.sample_timeline:
@@ -429,6 +489,7 @@ class Executor:
             raise TraceError(f"need at least one iteration, got {iterations}")
         results: list[IterationResult] = []
         clock = self.adapter.clock
+        tracer = self.adapter.tracer
         for index in range(iterations):
             checkpoint = clock.checkpoint()
             start_traffic = self.adapter.traffic()
@@ -443,8 +504,18 @@ class Executor:
                 if isinstance(event, Alloc):
                     self._alloc(trace.tensor(event.tensor))
                 elif isinstance(event, Kernel):
+                    if tracer.enabled:
+                        tracer.emit(tracing.KERNEL_START, kernel=event.name)
                     timing = self.adapter.kernel(event, trace)
                     clock.advance(timing.total, KERNEL)
+                    if tracer.enabled:
+                        tracer.emit(
+                            tracing.KERNEL_END,
+                            kernel=event.name,
+                            seconds=timing.total,
+                            compute=timing.compute,
+                            memory=timing.memory,
+                        )
                     compute += timing.compute
                     kernel_memory += timing.memory
                     self._sample()
@@ -469,7 +540,8 @@ class Executor:
             # Paper: "After each training iteration ... the GC was invoked";
             # heaps are then defragmented before the next run.
             self._collect()
-            self.adapter.iteration_end()
+            with tracer.scope("iter_end"):
+                self.adapter.iteration_end()
             self._sample("iteration-end")
             delta = clock.since(checkpoint)
             end_traffic = self.adapter.traffic()
@@ -502,4 +574,5 @@ class Executor:
             trace_name=trace.name,
             iterations=results,
             occupancy_timeline=dict(self._timelines),
+            trace=list(tracer.events),
         )

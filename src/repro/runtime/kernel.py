@@ -44,6 +44,10 @@ class ExecutionParams:
     nvram_write_threads: int = 8
     # Fixed dispatch cost per kernel (runtime + primitive setup).
     launch_overhead: float = 2e-3
+    # Paranoia level: every N kernels the adapter runs the manager's (and
+    # policy's) invariant checks and traces an ``invariant_check`` event.
+    # 0 disables the checks entirely (the default; they are O(heap) each).
+    paranoia: int = 0
 
 
 @dataclass(frozen=True)

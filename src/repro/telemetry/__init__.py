@@ -3,12 +3,38 @@
 The paper reads CPU performance counters to capture DRAM/NVRAM read and write
 traffic (Figure 5), DRAM-cache tag statistics (Figure 4), bus utilisation
 (Figure 6), and resident-heap timelines (Figure 3). This subpackage provides
-the equivalent instrumentation for the simulated memory system.
+the equivalent instrumentation for the simulated memory system, plus the
+structured event-tracing layer (:mod:`repro.telemetry.trace`), the metrics
+registry (:mod:`repro.telemetry.metrics`), and the Perfetto/Chrome-trace and
+JSONL exporters (:mod:`repro.telemetry.export`) — see
+``docs/observability.md``.
 """
 
 from repro.telemetry.counters import TrafficCounters, TrafficSnapshot
-from repro.telemetry.timeline import Timeline, TimelineSample
+from repro.telemetry.export import (
+    jsonl_lines,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.telemetry.metrics import (
+    Attribution,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    attribute_copies,
+    derive_metrics,
+)
 from repro.telemetry.stats import BusUtilization, summarize_series
+from repro.telemetry.timeline import Timeline, TimelineSample
+from repro.telemetry.trace import (
+    NULL_TRACER,
+    NullTracer,
+    TraceEvent,
+    Tracer,
+    subject_label,
+)
 
 __all__ = [
     "TrafficCounters",
@@ -17,4 +43,20 @@ __all__ = [
     "TimelineSample",
     "BusUtilization",
     "summarize_series",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "TraceEvent",
+    "subject_label",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "derive_metrics",
+    "attribute_copies",
+    "Attribution",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+    "jsonl_lines",
 ]

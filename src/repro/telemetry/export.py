@@ -1,0 +1,272 @@
+"""Trace exporters: Chrome trace-event JSON (Perfetto) and JSONL.
+
+:func:`to_chrome_trace` converts a :class:`~repro.telemetry.trace.Tracer`
+event list into the Chrome trace-event format that ``chrome://tracing`` and
+https://ui.perfetto.dev load directly:
+
+* kernels render as complete spans (``ph="X"``) on the *execution* process,
+* copies render as async spans (``ph="b"``/``"e"``) on their destination
+  device's track, so overlap with kernels is visible,
+* policy decisions and hints render as instants on the *policy* process,
+* :class:`~repro.telemetry.timeline.Timeline` series render as counter
+  tracks (``ph="C"``) — heap occupancy and cumulative traffic over time
+  (the Figure 3/6 series).
+
+Every emitted record carries ``ph``/``ts``/``pid``/``tid``/``name``.
+Virtual seconds become microseconds (the format's unit).
+
+:func:`write_jsonl` streams raw events one JSON object per line with sorted
+keys — byte-identical across runs for a deterministic workload, which is
+what makes traces diffable across policy ablations.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterable, Sequence
+
+from repro.telemetry.timeline import Timeline
+from repro.telemetry.trace import (
+    ALLOC,
+    COPY_END,
+    COPY_START,
+    DEFRAG,
+    EVICT,
+    EVICT_SCAN,
+    FREE,
+    GC,
+    HINT,
+    INVARIANT_CHECK,
+    KERNEL_END,
+    KERNEL_START,
+    OOM_RETRY,
+    PLACE,
+    PREFETCH,
+    SETPRIMARY,
+    STALL,
+    TraceEvent,
+)
+
+__all__ = ["to_chrome_trace", "write_chrome_trace", "write_jsonl", "jsonl_lines"]
+
+# Process/thread layout of the exported trace.
+PID_EXECUTION = 1
+PID_POLICY = 2
+PID_DEVICES = 3
+PID_COUNTERS = 4
+TID_KERNELS = 1
+TID_RUNTIME = 2
+
+_RUNTIME_INSTANTS = frozenset({GC, OOM_RETRY, INVARIANT_CHECK, STALL})
+_POLICY_INSTANTS = frozenset({HINT, PLACE, EVICT, EVICT_SCAN, PREFETCH, SETPRIMARY})
+_DEVICE_INSTANTS = frozenset({ALLOC, FREE, DEFRAG})
+
+
+def _us(seconds: float) -> float:
+    """Virtual seconds -> trace microseconds (rounded for stable JSON)."""
+    return round(seconds * 1e6, 3)
+
+
+def _args_of(event: TraceEvent) -> dict:
+    args = dict(event.args)
+    if event.cause:
+        args["cause"] = event.cause
+    if event.root:
+        args["root"] = event.root
+    return args
+
+
+class _DeviceTracks:
+    """Stable device-name -> tid assignment (order of first appearance)."""
+
+    def __init__(self) -> None:
+        self._tids: dict[str, int] = {}
+
+    def tid(self, device: str) -> int:
+        tid = self._tids.get(device)
+        if tid is None:
+            tid = self._tids[device] = len(self._tids) + 1
+        return tid
+
+    def items(self) -> list[tuple[str, int]]:
+        return list(self._tids.items())
+
+
+def to_chrome_trace(
+    events: Iterable[TraceEvent],
+    *,
+    timelines: Sequence[Timeline] = (),
+) -> dict:
+    """Build a Chrome trace-event document from a tracer's event list."""
+    out: list[dict] = []
+    devices = _DeviceTracks()
+    kernel_stack: list[TraceEvent] = []
+
+    for event in events:
+        ts = _us(event.ts)
+        if event.kind == KERNEL_START:
+            kernel_stack.append(event)
+        elif event.kind == KERNEL_END:
+            start = kernel_stack.pop() if kernel_stack else event
+            out.append(
+                {
+                    "ph": "X",
+                    "ts": _us(start.ts),
+                    "dur": round(ts - _us(start.ts), 3),
+                    "pid": PID_EXECUTION,
+                    "tid": TID_KERNELS,
+                    "name": str(event.args.get("kernel", "kernel")),
+                    "cat": "kernel",
+                    "args": _args_of(event),
+                }
+            )
+        elif event.kind == COPY_START:
+            tid = devices.tid(str(event.args.get("dst", "?")))
+            name = f"copy {event.args.get('src', '?')}→{event.args.get('dst', '?')}"
+            record = {
+                "ph": "b",
+                "ts": ts,
+                "pid": PID_DEVICES,
+                "tid": tid,
+                "name": name,
+                "cat": "copy",
+                "id": int(event.args.get("seq", 0)),
+                "args": _args_of(event),
+            }
+            out.append(record)
+        elif event.kind == COPY_END:
+            tid = devices.tid(str(event.args.get("dst", "?")))
+            name = f"copy {event.args.get('src', '?')}→{event.args.get('dst', '?')}"
+            out.append(
+                {
+                    "ph": "e",
+                    "ts": ts,
+                    "pid": PID_DEVICES,
+                    "tid": tid,
+                    "name": name,
+                    "cat": "copy",
+                    "id": int(event.args.get("seq", 0)),
+                    "args": {},
+                }
+            )
+        elif event.kind in _POLICY_INSTANTS:
+            out.append(
+                {
+                    "ph": "i",
+                    "ts": ts,
+                    "pid": PID_POLICY,
+                    "tid": 1,
+                    "name": event.kind,
+                    "s": "t",
+                    "args": _args_of(event),
+                }
+            )
+        elif event.kind in _DEVICE_INSTANTS:
+            tid = devices.tid(str(event.args.get("device", "?")))
+            out.append(
+                {
+                    "ph": "i",
+                    "ts": ts,
+                    "pid": PID_DEVICES,
+                    "tid": tid,
+                    "name": event.kind,
+                    "s": "t",
+                    "args": _args_of(event),
+                }
+            )
+        else:  # runtime instants and any future kinds
+            out.append(
+                {
+                    "ph": "i",
+                    "ts": ts,
+                    "pid": PID_EXECUTION,
+                    "tid": TID_RUNTIME,
+                    "name": event.kind,
+                    "s": "t",
+                    "args": _args_of(event),
+                }
+            )
+
+    for timeline in timelines:
+        data = timeline.to_dict()
+        for sample_ts, value, _label in data["samples"]:
+            out.append(
+                {
+                    "ph": "C",
+                    "ts": _us(sample_ts),
+                    "pid": PID_COUNTERS,
+                    "tid": 1,
+                    "name": data["name"],
+                    "args": {"value": value},
+                }
+            )
+
+    meta: list[dict] = []
+    for pid, name in (
+        (PID_EXECUTION, "execution"),
+        (PID_POLICY, "policy"),
+        (PID_DEVICES, "devices"),
+        (PID_COUNTERS, "counters"),
+    ):
+        meta.append(
+            {
+                "ph": "M",
+                "ts": 0,
+                "pid": pid,
+                "tid": 0,
+                "name": "process_name",
+                "args": {"name": name},
+            }
+        )
+    for thread_meta in (
+        (PID_EXECUTION, TID_KERNELS, "kernels"),
+        (PID_EXECUTION, TID_RUNTIME, "runtime"),
+        (PID_POLICY, 1, "decisions"),
+    ):
+        pid, tid, name = thread_meta
+        meta.append(
+            {
+                "ph": "M",
+                "ts": 0,
+                "pid": pid,
+                "tid": tid,
+                "name": "thread_name",
+                "args": {"name": name},
+            }
+        )
+    for device, tid in devices.items():
+        meta.append(
+            {
+                "ph": "M",
+                "ts": 0,
+                "pid": PID_DEVICES,
+                "tid": tid,
+                "name": "thread_name",
+                "args": {"name": device},
+            }
+        )
+
+    return {"traceEvents": meta + out, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    events: Iterable[TraceEvent],
+    fp: IO[str],
+    *,
+    timelines: Sequence[Timeline] = (),
+) -> None:
+    """Serialise :func:`to_chrome_trace` output to an open text file."""
+    json.dump(to_chrome_trace(events, timelines=timelines), fp)
+
+
+def jsonl_lines(events: Iterable[TraceEvent]) -> Iterable[str]:
+    """One compact, sorted-key JSON object per event (deterministic bytes)."""
+    for event in events:
+        yield json.dumps(event.to_json(), sort_keys=True, separators=(",", ":"))
+
+
+def write_jsonl(events: Iterable[TraceEvent], fp: IO[str]) -> None:
+    """Stream :func:`jsonl_lines` to an open text file, one event per line."""
+    for line in jsonl_lines(events):
+        fp.write(line)
+        fp.write("\n")

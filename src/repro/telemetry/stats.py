@@ -9,6 +9,7 @@ snapshot delta, the window length, and the device's peak bandwidth.
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass
 
 from repro.telemetry.counters import TrafficSnapshot
@@ -18,12 +19,19 @@ __all__ = ["BusUtilization", "summarize_series", "windowed_rate"]
 
 @dataclass(frozen=True)
 class BusUtilization:
-    """Average fraction of a device bus's peak bandwidth actually used."""
+    """Average fraction of a device bus's peak bandwidth actually used.
+
+    ``utilization`` is always in [0, 1]. A physical bus cannot exceed its
+    peak, so a raw ratio above 1 means the bandwidth model and the traffic
+    accounting disagree — :meth:`from_traffic` warns and clamps, preserving
+    the raw ratio in ``raw_utilization`` for diagnosis.
+    """
 
     device: str
-    utilization: float  # in [0, 1] (may exceed 1 if the model is mis-set)
+    utilization: float  # clamped to [0, 1]
     bytes_moved: int
     window: float
+    raw_utilization: float = 0.0  # unclamped ratio (> 1 flags a mis-set model)
 
     @classmethod
     def from_traffic(
@@ -37,11 +45,21 @@ class BusUtilization:
         if peak_bandwidth <= 0:
             raise ValueError(f"peak bandwidth must be positive, got {peak_bandwidth}")
         moved = traffic.total_bytes
+        raw = moved / (window_seconds * peak_bandwidth)
+        if raw > 1.0:
+            warnings.warn(
+                f"{traffic.device} bus utilisation {raw:.3f} exceeds 1.0: "
+                "the bandwidth model and traffic accounting disagree "
+                "(mis-set peak bandwidth?); clamping to 1.0",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         return cls(
             device=traffic.device,
-            utilization=moved / (window_seconds * peak_bandwidth),
+            utilization=min(raw, 1.0),
             bytes_moved=moved,
             window=window_seconds,
+            raw_utilization=raw,
         )
 
     def __str__(self) -> str:

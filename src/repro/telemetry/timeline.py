@@ -87,6 +87,30 @@ class Timeline:
             total += self._values[i] * (self._times[i + 1] - self._times[i])
         return total / span
 
+    def to_dict(self) -> dict:
+        """A JSON-serialisable view: ``{"name": ..., "samples": [[t, v, label], ...]}``.
+
+        The Chrome-trace exporter uses this to emit occupancy/traffic series
+        as counter tracks (the Figure 3/6 series).
+        """
+        return {
+            "name": self.name,
+            "samples": [
+                [t, v, label]
+                for t, v, label in zip(self._times, self._values, self._labels)
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Timeline":
+        """Rebuild a timeline from :meth:`to_dict` output (exact round-trip)."""
+        timeline = cls(data["name"])
+        for sample in data["samples"]:
+            time, value = sample[0], sample[1]
+            label = sample[2] if len(sample) > 2 else ""
+            timeline.record(time, value, label)
+        return timeline
+
     def downsample(self, max_points: int) -> "Timeline":
         """Evenly thin the series for reporting; always keeps the endpoints."""
         if max_points < 2:

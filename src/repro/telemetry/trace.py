@@ -1,0 +1,248 @@
+"""Structured runtime event tracing (the observability tentpole).
+
+The paper's evaluation is built entirely from observing data movement; this
+module makes that observation first-class instead of ad hoc. A
+:class:`Tracer` is a low-overhead event bus threaded through the three
+layers of the system:
+
+* the :class:`~repro.core.manager.DataManager` and
+  :class:`~repro.memory.copyengine.CopyEngine` emit *mechanism* events
+  (``alloc``, ``free``, ``copy_start``/``copy_end``, ``setprimary``,
+  ``defrag``);
+* policies emit *decision* events (``evict``, ``prefetch``, ``place``);
+* the executor emits *boundary* events (``kernel_start``/``kernel_end``,
+  ``hint``, ``gc``, ``oom_retry``, ``invariant_check``, ``stall``).
+
+Every event is stamped with virtual time from the shared
+:class:`~repro.sim.clock.SimClock`, so traces are deterministic and diffable
+across policy ablations.
+
+**Cause attribution.** Callers open a *scope* around policy entry points
+(``with tracer.hint("will_write", obj): policy.will_write(obj)``). Any event
+emitted while scopes are open records the innermost scope label as its
+``cause`` and the outermost as its ``root`` — so a copy triggered by an
+eviction that was itself triggered by a ``will_write`` hint reads
+``cause="evict:a3" root="hint:will_write:a7"``. That is the hint → policy
+decision → manager action chain the profile report aggregates.
+
+**Zero cost when disabled.** The default tracer is :data:`NULL_TRACER`: all
+of its methods are no-ops, ``scope()``/``hint()`` return a shared singleton
+context manager (no per-call allocation), and hot paths guard event
+construction with ``if tracer.enabled:`` so no argument dicts are built.
+Tracing never advances the clock, so enabling it cannot change results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.clock import SimClock
+
+__all__ = [
+    "TraceEvent",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "EVENT_KINDS",
+    "subject_label",
+]
+
+# -- event kinds --------------------------------------------------------------
+
+ALLOC = "alloc"
+FREE = "free"
+COPY_START = "copy_start"
+COPY_END = "copy_end"
+EVICT = "evict"
+EVICT_SCAN = "evictfrom"
+PREFETCH = "prefetch"
+PLACE = "place"
+HINT = "hint"
+SETPRIMARY = "setprimary"
+KERNEL_START = "kernel_start"
+KERNEL_END = "kernel_end"
+STALL = "stall"
+DEFRAG = "defrag"
+GC = "gc"
+OOM_RETRY = "oom_retry"
+INVARIANT_CHECK = "invariant_check"
+
+EVENT_KINDS = frozenset(
+    {
+        ALLOC, FREE, COPY_START, COPY_END, EVICT, EVICT_SCAN, PREFETCH,
+        PLACE, HINT, SETPRIMARY, KERNEL_START, KERNEL_END, STALL, DEFRAG,
+        GC, OOM_RETRY, INVARIANT_CHECK,
+    }
+)
+
+
+def subject_label(subject: object) -> str:
+    """A stable, human-readable label for a scope subject.
+
+    Strings pass through; objects with a ``name`` (e.g.
+    :class:`~repro.core.object.MemObject`, whose name is never empty) use it.
+    """
+    if isinstance(subject, str):
+        return subject
+    name = getattr(subject, "name", "")
+    if name:
+        return str(name)
+    return f"#{getattr(subject, 'id', '?')}"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One structured event, stamped with virtual time.
+
+    ``args`` carries the kind-specific payload (device, byte counts, ...).
+    ``cause``/``root`` are the innermost/outermost attribution scopes active
+    at emission time; ``root_ts`` is the virtual time the root scope opened
+    (the hint-to-movement latency baseline).
+    """
+
+    ts: float
+    kind: str
+    args: Mapping[str, Any] = field(default_factory=dict)
+    cause: str = ""
+    root: str = ""
+    root_ts: float | None = None
+
+    def to_json(self) -> dict[str, Any]:
+        """A flat, JSON-serialisable view (stable key order via sorting)."""
+        out: dict[str, Any] = {"ts": self.ts, "kind": self.kind}
+        if self.cause:
+            out["cause"] = self.cause
+        if self.root:
+            out["root"] = self.root
+        if self.root_ts is not None:
+            out["root_ts"] = self.root_ts
+        for key, value in self.args.items():
+            out[key] = value
+        return out
+
+
+class _Scope:
+    """A cause-attribution scope; push on ``__enter__``, pop on ``__exit__``."""
+
+    __slots__ = ("_tracer", "_label")
+
+    def __init__(self, tracer: "Tracer", label: str) -> None:
+        self._tracer = tracer
+        self._label = label
+
+    def __enter__(self) -> "_Scope":
+        self._tracer._push(self._label)
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._tracer._pop()
+
+
+class _NullScope:
+    """Shared no-op scope: entering/exiting allocates nothing."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullScope":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        pass
+
+
+_NULL_SCOPE = _NullScope()
+
+
+class Tracer:
+    """Collects :class:`TraceEvent` records against a virtual clock."""
+
+    enabled = True
+
+    def __init__(self, clock: "SimClock") -> None:
+        self.clock = clock
+        self.events: list[TraceEvent] = []
+        # (label, open-time) pairs, outermost first.
+        self._scopes: list[tuple[str, float]] = []
+
+    # -- emission -----------------------------------------------------------
+
+    def emit(self, kind: str, **args: Any) -> TraceEvent:
+        """Record an event at the current virtual time."""
+        return self.emit_at(self.clock.now, kind, **args)
+
+    def emit_at(self, ts: float, kind: str, **args: Any) -> TraceEvent:
+        """Record an event at an explicit virtual time (async completions)."""
+        if self._scopes:
+            cause = self._scopes[-1][0]
+            root, root_ts = self._scopes[0]
+        else:
+            cause, root, root_ts = "", "", None
+        event = TraceEvent(ts, kind, args, cause, root, root_ts)
+        self.events.append(event)
+        return event
+
+    # -- attribution scopes -------------------------------------------------
+
+    def scope(self, kind: str, subject: object = "") -> _Scope:
+        """Open an attribution scope labelled ``kind[:subject]``."""
+        label = subject_label(subject)
+        return _Scope(self, f"{kind}:{label}" if label else kind)
+
+    def hint(self, kind: str, subject: object) -> _Scope:
+        """Emit a ``hint`` event and open its attribution scope.
+
+        Used by the session/executor around Table II hint delivery so any
+        movement a policy performs in response is attributed to the hint.
+        """
+        label = subject_label(subject)
+        self.emit(HINT, hint=kind, subject=label)
+        return _Scope(self, f"hint:{kind}:{label}")
+
+    def _push(self, label: str) -> None:
+        self._scopes.append((label, self.clock.now))
+
+    def _pop(self) -> None:
+        self._scopes.pop()
+
+    @property
+    def cause(self) -> str:
+        """The innermost active scope label (empty outside any scope)."""
+        return self._scopes[-1][0] if self._scopes else ""
+
+    @property
+    def root(self) -> str:
+        """The outermost active scope label (empty outside any scope)."""
+        return self._scopes[0][0] if self._scopes else ""
+
+    def clear(self) -> None:
+        """Drop collected events (between experiments; scopes are kept)."""
+        self.events.clear()
+
+
+class NullTracer:
+    """The zero-cost disabled tracer; see the module docstring contract."""
+
+    enabled = False
+    events: tuple[TraceEvent, ...] = ()
+    cause = ""
+    root = ""
+
+    def emit(self, kind: str, **args: Any) -> None:
+        return None
+
+    def emit_at(self, ts: float, kind: str, **args: Any) -> None:
+        return None
+
+    def scope(self, kind: str, subject: object = "") -> _NullScope:
+        return _NULL_SCOPE
+
+    def hint(self, kind: str, subject: object) -> _NullScope:
+        return _NULL_SCOPE
+
+    def clear(self) -> None:
+        pass
+
+
+NULL_TRACER = NullTracer()

@@ -66,3 +66,38 @@ def test_trace_requires_model():
 
 def test_trace_unknown_model(capsys):
     assert main(["trace", "--model", "alexnet"]) == 2
+
+
+def test_profile_smoke_writes_valid_chrome_trace(tmp_path, capsys):
+    import json
+
+    out = tmp_path / "trace.json"
+    jsonl = tmp_path / "trace.jsonl"
+    assert main(
+        [
+            "profile", "--model", "tiny", "--scale", "256",
+            "--iterations", "1", "--out", str(out), "--jsonl", str(jsonl),
+        ]
+    ) == 0
+    report = capsys.readouterr().out
+    assert "movement profile: tiny" in report
+    assert "top movers by cause" in report
+    with open(out, encoding="utf-8") as fp:
+        doc = json.load(fp)
+    assert doc["traceEvents"]
+    for record in doc["traceEvents"]:
+        for key in ("ph", "ts", "pid", "tid", "name"):
+            assert key in record
+    with open(jsonl, encoding="utf-8") as fp:
+        lines = fp.read().splitlines()
+    assert lines and all(json.loads(line)["kind"] for line in lines)
+
+
+def test_profile_unknown_model_returns_2(capsys):
+    assert main(["profile", "--model", "nosuch"]) == 2
+    assert "unknown model" in capsys.readouterr().err
+
+
+def test_profile_requires_model():
+    with pytest.raises(SystemExit):
+        main(["profile"])

@@ -1,0 +1,120 @@
+"""The structured event tracer: scopes, attribution, and the null tracer."""
+
+import pytest
+
+from repro.sim.clock import SimClock
+from repro.telemetry.trace import (
+    COPY_START,
+    EVICT,
+    HINT,
+    NULL_TRACER,
+    NullTracer,
+    TraceEvent,
+    Tracer,
+    subject_label,
+)
+
+
+class Named:
+    def __init__(self, name):
+        self.name = name
+
+
+def test_subject_label():
+    assert subject_label("a3") == "a3"
+    assert subject_label(Named("w0")) == "w0"
+    assert subject_label(object()) == "#?"
+
+
+def test_emit_stamps_virtual_time():
+    clock = SimClock()
+    tracer = Tracer(clock)
+    tracer.emit("alloc", device="DRAM", nbytes=64)
+    clock.advance(1.5, "kernel")
+    tracer.emit("free", device="DRAM", nbytes=64)
+    assert [e.ts for e in tracer.events] == [0.0, 1.5]
+    assert tracer.events[0].args["device"] == "DRAM"
+
+
+def test_emit_at_explicit_timestamp():
+    tracer = Tracer(SimClock())
+    tracer.emit_at(3.25, COPY_START, nbytes=10)
+    assert tracer.events[0].ts == 3.25
+
+
+def test_scope_sets_cause_and_root():
+    clock = SimClock()
+    tracer = Tracer(clock)
+    with tracer.hint("will_write", Named("a7")):
+        clock.advance(0.5, "movement")
+        with tracer.scope("evict", Named("a3")):
+            event = tracer.emit(COPY_START, nbytes=100)
+    assert event.cause == "evict:a3"
+    assert event.root == "hint:will_write:a7"
+    assert event.root_ts == 0.0  # the hint opened at t=0
+    # The hint itself was recorded as an event too.
+    assert tracer.events[0].kind == HINT
+    assert tracer.events[0].args == {"hint": "will_write", "subject": "a7"}
+
+
+def test_scopes_pop_cleanly():
+    tracer = Tracer(SimClock())
+    with tracer.scope("gc"):
+        assert tracer.cause == "gc"
+    assert tracer.cause == ""
+    assert tracer.root == ""
+    event = tracer.emit(EVICT, obj="x")
+    assert event.cause == "" and event.root == "" and event.root_ts is None
+
+
+def test_to_json_flat_and_sorted_friendly():
+    event = TraceEvent(1.0, COPY_START, {"nbytes": 4}, "evict:a", "hint:w:a", 0.5)
+    data = event.to_json()
+    assert data == {
+        "ts": 1.0,
+        "kind": COPY_START,
+        "cause": "evict:a",
+        "root": "hint:w:a",
+        "root_ts": 0.5,
+        "nbytes": 4,
+    }
+
+
+def test_clear_keeps_open_scopes():
+    tracer = Tracer(SimClock())
+    with tracer.scope("iter_end"):
+        tracer.emit(EVICT, obj="x")
+        tracer.clear()
+        assert tracer.events == []
+        assert tracer.cause == "iter_end"
+
+
+def test_null_tracer_is_inert_and_allocation_free():
+    assert NULL_TRACER.enabled is False
+    assert NULL_TRACER.emit("alloc", nbytes=1) is None
+    assert NULL_TRACER.events == ()
+    # scope()/hint() hand back one shared singleton: no per-call garbage.
+    scope_a = NULL_TRACER.scope("evict", Named("a"))
+    scope_b = NULL_TRACER.hint("will_read", Named("b"))
+    assert scope_a is scope_b
+    with scope_a:
+        pass
+    NULL_TRACER.clear()
+
+
+def test_null_tracer_subclass_sentinel():
+    """A NullTracer subclass can assert no emit path runs while disabled."""
+
+    class Exploding(NullTracer):
+        def emit(self, kind, **args):  # pragma: no cover - must not run
+            raise AssertionError("emit while disabled")
+
+        def emit_at(self, ts, kind, **args):  # pragma: no cover
+            raise AssertionError("emit_at while disabled")
+
+    tracer = Exploding()
+    with tracer.hint("will_write", Named("a")):
+        with tracer.scope("evict", Named("b")):
+            pass
+    with pytest.raises(AssertionError):
+        tracer.emit("alloc")

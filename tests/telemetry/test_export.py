@@ -1,0 +1,110 @@
+"""Chrome trace-event and JSONL exporters."""
+
+import io
+import json
+
+from repro.sim.clock import SimClock
+from repro.telemetry.export import (
+    jsonl_lines,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.telemetry.timeline import Timeline
+from repro.telemetry.trace import (
+    COPY_END,
+    COPY_START,
+    EVICT,
+    KERNEL_END,
+    KERNEL_START,
+    Tracer,
+)
+
+
+def sample_tracer():
+    clock = SimClock()
+    tracer = Tracer(clock)
+    tracer.emit(KERNEL_START, kernel="fwd0")
+    clock.advance(0.002, "kernel")
+    tracer.emit(KERNEL_END, kernel="fwd0", seconds=0.002)
+    with tracer.scope("evict", "a3"):
+        tracer.emit_at(
+            0.002, COPY_START, src="DRAM", dst="NVRAM", nbytes=64, seq=1
+        )
+        tracer.emit_at(0.003, COPY_END, src="DRAM", dst="NVRAM", nbytes=64, seq=1)
+        tracer.emit(EVICT, obj="a3", src="DRAM", dst="NVRAM", nbytes=64, clean=False)
+    return tracer
+
+
+def test_every_record_has_required_keys():
+    doc = to_chrome_trace(sample_tracer().events)
+    assert "traceEvents" in doc
+    for record in doc["traceEvents"]:
+        for key in ("ph", "ts", "pid", "tid", "name"):
+            assert key in record, record
+
+
+def test_kernels_become_complete_spans():
+    doc = to_chrome_trace(sample_tracer().events)
+    spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    assert len(spans) == 1
+    assert spans[0]["name"] == "fwd0"
+    assert spans[0]["ts"] == 0.0
+    assert spans[0]["dur"] == 2000.0  # 2 ms in microseconds
+
+
+def test_copies_become_async_span_pairs_on_device_track():
+    doc = to_chrome_trace(sample_tracer().events)
+    begins = [e for e in doc["traceEvents"] if e["ph"] == "b"]
+    ends = [e for e in doc["traceEvents"] if e["ph"] == "e"]
+    assert len(begins) == len(ends) == 1
+    assert begins[0]["id"] == ends[0]["id"] == 1
+    assert begins[0]["tid"] == ends[0]["tid"]
+    assert begins[0]["args"]["cause"] == "evict:a3"
+    # The destination device is named via thread metadata.
+    names = [
+        e["args"]["name"]
+        for e in doc["traceEvents"]
+        if e["ph"] == "M" and e["name"] == "thread_name"
+    ]
+    assert "NVRAM" in names
+
+
+def test_decisions_become_instants():
+    doc = to_chrome_trace(sample_tracer().events)
+    instants = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+    assert any(e["name"] == "evict" for e in instants)
+    assert all(e["s"] == "t" for e in instants)
+
+
+def test_timelines_become_counter_tracks():
+    timeline = Timeline("DRAM")
+    timeline.record(0.0, 10)
+    timeline.record(1.0, 20)
+    doc = to_chrome_trace([], timelines=[timeline])
+    counters = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+    assert [(c["ts"], c["args"]["value"]) for c in counters] == [
+        (0.0, 10),
+        (1000000.0, 20),
+    ]
+    assert all(c["name"] == "DRAM" for c in counters)
+
+
+def test_write_chrome_trace_is_valid_json():
+    buffer = io.StringIO()
+    write_chrome_trace(sample_tracer().events, buffer)
+    doc = json.loads(buffer.getvalue())
+    assert doc["displayTimeUnit"] == "ms"
+
+
+def test_jsonl_is_one_sorted_object_per_line():
+    events = sample_tracer().events
+    buffer = io.StringIO()
+    write_jsonl(events, buffer)
+    lines = buffer.getvalue().splitlines()
+    assert len(lines) == len(events)
+    first = json.loads(lines[0])
+    assert first["kind"] == KERNEL_START
+    # Compact separators and sorted keys: deterministic bytes.
+    assert lines == list(jsonl_lines(events))
+    assert lines[0] == json.dumps(first, sort_keys=True, separators=(",", ":"))

@@ -100,3 +100,22 @@ def test_executor_records_traffic_timelines():
     values = timeline.values()
     assert values == sorted(values)  # cumulative => monotone
     assert values[-1] > 0
+
+
+def test_utilization_above_one_warns_and_clamps():
+    traffic = TrafficSnapshot("DRAM", read_bytes=300, write_bytes=0)
+    with pytest.warns(RuntimeWarning, match="exceeds 1.0"):
+        util = BusUtilization.from_traffic(traffic, 1.0, 100.0)
+    assert util.utilization == 1.0
+    assert util.raw_utilization == pytest.approx(3.0)
+
+
+def test_utilization_at_or_below_one_does_not_warn():
+    import warnings
+
+    traffic = TrafficSnapshot("DRAM", read_bytes=100, write_bytes=0)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        util = BusUtilization.from_traffic(traffic, 1.0, 100.0)
+    assert util.utilization == 1.0
+    assert util.raw_utilization == pytest.approx(1.0)
