@@ -8,6 +8,7 @@ Usage::
     python -m repro all
     python -m repro trace --model resnet200-large [--out trace.json]
     python -m repro profile --model tiny [--mode CA:LM] [--out trace.json]
+    python -m repro chaos [--plan copy-flaky | --plan all] [--json]
 
 Times are reported rescaled to paper magnitudes (see
 :class:`~repro.experiments.common.ExperimentConfig`). ``--json`` emits a
@@ -16,7 +17,9 @@ exports a model's kernel trace as a portable JSON artifact
 (:mod:`repro.workloads.serialize`); ``profile`` runs a model with event
 tracing on and prints the movement-attribution report, optionally writing a
 Perfetto-loadable Chrome trace (``--out``) and/or a raw event stream
-(``--jsonl``) — see ``docs/observability.md``.
+(``--jsonl``) — see ``docs/observability.md``. ``chaos`` runs the workloads
+under a named fault plan and reports recovery outcomes (exit status 1 if any
+scenario violates the robustness contract) — see ``docs/robustness.md``.
 """
 
 from __future__ import annotations
@@ -209,6 +212,64 @@ def _profile(
     return 0
 
 
+def _chaos(plan_name: str, *, as_json: bool) -> int:
+    from repro.faults.chaos import run_chaos
+    from repro.faults.plan import FAULT_PLANS
+
+    if plan_name == "all":
+        names = tuple(FAULT_PLANS)
+    elif plan_name in FAULT_PLANS:
+        names = (plan_name,)
+    else:
+        print(
+            f"unknown fault plan {plan_name!r}; known: "
+            f"{', '.join(FAULT_PLANS)} (or 'all')",
+            file=sys.stderr,
+        )
+        return 2
+    reports = [run_chaos(name) for name in names]
+    if as_json:
+        print(
+            json.dumps(
+                {
+                    report.plan.name: {
+                        "ok": report.ok,
+                        "scenarios": {
+                            o.scenario: {
+                                "ok": o.ok,
+                                "completed": o.completed,
+                                "error": o.error,
+                                "typed_abort": o.typed_abort,
+                                "digests_match": o.digests_match,
+                                "invariants_clean": o.invariants_clean,
+                                "faults_fired": o.faults_fired,
+                                "recoveries": o.recoveries,
+                                "copy_retries": o.copy_retries,
+                                "strikes": o.strikes,
+                                "quarantined": o.quarantined,
+                            }
+                            for o in report.outcomes
+                        },
+                    }
+                    for report in reports
+                },
+                indent=2,
+            )
+        )
+    else:
+        for report in reports:
+            print(report.render())
+            print()
+        failed = [r.plan.name for r in reports if not r.ok]
+        verdict = (
+            f"FAILED plans: {', '.join(failed)}"
+            if failed
+            else f"all {len(reports)} plan(s) honoured the robustness contract"
+        )
+        print(verdict)
+    return 0 if all(report.ok for report in reports) else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="cachedarrays",
@@ -216,9 +277,10 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=EXPERIMENTS + ("all", "trace", "profile"),
+        choices=EXPERIMENTS + ("all", "trace", "profile", "chaos"),
         help="which table/figure to regenerate, 'trace' to export a model's "
-        "kernel trace, or 'profile' to run one with event tracing on",
+        "kernel trace, 'profile' to run one with event tracing on, or "
+        "'chaos' to run the fault-injection suite",
     )
     parser.add_argument(
         "--scale",
@@ -253,7 +315,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--jsonl", help="also write the raw event stream ('profile' only)"
     )
+    parser.add_argument(
+        "--plan",
+        default="all",
+        help="fault plan for 'chaos': a plan name or 'all' (default all)",
+    )
     args = parser.parse_args(argv)
+    if args.experiment == "chaos":
+        return _chaos(args.plan, as_json=args.json)
     if args.experiment == "trace":
         if not args.model:
             parser.error("trace requires --model")

@@ -80,6 +80,16 @@ class DataManager:
     def devices(self) -> list[str]:
         return list(self.heaps)
 
+    def free_bytes(self, device: str) -> int:
+        """Free bytes on ``device`` right now.
+
+        Part of the policy-visible mechanism API: policies use it to report
+        truthful ``free`` counts in the :class:`OutOfMemoryError` they raise
+        (free >= requested tells the recovery ladder the heap is fragmented,
+        not full).
+        """
+        return self.heap(device).free_bytes
+
     # -- object lifecycle -----------------------------------------------------
 
     def new_object(self, size: int, name: str = "") -> MemObject:
@@ -372,3 +382,8 @@ class DataManager:
             for region in obj.regions():
                 if self._regions.get((region.device_name, region.offset)) is not region:
                     raise AssertionError(f"{obj!r} holds unregistered {region!r}")
+
+    def check(self) -> None:
+        """Alias for :meth:`check_invariants` — the post-recovery sweep the
+        chaos suite runs after every fault plan."""
+        self.check_invariants()

@@ -32,7 +32,7 @@ from repro.telemetry.trace import NULL_TRACER
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.manager import DataManager
 
-__all__ = ["AccessIntent", "Policy"]
+__all__ = ["AccessIntent", "Policy", "DelegatingPolicy"]
 
 
 class AccessIntent(enum.Enum):
@@ -128,3 +128,81 @@ class Policy(abc.ABC):
 
     def on_iteration_end(self) -> None:
         """Called between training iterations (e.g. to reset heuristics)."""
+
+    # -- recovery hook (docs/robustness.md) ----------------------------------------
+
+    def handle_pressure(self, device: str, nbytes: int) -> bool:
+        """Try to free ``nbytes`` of contiguous space on ``device``.
+
+        The executor's OOM escalation ladder calls this as its eviction rung
+        after deferred-GC collection fails. Return ``True`` only if space was
+        actually freed (the ladder retries the allocation); the default
+        declines so stateless policies fall through to defragmentation and
+        cross-tier fallback.
+        """
+        return False
+
+
+class DelegatingPolicy(Policy):
+    """A policy wrapper that forwards every operation to an inner policy.
+
+    Base class for the robustness chain — the
+    :class:`~repro.policies.watchdog.PolicyWatchdog` and the fault-injecting
+    :class:`~repro.faults.policy.FaultyPolicy` both interpose on a real
+    policy without it knowing. Subclasses override individual operations and
+    call ``super()`` (or ``self.inner`` directly) to delegate.
+
+    Binding is forwarded, not duplicated: the wrapper records the manager
+    and binds the *inner* policy, whose ``bind`` attaches its own stats to
+    the metrics registry exactly once.
+    """
+
+    def __init__(self, inner: Policy) -> None:
+        super().__init__()
+        self.inner = inner
+
+    def bind(self, manager: "DataManager") -> None:
+        if self._manager is not None and self._manager is not manager:
+            raise RuntimeError("policy is already bound to a different manager")
+        self._manager = manager
+        self.inner.bind(manager)
+        self.on_bound()
+
+    @property
+    def stats(self):
+        return getattr(self.inner, "stats", None)
+
+    def place(self, obj: MemObject) -> Region:
+        return self.inner.place(obj)
+
+    def ensure_resident(self, obj: MemObject, intent: AccessIntent) -> Region:
+        return self.inner.ensure_resident(obj, intent)
+
+    def will_use(self, obj: MemObject) -> None:
+        self.inner.will_use(obj)
+
+    def will_read(self, obj: MemObject) -> None:
+        self.inner.will_read(obj)
+
+    def will_write(self, obj: MemObject) -> None:
+        self.inner.will_write(obj)
+
+    def archive(self, obj: MemObject) -> None:
+        self.inner.archive(obj)
+
+    def retire(self, obj: MemObject) -> None:
+        self.inner.retire(obj)
+
+    def on_kernel_finish(self, read: list[MemObject], wrote: list[MemObject]) -> None:
+        self.inner.on_kernel_finish(read, wrote)
+
+    def on_iteration_end(self) -> None:
+        self.inner.on_iteration_end()
+
+    def handle_pressure(self, device: str, nbytes: int) -> bool:
+        return self.inner.handle_pressure(device, nbytes)
+
+    def check_invariant(self) -> None:
+        check = getattr(self.inner, "check_invariant", None)
+        if check is not None:
+            check()

@@ -91,6 +91,7 @@ class Session:
         policy: Policy | None = None,
         *,
         tracer: "tracing.Tracer | tracing.NullTracer | None" = None,
+        injector: object | None = None,
     ) -> None:
         self.config = config or SessionConfig()
         self.clock = SimClock()
@@ -98,10 +99,6 @@ class Session:
         names = [d.name for d in devices]
         if len(set(names)) != len(names):
             raise ConfigurationError(f"duplicate device names: {names}")
-        self.heaps = {
-            device.name: Heap(device, alignment=self.config.alignment)
-            for device in devices
-        }
         if self.config.async_movement and any(d.is_real for d in devices):
             raise ConfigurationError(
                 "async_movement is a timing model and requires virtual devices"
@@ -113,6 +110,21 @@ class Session:
                 else tracing.NULL_TRACER
             )
         self.tracer = tracer
+        # Chaos mode (docs/robustness.md): a FaultInjector wired through the
+        # mechanism layer as a duck-typed hook. The session is the only place
+        # that knows about it, so the firewall (mechanism never imports
+        # repro.faults) holds.
+        self.injector = injector
+        if injector is not None:
+            attach = getattr(injector, "attach", None)
+            if attach is not None:
+                attach(self.clock, self.tracer)
+        self.heaps = {
+            device.name: Heap(
+                device, alignment=self.config.alignment, injector=injector
+            )
+            for device in devices
+        }
         self.metrics = MetricsRegistry()
         self.engine = CopyEngine(
             self.clock,
@@ -120,6 +132,7 @@ class Session:
             per_transfer_overhead=self.config.copy_overhead,
             async_mode=self.config.async_movement,
             tracer=self.tracer,
+            injector=injector,
         )
         self.manager = DataManager(
             self.heaps, self.engine, tracer=self.tracer, metrics=self.metrics
@@ -157,8 +170,15 @@ class Session:
         dt = np.dtype(dtype)
         nbytes = int(math.prod(shape)) * dt.itemsize
         obj = self.manager.new_object(nbytes, name)
-        with self.tracer.scope("place", obj):
-            self.policy.place(obj)
+        try:
+            with self.tracer.scope("place", obj):
+                self.policy.place(obj)
+        except Exception:
+            # Placement failed (OOM, policy fault, ...): don't leak the
+            # half-born object — callers may retry through the recovery
+            # ladder and must see the same pre-call state.
+            self.manager.destroy_object(obj)
+            raise
         array = CachedArray(self, obj, tuple(shape), dt)
         self._arrays[obj.id] = array
         return array

@@ -1,19 +1,52 @@
 """Exception taxonomy for the CachedArrays framework.
 
 Every error raised by the library derives from :class:`CachedArraysError` so
-callers can catch framework failures with a single ``except`` clause while
-still distinguishing allocation pressure (:class:`OutOfMemoryError`) — which a
-policy is expected to handle by evicting — from programming errors such as
-using a freed region (:class:`RegionStateError`) or violating the manager's
-linking rules (:class:`LinkError`), which are never recoverable.
+callers can catch framework failures with a single ``except`` clause. The
+taxonomy splits along one load-bearing line — **recoverable pressure/fault
+signals** versus **unrecoverable programming errors** — because the runtime's
+recovery machinery (docs/robustness.md) keys off it:
+
+Recoverable (the runtime is expected to absorb these):
+
+* :class:`OutOfMemoryError` — allocation pressure. A policy handles it by
+  evicting; if the policy cannot, the executor's escalation ladder
+  (:mod:`repro.runtime.recovery`) runs deferred-GC collection, policy
+  eviction, defragmentation, and cross-tier fallback allocation before
+  giving up.
+* :class:`CopyError` — a transient copy-engine failure (injected fault or
+  verification mismatch). The engine retries with verification; only
+  exhausted retries surface this error.
+* :class:`PolicyError` — a policy violated its contract. One failure is
+  survivable: the :class:`~repro.policies.watchdog.PolicyWatchdog` strikes
+  the policy and, on repeated violations, quarantines it and degrades to a
+  safe static fallback instead of aborting the run.
+
+Unrecoverable (programming errors; never caught by recovery machinery):
+
+* :class:`RegionStateError`, :class:`ObjectStateError`, :class:`LinkError` —
+  use-after-free, retired-object access, or linking-rule violations. These
+  indicate corrupted bookkeeping; masking them would hide data corruption.
+* :class:`KernelError`, :class:`TraceError`, :class:`ConfigurationError` —
+  malformed inputs, detected before any state was mutated.
+
+Terminal:
+
+* :class:`RecoveryExhaustedError` — every rung of the escalation ladder was
+  tried and allocation still failed. Subclasses :class:`OutOfMemoryError`
+  so existing pressure handlers keep working, but carries the attempted
+  steps so the failure is diagnosable ("fail loudly, never silently").
 """
 
 from __future__ import annotations
+
+from typing import Sequence
 
 __all__ = [
     "CachedArraysError",
     "OutOfMemoryError",
     "AllocationError",
+    "CopyError",
+    "RecoveryExhaustedError",
     "RegionStateError",
     "ObjectStateError",
     "LinkError",
@@ -36,7 +69,10 @@ class OutOfMemoryError(AllocationError):
     """A heap could not satisfy an allocation request.
 
     Policies treat this as a signal to evict; it carries the request so the
-    handler knows how much contiguous space it must produce.
+    handler knows how much contiguous space it must produce. ``free`` is the
+    heap's *actual* free byte count at failure time — when
+    ``free >= requested`` the heap is fragmented (or a fragmentation fault
+    is injected) and defragmentation, not eviction, is the right response.
     """
 
     def __init__(self, device: str, requested: int, free: int) -> None:
@@ -47,6 +83,48 @@ class OutOfMemoryError(AllocationError):
         self.device = device
         self.requested = requested
         self.free = free
+
+
+class RecoveryExhaustedError(OutOfMemoryError):
+    """The OOM escalation ladder ran out of rungs.
+
+    Raised by :func:`repro.runtime.recovery.recover_allocation` after every
+    applicable step (collect, evict, defrag, cross-tier fallback) was tried
+    and the allocation still failed. ``steps`` records the rungs attempted,
+    in order, so the abort is diagnosable.
+    """
+
+    def __init__(
+        self, device: str, requested: int, free: int, steps: Sequence[str]
+    ) -> None:
+        super().__init__(device, requested, free)
+        self.steps = tuple(steps)
+        attempted = ", ".join(self.steps) if self.steps else "none applicable"
+        self.args = (
+            f"{self.args[0]}; recovery ladder exhausted (steps: {attempted})",
+        )
+
+
+class CopyError(CachedArraysError):
+    """A bulk copy failed (transient fault or verification mismatch).
+
+    The copy engine retries failed or corrupted transfers up to its retry
+    budget; this error means the budget was exhausted and the destination
+    contents must not be trusted.
+    """
+
+    def __init__(
+        self, source: str, dest: str, nbytes: int, attempts: int, reason: str
+    ) -> None:
+        super().__init__(
+            f"copy {source!r} -> {dest!r} ({nbytes} bytes) failed after "
+            f"{attempts} attempt(s): {reason}"
+        )
+        self.source = source
+        self.dest = dest
+        self.nbytes = nbytes
+        self.attempts = attempts
+        self.reason = reason
 
 
 class RegionStateError(CachedArraysError):

@@ -1,0 +1,37 @@
+"""Deterministic fault injection for the data-movement runtime.
+
+See docs/robustness.md. The package provides:
+
+* :mod:`repro.faults.plan` — :class:`FaultPlan`/:class:`FaultSpec`
+  (declarative, seeded, JSON-serialisable fault schedules), the built-in
+  :data:`FAULT_PLANS`, and :func:`replay_plan` for replaying recorded runs;
+* :mod:`repro.faults.injector` — the runtime :class:`FaultInjector` wired
+  through the mechanism layer by :class:`~repro.core.session.Session`;
+* :mod:`repro.faults.policy` — :class:`FaultyPolicy`, injected policy
+  misbehavior at the policy-API boundary;
+* :mod:`repro.faults.chaos` — the chaos harness behind
+  ``python -m repro chaos``.
+"""
+
+from repro.faults.injector import CopyFault, FaultInjector
+from repro.faults.plan import (
+    FAULT_PLANS,
+    FaultPlan,
+    FaultSpec,
+    FiredFault,
+    fault_plan,
+    replay_plan,
+)
+from repro.faults.policy import FaultyPolicy
+
+__all__ = [
+    "CopyFault",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "FiredFault",
+    "FaultyPolicy",
+    "FAULT_PLANS",
+    "fault_plan",
+    "replay_plan",
+]

@@ -1,0 +1,319 @@
+"""The chaos harness: run workloads under a fault plan, check the contract.
+
+The robustness contract (ISSUE acceptance criterion, docs/robustness.md):
+under any fault plan a run must either
+
+* **complete correctly** — array contents bit-identical to a fault-free run
+  of the same scripted workload, with a clean :meth:`DataManager.check`
+  invariant sweep (and, when a policy fault was injected, completion via the
+  watchdog's quarantine-and-fallback rather than a crash), or
+* **abort loudly** — with a typed :class:`~repro.errors.CachedArraysError`
+  (never a silent wrong answer, never corrupted bookkeeping).
+
+Two scenarios exercise the two halves of the runtime:
+
+* ``session-real`` — a tiny *real-backed* session (DRAM squeezed far below
+  the working set so eviction traffic is constant) driven by a scripted,
+  seeded workload. Array payloads are real bytes, so completion is checked
+  by SHA-256 digest against a fault-free baseline run.
+* ``trace-virtual`` — the trace :class:`~repro.runtime.executor.Executor`
+  over a synthetic streaming workload on virtual devices, exercising the
+  executor's OOM escalation ladder, deferred GC, and iteration housekeeping
+  under the same fault plan (timing-only: correctness here means completion
+  plus clean sweeps).
+
+``python -m repro chaos --plan <name>`` runs these and renders the report.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.session import Session, SessionConfig
+from repro.errors import CachedArraysError, OutOfMemoryError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan, fault_plan
+from repro.faults.policy import FaultyPolicy
+from repro.policies.optimizing import OptimizingPolicy
+from repro.policies.watchdog import PolicyWatchdog
+from repro.runtime.executor import CachedArraysAdapter, Executor
+from repro.runtime.gc import GcConfig
+from repro.runtime.kernel import ExecutionParams
+from repro.runtime.recovery import recover_allocation, session_hooks
+from repro.telemetry import trace as tracing
+from repro.units import KiB, MiB
+from repro.workloads.annotate import annotate
+from repro.workloads.synthetic import streaming_trace
+
+__all__ = ["ScenarioOutcome", "ChaosReport", "run_chaos", "run_scenario"]
+
+# Scripted-workload geometry: DRAM far below the live working set.
+REAL_DRAM = 256 * KiB
+REAL_NVRAM = 4 * MiB
+WORKLOAD_STEPS = 18
+# Element counts cycle through these shapes (float32: 16-64 KiB payloads).
+SHAPE_CYCLE = (4096, 8192, 12288, 16384)
+
+
+@dataclass
+class ScenarioOutcome:
+    """What happened to one scenario under one fault plan."""
+
+    scenario: str
+    completed: bool
+    error: str = ""            # exception type name when the run aborted
+    error_detail: str = ""
+    typed_abort: bool = False  # abort was a CachedArraysError subclass
+    digests_match: bool | None = None  # None: no payloads to compare
+    invariants_clean: bool = False
+    faults_fired: int = 0
+    recoveries: dict[str, int] = field(default_factory=dict)
+    copy_retries: int = 0
+    strikes: int = 0
+    quarantined: bool = False
+
+    @property
+    def ok(self) -> bool:
+        """The robustness contract for one run (see module docstring)."""
+        if self.completed:
+            return self.invariants_clean and self.digests_match is not False
+        return self.typed_abort
+
+    def describe(self) -> str:
+        if self.completed:
+            verdict = "completed"
+            checks = [
+                "invariants clean" if self.invariants_clean else
+                "INVARIANT SWEEP FAILED",
+            ]
+            if self.digests_match is True:
+                checks.append("bit-identical to fault-free run")
+            elif self.digests_match is False:
+                checks.append("PAYLOAD MISMATCH")
+        else:
+            verdict = f"aborted with {self.error}"
+            checks = ["typed" if self.typed_abort else "UNTYPED CRASH"]
+        parts = [
+            f"{self.faults_fired} faults fired",
+            f"{self.copy_retries} copy retries",
+        ]
+        if self.recoveries:
+            steps = ", ".join(
+                f"{step} x{count}" for step, count in sorted(self.recoveries.items())
+            )
+            parts.append(f"recovered via {steps}")
+        if self.strikes:
+            parts.append(
+                f"{self.strikes} policy strikes"
+                + (" -> quarantined" if self.quarantined else "")
+            )
+        status = "ok " if self.ok else "FAIL"
+        return (
+            f"  [{status}] {self.scenario}: {verdict} "
+            f"({'; '.join(checks)}; {'; '.join(parts)})"
+        )
+
+
+@dataclass
+class ChaosReport:
+    """All scenario outcomes for one fault plan."""
+
+    plan: FaultPlan
+    outcomes: list[ScenarioOutcome] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(outcome.ok for outcome in self.outcomes)
+
+    def render(self) -> str:
+        head = f"chaos plan {self.plan.name!r}: {self.plan.description}"
+        return "\n".join([head] + [o.describe() for o in self.outcomes])
+
+
+# -- scenario A: real-backed session, scripted workload ------------------------
+
+
+def _build_session(plan: FaultPlan | None, *, real: bool,
+                   dram: int, nvram: int) -> tuple[Session, FaultInjector | None]:
+    injector = FaultInjector(plan) if plan is not None else None
+    policy = OptimizingPolicy(fast="DRAM", slow="NVRAM", local_alloc=True)
+    if injector is not None:
+        policy = PolicyWatchdog(FaultyPolicy(policy, injector))
+    session = Session(
+        SessionConfig(dram=dram, nvram=nvram, real=real, tracing=True),
+        policy=policy,
+        injector=injector,
+    )
+    return session, injector
+
+
+def _guarded_empty(session: Session, elements: int, name: str):
+    """Create an array, climbing the session-level ladder on pressure."""
+
+    def attempt():
+        return session.empty((elements,), np.float32, name=name)
+
+    try:
+        return attempt()
+    except OutOfMemoryError as error:
+        return recover_allocation(
+            attempt,
+            error,
+            session_hooks(session),
+            tracer=session.tracer,
+            metrics=session.metrics,
+        )
+
+
+def _payload(step: int, elements: int) -> np.ndarray:
+    """The (seeded, per-step) contents of array ``step`` — identical across
+    baseline and fault runs by construction."""
+    rng = np.random.default_rng(1000 + step)
+    return rng.random(elements, dtype=np.float32)
+
+
+def _scripted_workload(session: Session) -> dict[str, str]:
+    """Run the scripted allocate/write/read/archive/retire sequence.
+
+    Control flow depends only on the step index — never on placement, timing,
+    or recovery — so any two runs produce the same logical array set and the
+    final digests are comparable bit-for-bit. Returns ``{name: sha256}`` of
+    every array still live at the end.
+    """
+    live: dict[int, object] = {}
+    for step in range(WORKLOAD_STEPS):
+        elements = SHAPE_CYCLE[step % len(SHAPE_CYCLE)]
+        array = _guarded_empty(session, elements, f"a{step}")
+        array.write(_payload(step, elements))
+        live[step] = array
+        if step >= 2 and step % 3 == 0:
+            # Revisit two recent arrays: forces promote/evict churn.
+            for back in (1, 2):
+                if step - back in live:
+                    live[step - back].read()
+        if step % 4 == 1 and step - 4 in live:
+            live[step - 4].archive()
+        if step % 5 == 4 and step - 5 in live:
+            live.pop(step - 5).retire()
+    digests: dict[str, str] = {}
+    for step in sorted(live):
+        data = live[step].read()
+        digests[f"a{step}"] = hashlib.sha256(data.tobytes()).hexdigest()
+    return digests
+
+
+def _count_events(session: Session, outcome: ScenarioOutcome) -> None:
+    for event in session.tracer.events:
+        if event.kind == tracing.RECOVERY:
+            step = str(event.args.get("step", "?"))
+            outcome.recoveries[step] = outcome.recoveries.get(step, 0) + 1
+        elif event.kind == tracing.COPY_RETRY:
+            outcome.copy_retries += 1
+        elif event.kind == tracing.POLICY_STRIKE:
+            outcome.strikes += 1
+        elif event.kind == tracing.QUARANTINE:
+            outcome.quarantined = True
+
+
+def _sweep(session: Session) -> bool:
+    try:
+        session.manager.check()
+        check = getattr(session.policy, "check_invariant", None)
+        if check is not None:
+            check()
+    except Exception:
+        return False
+    return True
+
+
+def _run_real_scenario(plan: FaultPlan) -> ScenarioOutcome:
+    outcome = ScenarioOutcome(scenario="session-real", completed=False)
+    baseline_session, _ = _build_session(
+        None, real=True, dram=REAL_DRAM, nvram=REAL_NVRAM
+    )
+    with baseline_session:
+        baseline = _scripted_workload(baseline_session)
+    session, injector = _build_session(
+        plan, real=True, dram=REAL_DRAM, nvram=REAL_NVRAM
+    )
+    with session:
+        try:
+            digests = _scripted_workload(session)
+        except CachedArraysError as error:
+            outcome.error = type(error).__name__
+            outcome.error_detail = str(error)
+            outcome.typed_abort = True
+        except Exception as error:  # noqa: BLE001 - the contract check itself
+            outcome.error = type(error).__name__
+            outcome.error_detail = str(error)
+        else:
+            outcome.completed = True
+            outcome.digests_match = digests == baseline
+        outcome.invariants_clean = _sweep(session)
+        outcome.faults_fired = len(injector.fired) if injector else 0
+        _count_events(session, outcome)
+        if isinstance(session.policy, PolicyWatchdog):
+            outcome.quarantined |= session.policy.quarantined
+    return outcome
+
+
+# -- scenario B: virtual trace executor ----------------------------------------
+
+
+def _run_virtual_scenario(plan: FaultPlan) -> ScenarioOutcome:
+    outcome = ScenarioOutcome(scenario="trace-virtual", completed=False)
+    session, injector = _build_session(
+        plan, real=False, dram=2 * MiB, nvram=32 * MiB
+    )
+    executor = Executor(
+        CachedArraysAdapter(session, ExecutionParams()),
+        gc_config=GcConfig(trigger_bytes=8 * MiB),
+    )
+    trace = annotate(
+        streaming_trace(stages=24, tensor_bytes=512 * KiB), memopt=False
+    )
+    try:
+        executor.run(trace, iterations=2)
+    except CachedArraysError as error:
+        outcome.error = type(error).__name__
+        outcome.error_detail = str(error)
+        outcome.typed_abort = True
+    except Exception as error:  # noqa: BLE001
+        outcome.error = type(error).__name__
+        outcome.error_detail = str(error)
+    else:
+        outcome.completed = True
+    outcome.invariants_clean = _sweep(session)
+    outcome.faults_fired = len(injector.fired) if injector else 0
+    _count_events(session, outcome)
+    if isinstance(session.policy, PolicyWatchdog):
+        outcome.quarantined |= session.policy.quarantined
+    return outcome
+
+
+# -- entry points --------------------------------------------------------------
+
+
+def run_scenario(plan: FaultPlan, scenario: str) -> ScenarioOutcome:
+    """Run one named scenario (``session-real`` or ``trace-virtual``)."""
+    if scenario == "session-real":
+        return _run_real_scenario(plan)
+    if scenario == "trace-virtual":
+        return _run_virtual_scenario(plan)
+    raise ValueError(f"unknown chaos scenario {scenario!r}")
+
+
+def run_chaos(plan_or_name: FaultPlan | str) -> ChaosReport:
+    """Run every scenario under one fault plan and collect the report."""
+    plan = (
+        fault_plan(plan_or_name)
+        if isinstance(plan_or_name, str)
+        else plan_or_name
+    )
+    report = ChaosReport(plan=plan)
+    report.outcomes.append(_run_real_scenario(plan))
+    report.outcomes.append(_run_virtual_scenario(plan))
+    return report

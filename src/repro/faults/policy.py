@@ -1,0 +1,66 @@
+"""Transient policy misbehavior, injected at the policy-API boundary.
+
+:class:`FaultyPolicy` wraps a real policy and, per the fault plan's
+``policy``-site specs, raises :class:`~repro.errors.PolicyError` *instead of*
+delegating the matched operation — modelling a buggy user policy that
+intermittently violates its contract. It is the adversary the
+:class:`~repro.policies.watchdog.PolicyWatchdog` exists to contain; chaos
+runs stack them: ``PolicyWatchdog(FaultyPolicy(real_policy, injector))``.
+"""
+
+from __future__ import annotations
+
+from repro.core.object import MemObject, Region
+from repro.core.policy_api import AccessIntent, DelegatingPolicy, Policy
+from repro.errors import PolicyError
+from repro.faults.injector import FaultInjector
+
+__all__ = ["FaultyPolicy"]
+
+
+class FaultyPolicy(DelegatingPolicy):
+    """Raises injected :class:`PolicyError` before delegated operations."""
+
+    def __init__(self, inner: Policy, injector: FaultInjector) -> None:
+        super().__init__(inner)
+        self.injector = injector
+
+    def _maybe_fail(self, op: str, obj: MemObject | None = None) -> None:
+        name = obj.name if obj is not None else ""
+        if self.injector.policy_fault(op, name):
+            raise PolicyError(
+                f"injected fault: policy refused {op}"
+                + (f" on {name!r}" if name else "")
+            )
+
+    def place(self, obj: MemObject) -> Region:
+        self._maybe_fail("place", obj)
+        return self.inner.place(obj)
+
+    def ensure_resident(self, obj: MemObject, intent: AccessIntent) -> Region:
+        self._maybe_fail("ensure_resident", obj)
+        return self.inner.ensure_resident(obj, intent)
+
+    def will_use(self, obj: MemObject) -> None:
+        self._maybe_fail("will_use", obj)
+        self.inner.will_use(obj)
+
+    def will_read(self, obj: MemObject) -> None:
+        self._maybe_fail("will_read", obj)
+        self.inner.will_read(obj)
+
+    def will_write(self, obj: MemObject) -> None:
+        self._maybe_fail("will_write", obj)
+        self.inner.will_write(obj)
+
+    def archive(self, obj: MemObject) -> None:
+        self._maybe_fail("archive", obj)
+        self.inner.archive(obj)
+
+    def retire(self, obj: MemObject) -> None:
+        self._maybe_fail("retire", obj)
+        self.inner.retire(obj)
+
+    def handle_pressure(self, device: str, nbytes: int) -> bool:
+        self._maybe_fail("handle_pressure")
+        return self.inner.handle_pressure(device, nbytes)

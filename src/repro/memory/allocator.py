@@ -63,6 +63,8 @@ class FreeListAllocator:
         *,
         alignment: int = 64,
         fit: FitPolicy = "first",
+        fault_hook: Callable[[str, int, int], str | None] | None = None,
+        label: str = "<arena>",
     ) -> None:
         if capacity <= 0:
             raise AllocationError(f"arena capacity must be positive, got {capacity}")
@@ -73,6 +75,11 @@ class FreeListAllocator:
         self.capacity = capacity
         self.alignment = alignment
         self.fit: FitPolicy = fit
+        # Fault-injection seam (docs/robustness.md): a duck-typed callable
+        # ``hook(label, size, free) -> "fail" | "fragment" | None`` consulted
+        # before each allocation. The allocator never imports repro.faults.
+        self.fault_hook = fault_hook
+        self.label = label
         self._blocks: list[Block] = [Block(offset=0, size=capacity, free=True)]
         self._by_offset: dict[int, Block] = {}  # allocated blocks only
         self._used_bytes = 0
@@ -137,9 +144,17 @@ class FreeListAllocator:
         if size <= 0:
             raise AllocationError(f"allocation size must be positive, got {size}")
         rounded = self._round_up(size)
+        if self.fault_hook is not None:
+            verdict = self.fault_hook(self.label, rounded, self.free_bytes)
+            if verdict is not None:
+                # Injected failure ("fail") or artificial fragmentation
+                # ("fragment"): either way the allocation honestly fails with
+                # the real free-byte count — free >= requested tells the
+                # recovery ladder that defragmentation is the right response.
+                raise OutOfMemoryError(self.label, rounded, self.free_bytes)
         index = self._find_fit(rounded)
         if index is None:
-            raise OutOfMemoryError("<arena>", rounded, self.free_bytes)
+            raise OutOfMemoryError(self.label, rounded, self.free_bytes)
         block = self._blocks[index]
         if block.size > rounded:
             remainder = Block(

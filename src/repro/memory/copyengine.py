@@ -23,10 +23,12 @@ from __future__ import annotations
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
-from repro.errors import ConfigurationError
+import numpy as np
+
+from repro.errors import ConfigurationError, CopyError
 from repro.memory.device import MemoryKind
 from repro.memory.heap import Heap
-from repro.sim.bandwidth import copy_time, optimal_copy_threads
+from repro.sim.bandwidth import DegradedBandwidth, copy_time, optimal_copy_threads
 from repro.sim.clock import SimClock
 from repro.telemetry import trace as tracing
 from repro.units import MiB
@@ -67,12 +69,18 @@ class CopyEngine:
         parallel_threshold: int = 8 * MiB,
         pool_workers: int = 4,
         tracer: "tracing.Tracer | tracing.NullTracer | None" = None,
+        injector: object | None = None,
+        max_copy_retries: int = 2,
     ) -> None:
         if max_threads < 1:
             raise ConfigurationError(f"max_threads must be >= 1, got {max_threads}")
         if per_transfer_overhead < 0:
             raise ConfigurationError(
                 f"per_transfer_overhead must be >= 0, got {per_transfer_overhead}"
+            )
+        if max_copy_retries < 0:
+            raise ConfigurationError(
+                f"max_copy_retries must be >= 0, got {max_copy_retries}"
             )
         self.clock = clock
         self.max_threads = max_threads
@@ -96,6 +104,12 @@ class CopyEngine:
         self._thread_cache: dict[tuple[int, int, bool], int] = {}
         self.records: list[CopyRecord] = []
         self.keep_records = False
+        # Fault-injection seam (docs/robustness.md): duck-typed object with
+        # ``copy_plan(source, dest, nbytes)``; the engine never imports
+        # repro.faults. Retry-with-verification only runs when an injector is
+        # present, so fault-free runs pay nothing.
+        self.injector = injector
+        self.max_copy_retries = max_copy_retries
         # Structured tracing: one copy_start/copy_end event pair per copy,
         # tagged with a sequence id so exporters can pair them as async spans.
         self.tracer = tracer if tracer is not None else tracing.NULL_TRACER
@@ -134,22 +148,60 @@ class CopyEngine:
         dest_offset: int,
         nbytes: int,
     ) -> CopyRecord:
-        """Copy ``nbytes`` between heap allocations, accounting everything."""
+        """Copy ``nbytes`` between heap allocations, accounting everything.
+
+        With a fault injector attached, injected copy failures are absorbed by
+        retrying (each failed attempt is honestly charged: full transfer time
+        on the clock and full traffic on both heaps, plus a ``copy_retry``
+        trace event), injected bandwidth degradation derates the destination
+        model, and — on real-backed device pairs — the destination is verified
+        against the source after the memcpy so injected silent corruption is
+        caught and redone. Faults that persist past ``max_copy_retries``
+        raise :class:`~repro.errors.CopyError` after charging what was spent:
+        loud failure, never a silently-corrupt destination.
+        """
         if nbytes < 0:
             raise ConfigurationError(f"copy size must be non-negative, got {nbytes}")
         nt_stores = self._use_nt_stores(dest)
         threads = self.threads_for(source, dest, nt_stores=nt_stores)
-        seconds = copy_time(
+
+        fault = None
+        if self.injector is not None:
+            fault = self.injector.copy_plan(source.name, dest.name, nbytes)
+            if fault.clean:
+                fault = None
+        dest_model = dest.device.bandwidth
+        if fault is not None and fault.slowdown > 1.0:
+            dest_model = DegradedBandwidth(inner=dest_model, factor=fault.slowdown)
+
+        attempt_seconds = copy_time(
             source.device.bandwidth,
-            dest.device.bandwidth,
+            dest_model,
             nbytes,
             threads,
             nt_stores=nt_stores,
         )
         if nbytes:
-            seconds += self.per_transfer_overhead
-        source.traffic.record_read(nbytes)
-        dest.traffic.record_write(nbytes)
+            attempt_seconds += self.per_transfer_overhead
+
+        real_pair = source.device.is_real and dest.device.is_real
+        failures = fault.failures if fault is not None else 0
+        corrupt = fault.corrupt if fault is not None else 0
+        if corrupt and not real_pair:
+            # Virtual devices carry no payload to corrupt; model the
+            # verification mismatch as a failed-and-retried attempt instead,
+            # so timing-mode chaos runs exercise the same retry budget.
+            failures += corrupt
+            corrupt = 0
+
+        exhausted = failures > self.max_copy_retries
+        failed_attempts = self.max_copy_retries + 1 if exhausted else failures
+        attempts = failed_attempts + (0 if exhausted else 1)
+        seconds = attempt_seconds * attempts
+        for _ in range(attempts):
+            source.traffic.record_read(nbytes)
+            dest.traffic.record_write(nbytes)
+
         if self.async_mode:
             if source.device.is_real or dest.device.is_real:
                 raise ConfigurationError(
@@ -163,13 +215,43 @@ class CopyEngine:
         else:
             self.clock.advance(seconds, MOVEMENT)
             completes_at = self.clock.now
-            if source.device.is_real and dest.device.is_real and nbytes:
-                self._memcpy(source, source_offset, dest, dest_offset, nbytes)
-            elif source.device.is_real != dest.device.is_real:
+            if source.device.is_real != dest.device.is_real:
                 raise ConfigurationError(
                     "cannot copy between a real and a virtual device: "
                     f"{source.name!r} -> {dest.name!r}"
                 )
+
+        tracer = self.tracer
+        if tracer.enabled and failed_attempts:
+            start_ts = completes_at - seconds
+            for attempt in range(1, failed_attempts + 1):
+                tracer.emit_at(
+                    start_ts + attempt_seconds * attempt,
+                    tracing.COPY_RETRY,
+                    src=source.name,
+                    dst=dest.name,
+                    nbytes=nbytes,
+                    attempt=attempt,
+                    reason="injected copy failure",
+                )
+        if exhausted:
+            raise CopyError(
+                source.name,
+                dest.name,
+                nbytes,
+                failed_attempts,
+                "injected copy fault persisted past the retry budget",
+            )
+
+        if not self.async_mode and real_pair and nbytes:
+            self._memcpy(source, source_offset, dest, dest_offset, nbytes)
+            if self.injector is not None:
+                extra, completes_at = self._verify_and_retry(
+                    source, source_offset, dest, dest_offset, nbytes,
+                    attempt_seconds, corrupt,
+                )
+                seconds += extra
+
         record = CopyRecord(
             source=source.name,
             dest=dest.name,
@@ -206,6 +288,58 @@ class CopyEngine:
                 seq=seq,
             )
         return record
+
+    def _verify_and_retry(
+        self,
+        source: Heap,
+        source_offset: int,
+        dest: Heap,
+        dest_offset: int,
+        nbytes: int,
+        attempt_seconds: float,
+        corrupt: int,
+    ) -> tuple[float, float]:
+        """Verify the destination against the source; redo on mismatch.
+
+        ``corrupt`` pending injected-corruption faults each flip one
+        destination byte before the verify pass, simulating a transfer that
+        completed but delivered bad data. Each redo is charged like a fresh
+        transfer. Returns ``(extra_seconds, completes_at)``; raises
+        :class:`CopyError` when mismatches persist past the retry budget.
+        """
+        extra = 0.0
+        mismatches = 0
+        while True:
+            if corrupt > 0:
+                corrupt -= 1
+                dest.view(dest_offset, nbytes)[0] ^= 0xFF
+            src = source.view(source_offset, nbytes)
+            dst = dest.view(dest_offset, nbytes)
+            if np.array_equal(src, dst):
+                return extra, self.clock.now
+            mismatches += 1
+            if mismatches > self.max_copy_retries:
+                raise CopyError(
+                    source.name,
+                    dest.name,
+                    nbytes,
+                    mismatches,
+                    "verification mismatch persisted past the retry budget",
+                )
+            self.clock.advance(attempt_seconds, MOVEMENT)
+            extra += attempt_seconds
+            source.traffic.record_read(nbytes)
+            dest.traffic.record_write(nbytes)
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    tracing.COPY_RETRY,
+                    src=source.name,
+                    dst=dest.name,
+                    nbytes=nbytes,
+                    attempt=mismatches,
+                    reason="verification mismatch",
+                )
+            self._memcpy(source, source_offset, dest, dest_offset, nbytes)
 
     def _memcpy(
         self,

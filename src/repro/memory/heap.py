@@ -30,10 +30,20 @@ class Heap:
         *,
         alignment: int = 64,
         fit: FitPolicy = "first",
+        injector: object | None = None,
     ) -> None:
         self.device = device
+        # The fault injector is duck-typed (alloc_fault / on_defragment) so
+        # the mechanism layer never imports repro.faults; see
+        # docs/robustness.md for the seam contract.
+        self.injector = injector
+        fault_hook = getattr(injector, "alloc_fault", None)
         self.allocator = FreeListAllocator(
-            device.capacity, alignment=alignment, fit=fit
+            device.capacity,
+            alignment=alignment,
+            fit=fit,
+            fault_hook=fault_hook,
+            label=device.name,
         )
         self.traffic = TrafficCounters(device.name)
 
@@ -137,7 +147,12 @@ class Heap:
             if on_move is not None:
                 on_move(old, new, size)
 
-        return self.allocator.compact(mover)
+        moved = self.allocator.compact(mover)
+        if self.injector is not None:
+            # Compaction cures injected fragmentation too — this closes the
+            # loop that lets the recovery ladder's defrag rung actually work.
+            self.injector.on_defragment(self.name)
+        return moved
 
     def render_map(self, width: int = 64) -> str:
         """An ASCII occupancy map of the arena (``#`` used, ``.`` free).

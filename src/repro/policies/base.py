@@ -76,7 +76,7 @@ def prefetch_object(
         if not force:
             return None
         if find_start is None or evict_callback is None:
-            raise OutOfMemoryError(fast, sz, 0)
+            raise OutOfMemoryError(fast, sz, dm.free_bytes(fast))
         start = find_start(sz)
         if start is None:
             return None

@@ -58,7 +58,8 @@ class InterleavePolicy(Policy):
                 self._credit[name] -= total
                 self.manager.setprimary(obj, region)
                 return region
-        raise OutOfMemoryError(order[0][0], obj.size, 0)
+        fullest = order[0][0]
+        raise OutOfMemoryError(fullest, obj.size, self.manager.free_bytes(fullest))
 
     def ensure_resident(self, obj: MemObject, intent: AccessIntent) -> Region:
         return self.manager.getprimary(obj)
@@ -85,7 +86,8 @@ class FirstTouchPolicy(Policy):
             if region is not None:
                 self.manager.setprimary(obj, region)
                 return region
-        raise OutOfMemoryError(self.order[-1], obj.size, 0)
+        last = self.order[-1]
+        raise OutOfMemoryError(last, obj.size, self.manager.free_bytes(last))
 
     def ensure_resident(self, obj: MemObject, intent: AccessIntent) -> Region:
         return self.manager.getprimary(obj)

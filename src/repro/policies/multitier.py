@@ -136,7 +136,8 @@ class MultiTierPolicy(Policy):
                         tracing.PLACE, obj=obj.name, device=tier, nbytes=obj.size
                     )
                 return region
-        raise OutOfMemoryError(self.tiers[-1], obj.size, 0)
+        bottom = self.tiers[-1]
+        raise OutOfMemoryError(bottom, obj.size, self.manager.free_bytes(bottom))
 
     def _allocate_in_tier(self, index: int, size: int) -> Region | None:
         """Allocate in tier ``index``, demoting victims downward if needed."""
@@ -182,7 +183,9 @@ class MultiTierPolicy(Policy):
         if linked is None:
             room = self._allocate_in_tier(index + 1, region.size)
             if room is None:
-                raise OutOfMemoryError(below, region.size, 0)
+                raise OutOfMemoryError(
+                    below, region.size, self.manager.free_bytes(below)
+                )
             # evict_object allocates for itself; release the probe.
             self.manager.free(room)
         tracer = self.tracer
@@ -260,6 +263,27 @@ class MultiTierPolicy(Policy):
                     nbytes=obj.size,
                 )
         return region
+
+    # -- recovery (docs/robustness.md) -----------------------------------------------
+
+    def handle_pressure(self, device: str, nbytes: int) -> bool:
+        """Ladder rung: demote a contiguous span of ``device`` one tier down."""
+        try:
+            index = self._tier_index(device)
+        except PolicyError:
+            return False
+        if index == len(self.tiers) - 1:
+            return False  # bottom tier: nowhere to demote to
+        start = self._find_eviction_start(index, nbytes)
+        if start is None:
+            return False
+        try:
+            self.manager.evictfrom(
+                device, start, nbytes, lambda r: self._demote_region(r, index)
+            )
+        except OutOfMemoryError:
+            return False
+        return True
 
     # -- validation ----------------------------------------------------------------------
 

@@ -304,6 +304,26 @@ class OptimizingPolicy(Policy):
                 self.stats.elided_writebacks += 1
         self.lru.discard(obj)
 
+    # -- recovery (docs/robustness.md) ------------------------------------------------
+
+    def handle_pressure(self, device: str, nbytes: int) -> bool:
+        """Ladder rung: evict a contiguous ``nbytes`` span of fast memory.
+
+        Only fast-memory pressure is actionable: on the slow device the
+        policy has nowhere to evict *to*, so it declines and lets the ladder
+        fall through to defragmentation and cross-tier fallback.
+        """
+        if self.fast is None or device != self.fast:
+            return False
+        start = self._find_eviction_start(nbytes)
+        if start is None:
+            return False
+        try:
+            self.manager.evictfrom(self.fast, start, nbytes, self._evict_region)
+        except OutOfMemoryError:
+            return False
+        return True
+
     # -- bookkeeping ----------------------------------------------------------------------
 
     def on_kernel_finish(self, read: list[MemObject], wrote: list[MemObject]) -> None:

@@ -26,6 +26,7 @@ from repro.core.policy_api import AccessIntent
 from repro.core.session import RESIDENCY_LABELS, Session
 from repro.errors import OutOfMemoryError, TraceError
 from repro.runtime.gc import GarbageCollector, GcConfig
+from repro.runtime.recovery import LadderHooks, recover_allocation
 from repro.runtime.kernel import ExecutionParams, KernelTiming, kernel_timing
 from repro.sim.clock import SimClock
 from repro.telemetry import trace as tracing
@@ -109,6 +110,25 @@ class SystemAdapter(abc.ABC):
     def policy_stats(self) -> dict[str, int]:
         return {}
 
+    # -- recovery-ladder hooks (docs/robustness.md); defaults decline --------
+
+    @property
+    def metrics(self):
+        """The system's metrics registry, if it has one (for recovery counters)."""
+        return None
+
+    def make_room(self, device: str, nbytes: int) -> bool:
+        """Ladder rung 2: free a contiguous span on ``device``; default declines."""
+        return False
+
+    def defrag_device(self, device: str) -> bool:
+        """Ladder rung 3: compact ``device``'s heap; default declines."""
+        return False
+
+    def alloc_fallback(self, spec: TensorSpec) -> bool:
+        """Ladder rung 4: allocate ``spec`` on *any* tier; default declines."""
+        return False
+
 
 class CachedArraysAdapter(SystemAdapter):
     """Run traces on a CachedArrays session (any policy)."""
@@ -123,8 +143,15 @@ class CachedArraysAdapter(SystemAdapter):
 
     def alloc(self, spec: TensorSpec) -> None:
         obj = self.session.manager.new_object(spec.nbytes, spec.name)
-        with self.tracer.scope("place", spec.name):
-            self.session.policy.place(obj)
+        try:
+            with self.tracer.scope("place", spec.name):
+                self.session.policy.place(obj)
+        except Exception:
+            # Failed placement must not leak a region-less object: recovery
+            # retries alloc() and would otherwise pile up orphans that
+            # DataManager.check() sweeps see as live.
+            self.session.manager.destroy_object(obj)
+            raise
         self.objects[spec.name] = obj
 
     def exists(self, name: str) -> bool:
@@ -245,6 +272,34 @@ class CachedArraysAdapter(SystemAdapter):
     def policy_stats(self) -> dict[str, int]:
         stats = getattr(self.session.policy, "stats", None)
         return stats.as_dict() if stats is not None else {}
+
+    # -- recovery-ladder hooks -----------------------------------------------
+
+    @property
+    def metrics(self):
+        return self.session.metrics
+
+    def make_room(self, device: str, nbytes: int) -> bool:
+        with self.tracer.scope("pressure", device):
+            return self.session.policy.handle_pressure(device, nbytes)
+
+    def defrag_device(self, device: str) -> bool:
+        self.session.manager.defragment(device)
+        return True
+
+    def alloc_fallback(self, spec: TensorSpec) -> bool:
+        """Place the tensor on whichever tier still has room, bypassing the
+        policy's (exhausted) placement preference."""
+        manager = self.session.manager
+        for device in manager.devices():
+            region = manager.try_allocate(device, spec.nbytes)
+            if region is None:
+                continue
+            obj = manager.new_object(spec.nbytes, spec.name)
+            manager.setprimary(obj, region)
+            self.objects[spec.name] = obj
+            return True
+        return False
 
 
 class TwoLMAdapter(SystemAdapter):
@@ -440,16 +495,34 @@ class Executor:
             self._collect()
         try:
             self.adapter.alloc(spec)
-        except OutOfMemoryError:
-            # Emergency collection under pressure, then one retry.
-            if self.gc.deferred_count == 0:
-                raise
+        except OutOfMemoryError as err:
+            # The policy already did its own best effort (Listing 2); climb
+            # the escalation ladder: collect deferred garbage, ask the policy
+            # for contiguous space, defragment, then cross-tier fallback.
+            # Exhaustion raises RecoveryExhaustedError (an OutOfMemoryError).
             tracer = self.adapter.tracer
             if tracer.enabled:
                 tracer.emit(tracing.OOM_RETRY, obj=spec.name, nbytes=spec.nbytes)
-            self._collect()
-            self.adapter.alloc(spec)
+            recover_allocation(
+                lambda: self.adapter.alloc(spec),
+                err,
+                LadderHooks(
+                    collect=self._emergency_collect,
+                    evict=self.adapter.make_room,
+                    defrag=self.adapter.defrag_device,
+                    fallback=lambda: self.adapter.alloc_fallback(spec),
+                ),
+                tracer=tracer,
+                metrics=self.adapter.metrics,
+            )
         self.gc.on_alloc(spec.nbytes)
+
+    def _emergency_collect(self) -> bool:
+        """Ladder rung 1: deferred-GC collection; declines with nothing queued."""
+        if self.gc.deferred_count == 0:
+            return False
+        self._collect()
+        return True
 
     def _collect(self) -> None:
         tracer = self.adapter.tracer

@@ -30,6 +30,7 @@ __all__ = [
     "TransferKind",
     "BandwidthModel",
     "ConstantBandwidth",
+    "DegradedBandwidth",
     "ParallelismCurveBandwidth",
     "dram_bandwidth_model",
     "optane_bandwidth_model",
@@ -125,6 +126,30 @@ class ParallelismCurveBandwidth(BandwidthModel):
     def best_write_threads(self) -> int:
         """The concurrency at which write bandwidth peaks (for copy engines)."""
         return self.best_threads_write
+
+
+@dataclass(frozen=True)
+class DegradedBandwidth(BandwidthModel):
+    """A bandwidth model derated by a constant factor (degraded-link fault).
+
+    The fault injector wraps a copy destination's model in this to simulate
+    a congested or failing bus: every curve keeps its shape, scaled down by
+    ``factor``. Timing-only — data and results are unaffected, which is
+    exactly what the chaos suite asserts for bandwidth faults.
+    """
+
+    inner: BandwidthModel = None  # type: ignore[assignment]
+    factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.inner is None:
+            raise ValueError("DegradedBandwidth requires an inner model")
+        if self.factor < 1.0:
+            raise ValueError(f"derate factor must be >= 1.0, got {self.factor}")
+        object.__setattr__(self, "setup_latency", self.inner.setup_latency)
+
+    def peak(self, kind: TransferKind, threads: int = 1) -> float:
+        return self.inner.peak(kind, threads) / self.factor
 
 
 def dram_bandwidth_model(

@@ -29,10 +29,12 @@ from repro.telemetry.timeline import Timeline
 from repro.telemetry.trace import (
     ALLOC,
     COPY_END,
+    COPY_RETRY,
     COPY_START,
     DEFRAG,
     EVICT,
     EVICT_SCAN,
+    FAULT,
     FREE,
     GC,
     HINT,
@@ -41,7 +43,11 @@ from repro.telemetry.trace import (
     KERNEL_START,
     OOM_RETRY,
     PLACE,
+    POLICY_STRIKE,
     PREFETCH,
+    QUARANTINE,
+    RECOVERY,
+    RECOVERY_STEP,
     SETPRIMARY,
     STALL,
     TraceEvent,
@@ -57,7 +63,14 @@ PID_COUNTERS = 4
 TID_KERNELS = 1
 TID_RUNTIME = 2
 
-_RUNTIME_INSTANTS = frozenset({GC, OOM_RETRY, INVARIANT_CHECK, STALL})
+_RUNTIME_INSTANTS = frozenset(
+    {
+        GC, OOM_RETRY, INVARIANT_CHECK, STALL,
+        # Robustness: fault injection and recovery land on the runtime track
+        # so recoveries line up visually with the kernels they delayed.
+        FAULT, RECOVERY_STEP, RECOVERY, COPY_RETRY, POLICY_STRIKE, QUARANTINE,
+    }
+)
 _POLICY_INSTANTS = frozenset({HINT, PLACE, EVICT, EVICT_SCAN, PREFETCH, SETPRIMARY})
 _DEVICE_INSTANTS = frozenset({ALLOC, FREE, DEFRAG})
 

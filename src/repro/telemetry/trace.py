@@ -68,12 +68,20 @@ DEFRAG = "defrag"
 GC = "gc"
 OOM_RETRY = "oom_retry"
 INVARIANT_CHECK = "invariant_check"
+# Robustness events (docs/robustness.md): fault injection and recovery.
+FAULT = "fault"                    # the injector fired a fault
+RECOVERY_STEP = "recovery_step"    # one rung of the OOM escalation ladder
+RECOVERY = "recovery"              # the ladder recovered the allocation
+COPY_RETRY = "copy_retry"          # a failed/corrupted copy attempt, retried
+POLICY_STRIKE = "policy_strike"    # the watchdog caught a policy failure
+QUARANTINE = "quarantine"          # the watchdog switched to the fallback
 
 EVENT_KINDS = frozenset(
     {
         ALLOC, FREE, COPY_START, COPY_END, EVICT, EVICT_SCAN, PREFETCH,
         PLACE, HINT, SETPRIMARY, KERNEL_START, KERNEL_END, STALL, DEFRAG,
-        GC, OOM_RETRY, INVARIANT_CHECK,
+        GC, OOM_RETRY, INVARIANT_CHECK, FAULT, RECOVERY_STEP, RECOVERY,
+        COPY_RETRY, POLICY_STRIKE, QUARANTINE,
     }
 )
 

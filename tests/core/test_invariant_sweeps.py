@@ -1,0 +1,127 @@
+"""DataManager.check() sweeps under eviction cascades and mid-recovery.
+
+The chaos contract leans on the invariant sweep to certify that a recovered
+run has consistent bookkeeping; these tests pin that the sweep stays clean
+through the heaviest legitimate churn — and that it is actually exercised
+mid-recovery, not just at rest.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.session import Session, SessionConfig
+from repro.errors import OutOfMemoryError
+from repro.policies.noop import SingleDevicePolicy
+from repro.policies.optimizing import OptimizingPolicy
+from repro.runtime.recovery import LadderHooks, recover_allocation, session_hooks
+from repro.units import KiB, MiB
+
+
+def tight_session(injector=None):
+    """Real-backed, DRAM far below the working set: every access can evict."""
+    return Session(
+        SessionConfig(dram=256 * KiB, nvram=4 * MiB, real=True),
+        policy=OptimizingPolicy(local_alloc=True),
+        injector=injector,
+    )
+
+
+def test_check_is_the_invariant_sweep_alias(manager):
+    manager.check()  # empty manager: trivially clean
+    region = manager.allocate("DRAM", 4 * KiB)
+    manager.check()
+    manager.free(region)
+    manager.check()
+
+
+def test_sweep_stays_clean_through_an_eviction_cascade():
+    with tight_session() as session:
+        arrays = {}
+        for i in range(12):  # 12 x 64 KiB = 3x DRAM: constant eviction
+            arrays[i] = session.empty(16 * KiB, name=f"a{i}")
+            arrays[i].write(np.full(16 * KiB, float(i), dtype=np.float32))
+            session.manager.check()
+        # Re-reading cold arrays promotes them, cascading evictions of the
+        # warm ones; the sweep must stay clean after every access.
+        for i in range(12):
+            assert arrays[i].read()[0] == float(i)
+            session.manager.check()
+
+
+def test_sweep_stays_clean_while_pressure_handling_evicts():
+    with tight_session() as session:
+        for i in range(10):
+            session.empty(16 * KiB, name=f"a{i}").write(
+                np.zeros(16 * KiB, dtype=np.float32)
+            )
+        acted = session.policy.handle_pressure("DRAM", 64 * KiB)
+        assert acted  # the optimizing policy evicted a span
+        session.manager.check()
+
+
+def test_sweep_is_clean_inside_every_recovery_rung():
+    """Real fragmentation: fill DRAM with small arrays, free every other one,
+    then ask for a span no remaining hole can hold. The ladder's defrag rung
+    must compact — and instrumented hooks sweep mid-recovery, before and
+    after each rung acts."""
+    session = Session(
+        SessionConfig(dram=256 * KiB, nvram=4 * MiB, real=True),
+        policy=SingleDevicePolicy("DRAM"),
+    )
+    with session:
+        arrays = []
+        for i in range(16):  # 16 x 16 KiB fills DRAM
+            array = session.empty(4 * KiB, name=f"a{i}")
+            array.write(np.full(4 * KiB, float(i), dtype=np.float32))
+            arrays.append(array)
+        for victim in arrays[::2]:
+            victim.retire()  # free half: 128 KiB free, 16 KiB max hole
+        session.manager.check()
+
+        hooks = session_hooks(session)
+        swept_in = []
+
+        def checked(rung, hook):
+            def wrapper(*args):
+                session.manager.check()  # mid-recovery, pre-rung
+                acted = hook(*args)
+                session.manager.check()  # mid-recovery, post-rung
+                swept_in.append(rung)
+                return acted
+
+            return wrapper
+
+        guarded = LadderHooks(
+            evict=checked("evict", hooks.evict),
+            defrag=checked("defrag", hooks.defrag),
+        )
+
+        def attempt():
+            return session.empty(16 * KiB, name="big")  # 64 KiB contiguous
+
+        with pytest.raises(OutOfMemoryError) as excinfo:
+            attempt()
+        # Fragmentation signature: the bytes exist, just not contiguously.
+        assert excinfo.value.free >= excinfo.value.requested
+        big = recover_allocation(attempt, excinfo.value, guarded)
+        assert swept_in == ["evict", "defrag"]  # evict declined, defrag cured
+        big.write(np.full(16 * KiB, 99.0, dtype=np.float32))
+        # Survivors kept their contents across the compaction moves.
+        for i in range(1, 16, 2):
+            assert np.all(arrays[i].read() == float(i))
+        assert big.read()[0] == 99.0
+        session.manager.check()
+
+
+def test_sweep_detects_a_region_detached_behind_the_managers_back():
+    """The sweep is not a rubber stamp: severing object<->region linkage
+    without telling the manager must be caught."""
+    with tight_session() as session:
+        array = session.empty(4 * KiB, name="x")
+        obj = array.obj
+        region = obj.primary
+        # Bypass the manager: the object forgets its region while the
+        # (device, offset) registry still maps to it.
+        obj._regions.pop(region.device_name)
+        with pytest.raises(AssertionError):
+            session.manager.check()

@@ -76,7 +76,7 @@ def test_listings_use_only_documented_api():
         "copyto", "link", "unlink", "sizeof", "getlinked", "in_device",
         "isdirty", "setdirty", "parent", "evictfrom", "span_victims",
         "region_at", "regions_on", "new_object", "destroy_object",
-        "defragment", "heap", "devices", "check_invariants",
+        "defragment", "heap", "devices", "check_invariants", "free_bytes",
     }
     tree = ast.parse(inspect.getsource(repro.policies.base))
     for node in ast.walk(tree):

@@ -1,0 +1,101 @@
+"""The chaos contract, enforced plan by plan (ISSUE acceptance criterion).
+
+Every built-in fault plan must drive both scenarios to one of two outcomes:
+recovery with bit-identical results and clean invariant sweeps, or a loud
+abort with a typed CachedArraysError. Marked ``chaos``: CI runs these in a
+dedicated job (the tier-1 job deselects them with ``-m "not chaos"``).
+"""
+
+import pytest
+
+from repro.faults.chaos import run_chaos, run_scenario
+from repro.faults.plan import FAULT_PLANS, fault_plan
+
+pytestmark = pytest.mark.chaos
+
+
+@pytest.fixture(scope="module")
+def reports():
+    """One chaos run per built-in plan, shared across the assertions."""
+    return {name: run_chaos(name) for name in FAULT_PLANS}
+
+
+def test_every_plan_honours_the_robustness_contract(reports):
+    broken = [
+        f"{report.plan.name}/{outcome.scenario}"
+        for report in reports.values()
+        for outcome in report.outcomes
+        if not outcome.ok
+    ]
+    assert not broken, f"contract violated by: {broken}"
+
+
+def test_recovered_runs_are_bit_identical(reports):
+    for report in reports.values():
+        for outcome in report.outcomes:
+            if outcome.completed and outcome.scenario == "session-real":
+                assert outcome.digests_match is True, (
+                    f"{report.plan.name}: completed but payloads diverged"
+                )
+
+
+def test_completed_runs_pass_the_invariant_sweep(reports):
+    for report in reports.values():
+        for outcome in report.outcomes:
+            if outcome.completed:
+                assert outcome.invariants_clean, (
+                    f"{report.plan.name}/{outcome.scenario}"
+                )
+
+
+def test_plans_actually_fire_faults(reports):
+    """A chaos suite that injects nothing proves nothing."""
+    for report in reports.values():
+        for outcome in report.outcomes:
+            assert outcome.faults_fired > 0, (
+                f"{report.plan.name}/{outcome.scenario} fired no faults"
+            )
+
+
+def test_policy_bug_plan_completes_via_watchdog_quarantine(reports):
+    for outcome in reports["policy-bug"].outcomes:
+        assert outcome.completed
+        assert outcome.strikes >= 3
+        assert outcome.quarantined
+
+
+def test_copy_exhaust_plan_aborts_with_typed_copy_error(reports):
+    for outcome in reports["copy-exhaust"].outcomes:
+        assert not outcome.completed
+        assert outcome.typed_abort
+        assert outcome.error == "CopyError"
+        assert outcome.invariants_clean  # the abort left bookkeeping intact
+
+
+def test_fragmentation_plan_recovers_via_defrag_rung(reports):
+    for outcome in reports["fragmentation"].outcomes:
+        assert outcome.completed
+        assert "defrag" in outcome.recoveries
+
+
+def test_copy_fault_plans_exercise_the_retry_path(reports):
+    for name in ("copy-flaky", "copy-corrupt"):
+        for outcome in reports[name].outcomes:
+            assert outcome.completed
+            assert outcome.copy_retries > 0
+
+
+def test_chaos_runs_are_deterministic():
+    """Same plan, same workload: identical fault schedule and outcome."""
+    first = run_scenario(fault_plan("kitchen-sink"), "trace-virtual")
+    second = run_scenario(fault_plan("kitchen-sink"), "trace-virtual")
+    assert first.faults_fired == second.faults_fired
+    assert first.recoveries == second.recoveries
+    assert first.copy_retries == second.copy_retries
+    assert first.strikes == second.strikes
+    assert first.completed == second.completed
+
+
+def test_unknown_scenario_is_rejected():
+    with pytest.raises(ValueError):
+        run_scenario(fault_plan("alloc-storm"), "nope")
