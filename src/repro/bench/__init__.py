@@ -1,0 +1,42 @@
+"""Benchmark-trajectory harness: ``python -m repro bench``.
+
+:mod:`repro.bench.suite` runs the pinned suite; :mod:`repro.bench.report`
+defines the ``BENCH_*.json`` schema and the regression gate. Methodology:
+docs/benchmarking.md.
+"""
+
+from repro.bench.report import (
+    SCHEMA_VERSION,
+    BenchRecord,
+    BenchReport,
+    Comparison,
+    Delta,
+    bench_filename,
+    compare,
+    load_report,
+    write_report,
+)
+from repro.bench.suite import (
+    DEFAULT_SCALE,
+    QUICK_SCALE,
+    SUITE,
+    calibrate,
+    run_suite,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "BenchRecord",
+    "BenchReport",
+    "Comparison",
+    "Delta",
+    "bench_filename",
+    "compare",
+    "load_report",
+    "write_report",
+    "DEFAULT_SCALE",
+    "QUICK_SCALE",
+    "SUITE",
+    "calibrate",
+    "run_suite",
+]

@@ -1,0 +1,263 @@
+"""Benchmark trajectory reports: the ``BENCH_*.json`` schema and the gate.
+
+A *report* is one point on the repo's performance trajectory: the pinned
+suite (:mod:`repro.bench.suite`) measured on one commit, serialised as a
+schema-versioned JSON file named ``BENCH_<date>.json``. The *gate* compares
+the newest point against the previous one (or an explicit baseline) and
+flags any benchmark whose wall time regressed past a configurable
+threshold — the mechanism behind the ``bench-smoke`` CI job.
+
+Wall clock is machine-dependent, so every report also records a
+*calibration* measurement (a fixed pure-Python loop timed at suite start)
+and the gate compares ``wall_seconds / calibration_seconds`` — the
+"normalized wall" — which cancels most host-speed variance and makes the
+checked-in baseline meaningful on other machines. See docs/benchmarking.md.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "BenchRecord",
+    "BenchReport",
+    "Delta",
+    "Comparison",
+    "compare",
+    "load_report",
+    "write_report",
+    "bench_filename",
+]
+
+SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BenchRecord:
+    """Measurements for one benchmark of the pinned suite.
+
+    ``simulated_seconds``/``sim_to_wall`` are ``None`` for benchmarks with
+    no virtual clock (e.g. the chaos-off ablation); ``events_per_second``
+    is ``None`` when the benchmark processes no countable events.
+    """
+
+    name: str
+    wall_seconds: float
+    normalized_wall: float
+    events: int = 0
+    events_per_second: float | None = None
+    simulated_seconds: float | None = None
+    sim_to_wall: float | None = None
+    peak_rss_kib: int = 0
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "wall_seconds": self.wall_seconds,
+            "normalized_wall": self.normalized_wall,
+            "events": self.events,
+            "events_per_second": self.events_per_second,
+            "simulated_seconds": self.simulated_seconds,
+            "sim_to_wall": self.sim_to_wall,
+            "peak_rss_kib": self.peak_rss_kib,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> "BenchRecord":
+        try:
+            return cls(
+                name=str(data["name"]),
+                wall_seconds=float(data["wall_seconds"]),
+                normalized_wall=float(data["normalized_wall"]),
+                events=int(data["events"]),
+                events_per_second=(
+                    None
+                    if data.get("events_per_second") is None
+                    else float(data["events_per_second"])
+                ),
+                simulated_seconds=(
+                    None
+                    if data.get("simulated_seconds") is None
+                    else float(data["simulated_seconds"])
+                ),
+                sim_to_wall=(
+                    None
+                    if data.get("sim_to_wall") is None
+                    else float(data["sim_to_wall"])
+                ),
+                peak_rss_kib=int(data.get("peak_rss_kib", 0)),
+            )
+        except KeyError as missing:
+            raise ValueError(f"benchmark record missing key {missing}") from None
+
+
+@dataclass
+class BenchReport:
+    """One schema-versioned point on the performance trajectory."""
+
+    created_at: str
+    git_sha: str
+    bench_scale: int
+    quick: bool
+    platform: str
+    python: str
+    calibration_seconds: float
+    peak_rss_kib: int
+    benchmarks: dict[str, BenchRecord] = field(default_factory=dict)
+    schema_version: int = SCHEMA_VERSION
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "schema_version": self.schema_version,
+            "created_at": self.created_at,
+            "git_sha": self.git_sha,
+            "bench_scale": self.bench_scale,
+            "quick": self.quick,
+            "platform": self.platform,
+            "python": self.python,
+            "calibration_seconds": self.calibration_seconds,
+            "peak_rss_kib": self.peak_rss_kib,
+            "benchmarks": {
+                name: record.to_json()
+                for name, record in sorted(self.benchmarks.items())
+            },
+        }
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> "BenchReport":
+        version = data.get("schema_version")
+        if version != SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported BENCH schema version {version!r} "
+                f"(this build reads version {SCHEMA_VERSION})"
+            )
+        try:
+            benchmarks = {
+                name: BenchRecord.from_json(record)
+                for name, record in data["benchmarks"].items()
+            }
+            return cls(
+                created_at=str(data["created_at"]),
+                git_sha=str(data["git_sha"]),
+                bench_scale=int(data["bench_scale"]),
+                quick=bool(data["quick"]),
+                platform=str(data["platform"]),
+                python=str(data["python"]),
+                calibration_seconds=float(data["calibration_seconds"]),
+                peak_rss_kib=int(data["peak_rss_kib"]),
+                benchmarks=benchmarks,
+                schema_version=int(version),
+            )
+        except KeyError as missing:
+            raise ValueError(f"BENCH report missing key {missing}") from None
+
+
+def load_report(path: str) -> BenchReport:
+    with open(path, "r", encoding="utf-8") as fp:
+        return BenchReport.from_json(json.load(fp))
+
+
+def write_report(report: BenchReport, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fp:
+        json.dump(report.to_json(), fp, indent=2, sort_keys=True)
+        fp.write("\n")
+
+
+def bench_filename(date: str) -> str:
+    """``BENCH_<YYYY-MM-DD>.json`` — lexicographic order is date order."""
+    return f"BENCH_{date}.json"
+
+
+# -- the regression gate -------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Delta:
+    """Change of one benchmark between two trajectory points.
+
+    ``change`` is fractional: ``+0.25`` means 25% slower than the previous
+    point. The gate trips strictly *above* the threshold, so a change equal
+    to the threshold still passes (documented boundary, pinned by tests).
+    """
+
+    name: str
+    metric: str
+    previous: float
+    current: float
+    change: float
+
+    def regressed(self, threshold: float) -> bool:
+        return self.change > threshold
+
+
+@dataclass
+class Comparison:
+    """Gate verdict for a report against its predecessor."""
+
+    threshold: float
+    deltas: list[Delta] = field(default_factory=list)
+    missing: list[str] = field(default_factory=list)  # in previous, not in current
+
+    @property
+    def regressions(self) -> list[Delta]:
+        return [d for d in self.deltas if d.regressed(self.threshold)]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def render(self) -> str:
+        lines = [
+            f"{'benchmark':<22} {'previous':>10} {'current':>10} {'change':>8}"
+        ]
+        for delta in self.deltas:
+            flag = "  REGRESSION" if delta.regressed(self.threshold) else ""
+            lines.append(
+                f"{delta.name:<22} {delta.previous:>10.3f} "
+                f"{delta.current:>10.3f} {delta.change:>+7.1%}{flag}"
+            )
+        for name in self.missing:
+            lines.append(f"{name:<22} (dropped from suite)")
+        verdict = (
+            "PASS: no benchmark regressed more than "
+            if self.ok
+            else "FAIL: regression(s) beyond "
+        )
+        lines.append(f"{verdict}{self.threshold:.0%} (normalized wall)")
+        return "\n".join(lines)
+
+
+def compare(
+    current: BenchReport, previous: BenchReport, *, threshold: float = 0.2
+) -> Comparison:
+    """Gate ``current`` against ``previous`` on normalized wall time.
+
+    Falls back to raw wall seconds when either report lacks a positive
+    calibration measurement (older or hand-edited files).
+    """
+    use_normalized = (
+        current.calibration_seconds > 0 and previous.calibration_seconds > 0
+    )
+    metric = "normalized_wall" if use_normalized else "wall_seconds"
+    result = Comparison(threshold=threshold)
+    for name, prev in sorted(previous.benchmarks.items()):
+        cur = current.benchmarks.get(name)
+        if cur is None:
+            result.missing.append(name)
+            continue
+        prev_value = getattr(prev, metric)
+        cur_value = getattr(cur, metric)
+        change = (cur_value - prev_value) / prev_value if prev_value > 0 else 0.0
+        result.deltas.append(
+            Delta(
+                name=name,
+                metric=metric,
+                previous=prev_value,
+                current=cur_value,
+                change=change,
+            )
+        )
+    return result

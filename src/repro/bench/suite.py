@@ -1,0 +1,287 @@
+"""The pinned benchmark suite behind ``python -m repro bench``.
+
+Four benchmarks cover the layers the hot-path work touches (the suite is
+*pinned*: names, workloads, and op counts only change with a schema bump so
+trajectory points stay comparable — see docs/benchmarking.md):
+
+* ``fig2-runtime`` — the full Figure 2 matrix (three large CNNs, all six
+  operating modes) at ``BENCH_SCALE``; the end-to-end number the tentpole's
+  2x target is stated against.
+* ``fig5-traffic``  — the Figure 5 traffic run for VGG-416 (the
+  traffic-shaping story), exercising the copy engine and counters.
+* ``micro-substrate`` — allocator churn, async DMA-queue bookkeeping, and
+  tracer emission (enabled + NULL_TRACER) in isolation, reported as a
+  combined events/second figure.
+* ``chaos-off`` — the chaos harness's trace-virtual scenario under an empty
+  fault plan: measures what the always-present fault seams cost when idle.
+
+``BENCH_SCALE`` (environment variable) divides workload and device sizes,
+default 256; ``--quick`` shrinks the suite for CI smoke runs (one model,
+two modes, reduced micro op counts) at a default scale of 1024.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import resource
+import subprocess
+import sys
+import time
+from collections import deque
+from dataclasses import dataclass
+from datetime import datetime, timezone
+
+from repro.bench.report import (
+    SCHEMA_VERSION,
+    BenchRecord,
+    BenchReport,
+)
+
+__all__ = [
+    "DEFAULT_SCALE",
+    "QUICK_SCALE",
+    "SUITE",
+    "run_suite",
+    "calibrate",
+]
+
+DEFAULT_SCALE = 256
+QUICK_SCALE = 1024
+
+# Micro-benchmark op counts (full, quick). Pinned — see module docstring.
+ALLOCATOR_OPS = (40_000, 4_000)
+COPY_OPS = (20_000, 2_000)
+TRACER_OPS = (100_000, 10_000)
+
+
+def _rss_kib() -> int:
+    """Peak RSS of this process so far (ru_maxrss is KiB on Linux)."""
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+
+def calibrate() -> float:
+    """Time a fixed pure-Python loop: the host-speed yardstick.
+
+    The gate divides every wall measurement by this, so trajectory points
+    from different machines compare approximately speed-for-speed.
+    """
+    start = time.perf_counter()
+    acc = 0
+    for i in range(2_000_000):
+        acc += i ^ (i >> 3)
+    if acc == 0:  # pragma: no cover - keeps the loop from being elided
+        raise AssertionError
+    return time.perf_counter() - start
+
+
+def _git_sha() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+        )
+    except OSError:
+        return "unknown"
+    return out.stdout.strip() if out.returncode == 0 else "unknown"
+
+
+@dataclass(frozen=True)
+class _Measured:
+    """Raw numbers one benchmark callable returns."""
+
+    events: int = 0
+    simulated_seconds: float | None = None
+
+
+# -- the four pinned benchmarks ------------------------------------------------
+
+
+def _bench_fig2(scale: int, quick: bool) -> _Measured:
+    from repro.experiments import fig2_runtime
+    from repro.experiments.common import ExperimentConfig
+    from repro.nn.models import MODEL_REGISTRY
+
+    models = ("resnet200-large",) if quick else fig2_runtime.LARGE_MODELS
+    modes = ("2LM:M", "CA:LM") if quick else fig2_runtime.ALL_MODES
+    config = ExperimentConfig(scale=scale, iterations=2)
+    result = fig2_runtime.run(config, models=models, modes=modes)
+    simulated = 0.0
+    for by_mode in result.results.values():
+        for mode_result in by_mode.values():
+            simulated += mode_result.run.iterations[-1].end_time
+    events = sum(
+        len(MODEL_REGISTRY[m].builder().training_trace().scaled(scale).events)
+        * config.iterations
+        * len(modes)
+        for m in models
+    )
+    return _Measured(events=events, simulated_seconds=simulated)
+
+
+def _bench_fig5(scale: int, quick: bool) -> _Measured:
+    from repro.experiments import fig5_traffic
+    from repro.experiments.common import ExperimentConfig
+    from repro.nn.models import MODEL_REGISTRY
+
+    models = ("vgg416-large",)
+    modes = ("2LM:M", "CA:LM") if quick else fig5_traffic.MODES
+    config = ExperimentConfig(scale=scale, iterations=2)
+    result = fig5_traffic.run(config, models=models, modes=modes)
+    simulated = 0.0
+    for by_mode in result.results.values():
+        for mode_result in by_mode.values():
+            simulated += mode_result.run.iterations[-1].end_time
+    events = sum(
+        len(MODEL_REGISTRY[m].builder().training_trace().scaled(scale).events)
+        * config.iterations
+        * len(modes)
+        for m in models
+    )
+    return _Measured(events=events, simulated_seconds=simulated)
+
+
+def _bench_micro(scale: int, quick: bool) -> _Measured:
+    pick = 1 if quick else 0
+    events = _micro_allocator(ALLOCATOR_OPS[pick])
+    copy_events, simulated = _micro_copy_queue(COPY_OPS[pick])
+    events += copy_events
+    events += _micro_tracer(TRACER_OPS[pick])
+    return _Measured(events=events, simulated_seconds=simulated)
+
+
+def _micro_allocator(ops: int) -> int:
+    """Alloc/free churn with mixed sizes: free-list search + coalescing."""
+    from repro.memory.allocator import FreeListAllocator
+    from repro.units import MiB
+
+    count = 0
+    for fit in ("first", "best"):
+        allocator = FreeListAllocator(512 * MiB, alignment=64, fit=fit)
+        live: deque[int] = deque()
+        for i in range(ops):
+            # Deterministic mixed sizes via a Weyl sequence (no RNG:
+            # Date-free, seed-free, identical on every run).
+            nbytes = 256 + (i * 2654435761) % 65536
+            live.append(allocator.allocate(nbytes))
+            count += 1
+            if len(live) > 256:
+                allocator.free(live.popleft())
+                count += 1
+        while live:
+            allocator.free(live.popleft())
+            count += 1
+    return count
+
+
+def _micro_copy_queue(ops: int) -> tuple[int, float]:
+    """Async DMA-channel bookkeeping on virtual heaps (no payloads)."""
+    from repro.memory.copyengine import CopyEngine
+    from repro.memory.device import MemoryDevice, MemoryKind
+    from repro.memory.heap import Heap
+    from repro.sim.bandwidth import dram_bandwidth_model, optane_bandwidth_model
+    from repro.sim.clock import SimClock
+    from repro.units import GB, MiB
+
+    clock = SimClock()
+    dram = Heap(
+        MemoryDevice("DRAM", MemoryKind.DRAM, 4 * GB, dram_bandwidth_model())
+    )
+    nvram = Heap(
+        MemoryDevice("NVRAM", MemoryKind.NVRAM, 4 * GB, optane_bandwidth_model())
+    )
+    with CopyEngine(clock, async_mode=True) as engine:
+        for i in range(ops):
+            if i & 1:
+                engine.copy(dram, 0, nvram, 0, 4 * MiB)
+            else:
+                engine.copy(nvram, 0, dram, 0, 4 * MiB)
+        return ops, engine.pending_until
+
+
+def _micro_tracer(ops: int) -> int:
+    """Event emission: the enabled fast path and the NULL_TRACER no-op."""
+    from repro.sim.clock import SimClock
+    from repro.telemetry.trace import NULL_TRACER, Tracer
+
+    tracer = Tracer(SimClock())
+    with tracer.scope("bench", "micro"):
+        for i in range(ops):
+            tracer.emit("alloc", device="DRAM", nbytes=i)
+    for i in range(ops):
+        NULL_TRACER.emit("alloc", device="DRAM", nbytes=i)
+    return 2 * ops
+
+
+def _bench_chaos_off(scale: int, quick: bool) -> _Measured:
+    from repro.faults.chaos import run_scenario
+    from repro.faults.plan import FaultPlan
+
+    outcome = run_scenario(
+        FaultPlan("chaos-off", specs=(), description="fault seams idle"),
+        "trace-virtual",
+    )
+    if not outcome.ok:  # pragma: no cover - would indicate a real bug
+        raise RuntimeError(
+            f"chaos-off ablation violated the robustness contract: "
+            f"{outcome.describe()}"
+        )
+    return _Measured(events=0, simulated_seconds=None)
+
+
+# Name -> callable(scale, quick). Names are part of the trajectory schema.
+SUITE = {
+    "fig2-runtime": _bench_fig2,
+    "fig5-traffic": _bench_fig5,
+    "micro-substrate": _bench_micro,
+    "chaos-off": _bench_chaos_off,
+}
+
+
+def resolve_scale(quick: bool) -> int:
+    """``BENCH_SCALE`` env override, else the pinned default for the mode."""
+    raw = os.environ.get("BENCH_SCALE", "").strip()
+    if raw:
+        scale = int(raw)
+        if scale < 1:
+            raise ValueError(f"BENCH_SCALE must be >= 1, got {scale}")
+        return scale
+    return QUICK_SCALE if quick else DEFAULT_SCALE
+
+
+def run_suite(*, quick: bool = False, scale: int | None = None) -> BenchReport:
+    """Run the pinned suite and return the trajectory point (not yet saved)."""
+    if scale is None:
+        scale = resolve_scale(quick)
+    calibration = calibrate()
+    benchmarks: dict[str, BenchRecord] = {}
+    for name, fn in SUITE.items():
+        start = time.perf_counter()
+        measured = fn(scale, quick)
+        wall = time.perf_counter() - start
+        simulated = measured.simulated_seconds
+        benchmarks[name] = BenchRecord(
+            name=name,
+            wall_seconds=wall,
+            normalized_wall=wall / calibration,
+            events=measured.events,
+            events_per_second=(measured.events / wall if measured.events else None),
+            simulated_seconds=simulated,
+            sim_to_wall=(simulated / wall if simulated is not None else None),
+            peak_rss_kib=_rss_kib(),
+        )
+    return BenchReport(
+        created_at=datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        git_sha=_git_sha(),
+        bench_scale=scale,
+        quick=quick,
+        platform=platform.platform(),
+        python=sys.version.split()[0],
+        calibration_seconds=calibration,
+        peak_rss_kib=_rss_kib(),
+        benchmarks=benchmarks,
+        schema_version=SCHEMA_VERSION,
+    )

@@ -9,6 +9,7 @@ Usage::
     python -m repro trace --model resnet200-large [--out trace.json]
     python -m repro profile --model tiny [--mode CA:LM] [--out trace.json]
     python -m repro chaos [--plan copy-flaky | --plan all] [--json]
+    python -m repro bench [--quick] [--baseline FILE] [--threshold 0.2]
 
 Times are reported rescaled to paper magnitudes (see
 :class:`~repro.experiments.common.ExperimentConfig`). ``--json`` emits a
@@ -20,6 +21,9 @@ Perfetto-loadable Chrome trace (``--out``) and/or a raw event stream
 (``--jsonl``) — see ``docs/observability.md``. ``chaos`` runs the workloads
 under a named fault plan and reports recovery outcomes (exit status 1 if any
 scenario violates the robustness contract) — see ``docs/robustness.md``.
+``bench`` runs the pinned performance suite at ``BENCH_SCALE``, writes a
+``BENCH_<date>.json`` trajectory point, and gates against the previous
+point (exit status 1 on regression) — see ``docs/benchmarking.md``.
 """
 
 from __future__ import annotations
@@ -270,6 +274,94 @@ def _chaos(plan_name: str, *, as_json: bool) -> int:
     return 0 if all(report.ok for report in reports) else 1
 
 
+def _bench(
+    *,
+    quick: bool,
+    out: str | None,
+    baseline: str | None,
+    threshold: float,
+    as_json: bool,
+) -> int:
+    import os
+
+    from repro.bench import (
+        bench_filename,
+        compare,
+        load_report,
+        run_suite,
+        write_report,
+    )
+
+    try:
+        report = run_suite(quick=quick)
+    except ValueError as exc:  # bad BENCH_SCALE
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    # Resolve the output path: --out may name a file or a directory;
+    # default is bench-results/BENCH_<date>.json (gitignored scratch).
+    if out and out.endswith(".json"):
+        out_dir, out_path = os.path.dirname(out) or ".", out
+    else:
+        out_dir = out or "bench-results"
+        out_path = os.path.join(
+            out_dir, bench_filename(report.created_at[:10])
+        )
+    os.makedirs(out_dir, exist_ok=True)
+
+    # Previous trajectory point: explicit --baseline, else the newest
+    # BENCH_*.json already in the output directory (dates sort); a same-day
+    # rerun gates against the point it is about to overwrite, so the
+    # baseline must be loaded *before* the report is written.
+    previous_path = baseline
+    if previous_path is None:
+        candidates = sorted(
+            name
+            for name in os.listdir(out_dir)
+            if name.startswith("BENCH_")
+            and name.endswith(".json")
+            and os.path.join(out_dir, name) != out_path
+        )
+        if candidates:
+            previous_path = os.path.join(out_dir, candidates[-1])
+        elif os.path.exists(out_path):
+            previous_path = out_path
+    previous = None
+    if previous_path is not None:
+        try:
+            previous = load_report(previous_path)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(
+                f"cannot read baseline {previous_path}: {exc}", file=sys.stderr
+            )
+            return 2
+
+    write_report(report, out_path)
+    if as_json:
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+    else:
+        print(f"wrote trajectory point -> {out_path}")
+        for name, record in sorted(report.benchmarks.items()):
+            extras = []
+            if record.events_per_second is not None:
+                extras.append(f"{record.events_per_second:,.0f} events/s")
+            if record.sim_to_wall is not None:
+                extras.append(f"sim/wall {record.sim_to_wall:.2f}")
+            suffix = f" ({', '.join(extras)})" if extras else ""
+            print(f"  {name:<18} {record.wall_seconds:8.3f} s{suffix}")
+
+    # With --json, stdout carries exactly the report; gate prose goes to
+    # stderr so `python -m repro bench --json > point.json` stays parseable.
+    info = sys.stderr if as_json else sys.stdout
+    if previous is None:
+        print("no previous trajectory point; regression gate skipped", file=info)
+        return 0
+    comparison = compare(report, previous, threshold=threshold)
+    print(f"gate vs {previous_path}:", file=info)
+    print(comparison.render(), file=info)
+    return 0 if comparison.ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="cachedarrays",
@@ -277,10 +369,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=EXPERIMENTS + ("all", "trace", "profile", "chaos"),
+        choices=EXPERIMENTS + ("all", "trace", "profile", "chaos", "bench"),
         help="which table/figure to regenerate, 'trace' to export a model's "
-        "kernel trace, 'profile' to run one with event tracing on, or "
-        "'chaos' to run the fault-injection suite",
+        "kernel trace, 'profile' to run one with event tracing on, "
+        "'chaos' to run the fault-injection suite, or 'bench' to run the "
+        "pinned performance suite",
     )
     parser.add_argument(
         "--scale",
@@ -320,7 +413,32 @@ def main(argv: list[str] | None = None) -> int:
         default="all",
         help="fault plan for 'chaos': a plan name or 'all' (default all)",
     )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="bench: reduced suite for CI smoke runs (see docs/benchmarking.md)",
+    )
+    parser.add_argument(
+        "--baseline",
+        help="bench: gate against this BENCH_*.json instead of the newest "
+        "point in the output directory",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.2,
+        help="bench: fail when normalized wall time regresses more than "
+        "this fraction (default 0.2)",
+    )
     args = parser.parse_args(argv)
+    if args.experiment == "bench":
+        return _bench(
+            quick=args.quick,
+            out=args.out,
+            baseline=args.baseline,
+            threshold=args.threshold,
+            as_json=args.json,
+        )
     if args.experiment == "chaos":
         return _chaos(args.plan, as_json=args.json)
     if args.experiment == "trace":

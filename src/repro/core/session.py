@@ -231,12 +231,22 @@ class Session:
         read_objs = [a.obj for a in reads]
         write_objs = [a.obj for a in writes]
         tracer = self.tracer
+        # Untraced sessions (the default) skip the no-op scope/hint context
+        # managers; both branches drive the policy identically, so tracing
+        # cannot change placement (same split as CachedArraysAdapter.kernel).
+        traced = tracer.enabled
         if hints:
-            for obj in read_objs:
-                with tracer.hint("will_read", obj):
+            if traced:
+                for obj in read_objs:
+                    with tracer.hint("will_read", obj):
+                        self.policy.will_read(obj)
+                for obj in write_objs:
+                    with tracer.hint("will_write", obj):
+                        self.policy.will_write(obj)
+            else:
+                for obj in read_objs:
                     self.policy.will_read(obj)
-            for obj in write_objs:
-                with tracer.hint("will_write", obj):
+                for obj in write_objs:
                     self.policy.will_write(obj)
         pinned: list[MemObject] = []
         # Resolve residency once per unique object; write intent dominates
@@ -247,11 +257,17 @@ class Session:
         for obj in write_objs:
             intents[obj.id] = (obj, AccessIntent.WRITE)
         try:
-            for obj, intent in intents.values():
-                with tracer.scope(RESIDENCY_LABELS[intent], obj):
+            if traced:
+                for obj, intent in intents.values():
+                    with tracer.scope(RESIDENCY_LABELS[intent], obj):
+                        self.policy.ensure_resident(obj, intent)
+                    obj.pin()
+                    pinned.append(obj)
+            else:
+                for obj, intent in intents.values():
                     self.policy.ensure_resident(obj, intent)
-                obj.pin()
-                pinned.append(obj)
+                    obj.pin()
+                    pinned.append(obj)
             if self.is_real:
                 yield [a.view() for a in reads], [a.view() for a in writes]
             else:

@@ -20,10 +20,21 @@ queries are straightforward and the list length stays proportional to the
 number of live allocations. First-fit and best-fit placement are both
 implemented; first-fit is the default (and what the ablation benchmark
 compares).
+
+Hot-path layout (docs/benchmarking.md): free blocks are additionally indexed
+in size-class bins (one bin per ``size.bit_length()``, each an offset-sorted
+list), so placement probes a handful of bins instead of scanning the whole
+block list, and ``free`` locates its block by binary search instead of a
+linear ``list.index``. The bins are a pure index — placement decisions are
+bit-for-bit identical to the naive linear scans (first-fit: lowest-offset
+free block that fits; best-fit: smallest fitting size, lowest offset on
+ties), which the property tests in ``tests/memory/test_allocator_property.py``
+check against a reference implementation.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left, insort
 from dataclasses import dataclass
 from typing import Callable, Iterator, Literal
 
@@ -83,6 +94,28 @@ class FreeListAllocator:
         self._blocks: list[Block] = [Block(offset=0, size=capacity, free=True)]
         self._by_offset: dict[int, Block] = {}  # allocated blocks only
         self._used_bytes = 0
+        # Size-class index over the free blocks: bin k holds the offsets
+        # (sorted) of free blocks whose size has bit_length k, and
+        # _free_sizes maps each free offset to its size. Everything the
+        # placement scan needs, without walking allocated blocks.
+        self._bins: list[list[int]] = [[] for _ in range(capacity.bit_length() + 2)]
+        self._free_sizes: dict[int, int] = {}
+        self._free_add(0, capacity)
+
+    # -- free-block index ---------------------------------------------------
+
+    def _free_add(self, offset: int, size: int) -> None:
+        k = size.bit_length()
+        bins = self._bins
+        if k >= len(bins):  # arena grew past the initial capacity
+            bins.extend([] for _ in range(k - len(bins) + 1))
+        insort(bins[k], offset)
+        self._free_sizes[offset] = size
+
+    def _free_remove(self, offset: int, size: int) -> None:
+        bin_ = self._bins[size.bit_length()]
+        del bin_[bisect_left(bin_, offset)]
+        del self._free_sizes[offset]
 
     # -- queries ----------------------------------------------------------
 
@@ -114,18 +147,20 @@ class FreeListAllocator:
         return offset in self._by_offset
 
     def stats(self) -> AllocatorStats:
+        # The largest free block lives in the highest non-empty size-class
+        # bin (bin k holds sizes in [2^(k-1), 2^k), disjoint across bins).
         largest = 0
-        free_blocks = 0
-        for block in self._blocks:
-            if block.free:
-                free_blocks += 1
-                largest = max(largest, block.size)
+        free_sizes = self._free_sizes
+        for bin_ in reversed(self._bins):
+            if bin_:
+                largest = max(free_sizes[offset] for offset in bin_)
+                break
         return AllocatorStats(
             capacity=self.capacity,
             used_bytes=self._used_bytes,
             free_bytes=self.free_bytes,
             live_allocations=len(self._by_offset),
-            free_blocks=free_blocks,
+            free_blocks=len(self._free_sizes),
             largest_free_block=largest,
         )
 
@@ -152,10 +187,12 @@ class FreeListAllocator:
                 # the real free-byte count — free >= requested tells the
                 # recovery ladder that defragmentation is the right response.
                 raise OutOfMemoryError(self.label, rounded, self.free_bytes)
-        index = self._find_fit(rounded)
-        if index is None:
+        offset = self._find_fit(rounded)
+        if offset is None:
             raise OutOfMemoryError(self.label, rounded, self.free_bytes)
+        index = self._block_index_at(offset)
         block = self._blocks[index]
+        self._free_remove(block.offset, block.size)
         if block.size > rounded:
             remainder = Block(
                 offset=block.offset + rounded,
@@ -164,22 +201,53 @@ class FreeListAllocator:
             )
             block.size = rounded
             self._blocks.insert(index + 1, remainder)
+            self._free_add(remainder.offset, remainder.size)
         block.free = False
         self._by_offset[block.offset] = block
         self._used_bytes += block.size
         return block.offset
 
     def _find_fit(self, size: int) -> int | None:
-        best_index: int | None = None
-        best_size = None
-        for index, block in enumerate(self._blocks):
-            if not block.free or block.size < size:
-                continue
-            if self.fit == "first":
-                return index
-            if best_size is None or block.size < best_size:
-                best_index, best_size = index, block.size
-        return best_index
+        """Offset of the placement target, or ``None`` when nothing fits.
+
+        Probes the size-class bins: for a request of class ``c`` every block
+        in a higher bin fits, while bin ``c`` itself must be checked
+        per-block. Both fit policies reproduce the naive full-list scan
+        exactly (see the module docstring).
+        """
+        bins = self._bins
+        free_sizes = self._free_sizes
+        c = size.bit_length()
+        if c >= len(bins):
+            return None
+        if self.fit == "first":
+            # Lowest-offset fitting block: the best candidate from bin c
+            # versus the lowest head of any higher (always-fitting) bin.
+            best: int | None = None
+            for offset in bins[c]:
+                if free_sizes[offset] >= size:
+                    best = offset
+                    break
+            for bin_ in bins[c + 1:]:
+                if bin_ and (best is None or bin_[0] < best):
+                    best = bin_[0]
+            return best
+        # Best fit: bins partition sizes into disjoint ranges, so the first
+        # bin (lowest class) containing a fitting block holds the smallest
+        # fitting size; ties break to the lowest offset, matching the
+        # linear scan's first-encountered-in-address-order rule.
+        for k in range(c, len(bins)):
+            best = None
+            best_size = None
+            for offset in bins[k]:
+                blk_size = free_sizes[offset]
+                if blk_size < size:
+                    continue
+                if best_size is None or blk_size < best_size:
+                    best, best_size = offset, blk_size
+            if best is not None:
+                return best
+        return None
 
     def free(self, offset: int) -> None:
         """Free the allocation at ``offset``, coalescing with neighbours."""
@@ -188,18 +256,24 @@ class FreeListAllocator:
             raise AllocationError(f"double free or bad offset {offset:#x}")
         block.free = True
         self._used_bytes -= block.size
-        self._coalesce_around(self._blocks.index(block))
+        self._coalesce_around(self._block_index_at(block.offset))
 
     def _coalesce_around(self, index: int) -> None:
-        # Merge with successor first so `index` stays valid.
-        block = self._blocks[index]
-        if index + 1 < len(self._blocks) and self._blocks[index + 1].free:
-            nxt = self._blocks.pop(index + 1)
+        # Merge with successor first so `index` stays valid; the merged
+        # result enters the free index exactly once.
+        blocks = self._blocks
+        block = blocks[index]
+        if index + 1 < len(blocks) and blocks[index + 1].free:
+            nxt = blocks.pop(index + 1)
+            self._free_remove(nxt.offset, nxt.size)
             block.size += nxt.size
-        if index > 0 and self._blocks[index - 1].free:
-            prev = self._blocks[index - 1]
+        if index > 0 and blocks[index - 1].free:
+            prev = blocks[index - 1]
+            self._free_remove(prev.offset, prev.size)
             prev.size += block.size
-            self._blocks.pop(index)
+            blocks.pop(index)
+            block = prev
+        self._free_add(block.offset, block.size)
 
     # -- span carving (the substrate for evictfrom) ------------------------
 
@@ -272,10 +346,14 @@ class FreeListAllocator:
                 moved += 1
             new_blocks.append(block)
             cursor += block.size
+        for bin_ in self._bins:
+            bin_.clear()
+        self._free_sizes.clear()
         if cursor < self.capacity:
             new_blocks.append(
                 Block(offset=cursor, size=self.capacity - cursor, free=True)
             )
+            self._free_add(cursor, self.capacity - cursor)
         self._blocks = new_blocks
         return moved
 
@@ -291,9 +369,12 @@ class FreeListAllocator:
         added = new_capacity - self.capacity
         last = self._blocks[-1]
         if last.free:
+            self._free_remove(last.offset, last.size)
             last.size += added
+            self._free_add(last.offset, last.size)
         else:
             self._blocks.append(Block(offset=self.capacity, size=added, free=True))
+            self._free_add(self.capacity, added)
         self.capacity = new_capacity
 
     def shrink(self, new_capacity: int) -> None:
@@ -316,10 +397,12 @@ class FreeListAllocator:
                 f"(free tail starts at {last.offset if last.free else self.capacity})"
             )
         removed = self.capacity - new_capacity
+        self._free_remove(last.offset, last.size)
         if last.size == removed:
             self._blocks.pop()
         else:
             last.size -= removed
+            self._free_add(last.offset, last.size)
         self.capacity = new_capacity
 
     # -- validation (test support) -----------------------------------------
@@ -352,3 +435,19 @@ class FreeListAllocator:
             )
         if len(self._by_offset) != sum(1 for b in self._blocks if not b.free):
             raise AssertionError("allocation index size mismatch")
+        free_view = {b.offset: b.size for b in self._blocks if b.free}
+        if self._free_sizes != free_view:
+            raise AssertionError(
+                f"free index out of sync: {self._free_sizes} != {free_view}"
+            )
+        for k, bin_ in enumerate(self._bins):
+            if bin_ != sorted(bin_):
+                raise AssertionError(f"free bin {k} not offset-sorted: {bin_}")
+            for offset in bin_:
+                size = self._free_sizes.get(offset)
+                if size is None or size.bit_length() != k:
+                    raise AssertionError(
+                        f"free block at {offset:#x} filed in wrong bin {k}"
+                    )
+        if sum(len(bin_) for bin_ in self._bins) != len(self._free_sizes):
+            raise AssertionError("free bins and free-size map disagree")

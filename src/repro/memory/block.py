@@ -12,9 +12,13 @@ from dataclasses import dataclass
 __all__ = ["Block"]
 
 
-@dataclass
+@dataclass(eq=False, slots=True)
 class Block:
-    """A contiguous byte range in a heap arena."""
+    """A contiguous byte range in a heap arena.
+
+    Identity equality (``eq=False``): the allocator tracks blocks by position,
+    and value-comparing mutable bookkeeping records is never meaningful.
+    """
 
     offset: int
     size: int

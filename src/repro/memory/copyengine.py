@@ -162,6 +162,8 @@ class CopyEngine:
         """
         if nbytes < 0:
             raise ConfigurationError(f"copy size must be non-negative, got {nbytes}")
+        src_device = source.device
+        dst_device = dest.device
         nt_stores = self._use_nt_stores(dest)
         threads = self.threads_for(source, dest, nt_stores=nt_stores)
 
@@ -170,12 +172,12 @@ class CopyEngine:
             fault = self.injector.copy_plan(source.name, dest.name, nbytes)
             if fault.clean:
                 fault = None
-        dest_model = dest.device.bandwidth
+        dest_model = dst_device.bandwidth
         if fault is not None and fault.slowdown > 1.0:
             dest_model = DegradedBandwidth(inner=dest_model, factor=fault.slowdown)
 
         attempt_seconds = copy_time(
-            source.device.bandwidth,
+            src_device.bandwidth,
             dest_model,
             nbytes,
             threads,
@@ -184,7 +186,7 @@ class CopyEngine:
         if nbytes:
             attempt_seconds += self.per_transfer_overhead
 
-        real_pair = source.device.is_real and dest.device.is_real
+        real_pair = src_device.is_real and dst_device.is_real
         failures = fault.failures if fault is not None else 0
         corrupt = fault.corrupt if fault is not None else 0
         if corrupt and not real_pair:
@@ -203,7 +205,7 @@ class CopyEngine:
             dest.traffic.record_write(nbytes)
 
         if self.async_mode:
-            if source.device.is_real or dest.device.is_real:
+            if src_device.is_real or dst_device.is_real:
                 raise ConfigurationError(
                     "asynchronous movement is a timing model; it requires "
                     "virtual devices"
@@ -215,7 +217,7 @@ class CopyEngine:
         else:
             self.clock.advance(seconds, MOVEMENT)
             completes_at = self.clock.now
-            if source.device.is_real != dest.device.is_real:
+            if src_device.is_real != dst_device.is_real:
                 raise ConfigurationError(
                     "cannot copy between a real and a virtual device: "
                     f"{source.name!r} -> {dest.name!r}"

@@ -177,14 +177,27 @@ class CachedArraysAdapter(SystemAdapter):
     def kernel(self, kernel: Kernel, trace: KernelTrace) -> KernelTiming:
         policy = self.session.policy
         tracer = self.tracer
-        read_objs = [self.objects[name] for name in kernel.reads]
-        write_objs = [self.objects[name] for name in kernel.writes]
+        # The untraced run (the default for every figure) skips scope/hint
+        # context managers entirely rather than entering no-op ones: this
+        # method runs once per kernel and the manager overhead was visible
+        # in profiles. Both branches drive the policy identically, so
+        # enabling tracing cannot change placement or timing.
+        traced = tracer.enabled
+        objects = self.objects
+        read_objs = [objects[name] for name in kernel.reads]
+        write_objs = [objects[name] for name in kernel.writes]
         if kernel.hinted:
-            for obj in read_objs:
-                with tracer.hint("will_read", obj):
+            if traced:
+                for obj in read_objs:
+                    with tracer.hint("will_read", obj):
+                        policy.will_read(obj)
+                for obj in write_objs:
+                    with tracer.hint("will_write", obj):
+                        policy.will_write(obj)
+            else:
+                for obj in read_objs:
                     policy.will_read(obj)
-            for obj in write_objs:
-                with tracer.hint("will_write", obj):
+                for obj in write_objs:
                     policy.will_write(obj)
         pinned: list[MemObject] = []
         # Residency is resolved once per unique object (write intent wins
@@ -196,11 +209,17 @@ class CachedArraysAdapter(SystemAdapter):
         for obj in write_objs:
             intents[obj.id] = (obj, AccessIntent.WRITE)
         try:
-            for obj, intent in intents.values():
-                with tracer.scope(RESIDENCY_LABELS[intent], obj):
+            if traced:
+                for obj, intent in intents.values():
+                    with tracer.scope(RESIDENCY_LABELS[intent], obj):
+                        policy.ensure_resident(obj, intent)
+                    obj.pin()
+                    pinned.append(obj)
+            else:
+                for obj, intent in intents.values():
                     policy.ensure_resident(obj, intent)
-                obj.pin()
-                pinned.append(obj)
+                    obj.pin()
+                    pinned.append(obj)
             # Asynchronous movement: the kernel cannot start until every
             # operand's in-flight copy has completed.
             ready_at = max(
@@ -573,15 +592,21 @@ class Executor:
             peak: dict[str, int] = {}
             saw_iter_end = False
             self._sample("iteration-start")
+            # Dispatch ordered by event frequency (kernels dominate every
+            # model trace, then allocs/retires); the branches are mutually
+            # exclusive classes so ordering cannot change which one fires.
+            adapter = self.adapter
+            adapter_kernel = adapter.kernel
+            adapter_occupancy = adapter.occupancy
+            traced = tracer.enabled
+            peak_get = peak.get
             for event in trace.events:
-                if isinstance(event, Alloc):
-                    self._alloc(trace.tensor(event.tensor))
-                elif isinstance(event, Kernel):
-                    if tracer.enabled:
+                if isinstance(event, Kernel):
+                    if traced:
                         tracer.emit(tracing.KERNEL_START, kernel=event.name)
-                    timing = self.adapter.kernel(event, trace)
+                    timing = adapter_kernel(event, trace)
                     clock.advance(timing.total, KERNEL)
-                    if tracer.enabled:
+                    if traced:
                         tracer.emit(
                             tracing.KERNEL_END,
                             kernel=event.name,
@@ -592,21 +617,23 @@ class Executor:
                     compute += timing.compute
                     kernel_memory += timing.memory
                     self._sample()
+                elif isinstance(event, Alloc):
+                    self._alloc(trace.tensor(event.tensor))
                 elif isinstance(event, Retire):
-                    self.adapter.release(event.tensor)
+                    adapter.release(event.tensor)
                     self._sample()
                 elif isinstance(event, GcDefer):
                     self.gc.defer(event.tensor)
                 elif isinstance(event, Archive):
-                    self.adapter.archive(event.tensor)
+                    adapter.archive(event.tensor)
                 elif isinstance(event, WillRead):
-                    self.adapter.hint_read(event.tensor)
+                    adapter.hint_read(event.tensor)
                 elif isinstance(event, WillWrite):
-                    self.adapter.hint_write(event.tensor)
+                    adapter.hint_write(event.tensor)
                 elif isinstance(event, IterEnd):
                     saw_iter_end = True
-                for device, used in self.adapter.occupancy().items():
-                    if used > peak.get(device, 0):
+                for device, used in adapter_occupancy().items():
+                    if used > peak_get(device, 0):
                         peak[device] = used
             if not saw_iter_end:
                 raise TraceError(f"trace {trace.name!r} lacks an IterEnd event")

@@ -16,9 +16,14 @@ from dataclasses import dataclass, field
 __all__ = ["SimClock"]
 
 
-@dataclass
+@dataclass(slots=True)
 class SimClock:
-    """Monotonic virtual clock with per-category busy-time accounting."""
+    """Monotonic virtual clock with per-category busy-time accounting.
+
+    Slotted: ``advance`` runs once per modelled duration (every kernel,
+    copy chunk, and stall), so attribute access on ``now``/``_busy`` is a
+    measured hot path.
+    """
 
     now: float = 0.0
     _busy: dict[str, float] = field(default_factory=dict)

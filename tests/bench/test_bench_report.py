@@ -1,0 +1,178 @@
+"""BENCH_*.json schema round-trip and regression-gate boundary tests."""
+
+import json
+
+import pytest
+
+from repro.bench.report import (
+    SCHEMA_VERSION,
+    BenchRecord,
+    BenchReport,
+    bench_filename,
+    compare,
+    load_report,
+    write_report,
+)
+
+
+def _report(**overrides) -> BenchReport:
+    records = overrides.pop(
+        "benchmarks",
+        {
+            "fig2-runtime": BenchRecord(
+                name="fig2-runtime",
+                wall_seconds=10.0,
+                normalized_wall=100.0,
+                events=36000,
+                events_per_second=3600.0,
+                simulated_seconds=14.0,
+                sim_to_wall=1.4,
+                peak_rss_kib=250_000,
+            ),
+            "chaos-off": BenchRecord(
+                name="chaos-off",
+                wall_seconds=0.2,
+                normalized_wall=2.0,
+            ),
+        },
+    )
+    fields = dict(
+        created_at="2026-08-06T12:00:00+00:00",
+        git_sha="deadbeef",
+        bench_scale=256,
+        quick=False,
+        platform="test",
+        python="3.11.7",
+        calibration_seconds=0.1,
+        peak_rss_kib=260_000,
+        benchmarks=records,
+    )
+    fields.update(overrides)
+    return BenchReport(**fields)
+
+
+class TestSchemaRoundTrip:
+    def test_to_from_json_is_lossless(self):
+        report = _report()
+        rebuilt = BenchReport.from_json(report.to_json())
+        assert rebuilt == report
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / bench_filename("2026-08-06")
+        report = _report()
+        write_report(report, str(path))
+        assert load_report(str(path)) == report
+        # The on-disk form is plain JSON with the version stamped.
+        data = json.loads(path.read_text())
+        assert data["schema_version"] == SCHEMA_VERSION
+
+    def test_optional_metrics_survive_as_null(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        write_report(_report(), str(path))
+        data = json.loads(path.read_text())
+        record = data["benchmarks"]["chaos-off"]
+        assert record["simulated_seconds"] is None
+        assert record["events_per_second"] is None
+        rebuilt = load_report(str(path)).benchmarks["chaos-off"]
+        assert rebuilt.simulated_seconds is None
+        assert rebuilt.sim_to_wall is None
+
+    def test_unknown_schema_version_rejected(self):
+        data = _report().to_json()
+        data["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="schema version"):
+            BenchReport.from_json(data)
+
+    def test_missing_key_rejected(self):
+        data = _report().to_json()
+        del data["git_sha"]
+        with pytest.raises(ValueError, match="missing key"):
+            BenchReport.from_json(data)
+
+    def test_missing_record_key_rejected(self):
+        data = _report().to_json()
+        del data["benchmarks"]["fig2-runtime"]["wall_seconds"]
+        with pytest.raises(ValueError, match="missing key"):
+            BenchReport.from_json(data)
+
+    def test_filename_sorts_by_date(self):
+        names = [bench_filename(d) for d in ("2026-08-06", "2026-11-02", "2027-01-01")]
+        assert names == sorted(names)
+
+
+def _point(normalized: dict[str, float], calibration: float = 0.1) -> BenchReport:
+    return _report(
+        calibration_seconds=calibration,
+        benchmarks={
+            name: BenchRecord(
+                name=name,
+                wall_seconds=value * calibration,
+                normalized_wall=value,
+            )
+            for name, value in normalized.items()
+        },
+    )
+
+
+class TestRegressionGate:
+    def test_change_exactly_at_threshold_passes(self):
+        # The gate trips strictly above the threshold: +20.000% with
+        # threshold 0.2 is a pass (the documented boundary).
+        previous = _point({"fig2-runtime": 100.0})
+        current = _point({"fig2-runtime": 120.0})
+        comparison = compare(current, previous, threshold=0.2)
+        assert comparison.deltas[0].change == pytest.approx(0.2)
+        assert comparison.ok
+
+    def test_change_just_past_threshold_fails(self):
+        previous = _point({"fig2-runtime": 100.0})
+        current = _point({"fig2-runtime": 120.1})
+        comparison = compare(current, previous, threshold=0.2)
+        assert not comparison.ok
+        assert [d.name for d in comparison.regressions] == ["fig2-runtime"]
+
+    def test_improvement_passes(self):
+        comparison = compare(
+            _point({"fig2-runtime": 50.0}),
+            _point({"fig2-runtime": 100.0}),
+            threshold=0.2,
+        )
+        assert comparison.ok
+        assert comparison.deltas[0].change == pytest.approx(-0.5)
+
+    def test_one_regression_fails_whole_gate(self):
+        previous = _point({"a": 10.0, "b": 10.0})
+        current = _point({"a": 9.0, "b": 15.0})
+        comparison = compare(current, previous, threshold=0.2)
+        assert not comparison.ok
+        assert [d.name for d in comparison.regressions] == ["b"]
+
+    def test_dropped_benchmark_reported_not_failed(self):
+        previous = _point({"a": 10.0, "gone": 1.0})
+        current = _point({"a": 10.0})
+        comparison = compare(current, previous, threshold=0.2)
+        assert comparison.ok
+        assert comparison.missing == ["gone"]
+
+    def test_normalized_metric_cancels_host_speed(self):
+        # Same workload on a 2x-slower host: wall doubles, calibration
+        # doubles, normalized wall is unchanged -> no regression.
+        previous = _point({"a": 100.0}, calibration=0.1)
+        current = _point({"a": 100.0}, calibration=0.2)
+        assert current.benchmarks["a"].wall_seconds == pytest.approx(20.0)
+        comparison = compare(current, previous, threshold=0.2)
+        assert comparison.ok
+        assert comparison.deltas[0].metric == "normalized_wall"
+
+    def test_falls_back_to_wall_without_calibration(self):
+        previous = _point({"a": 100.0}, calibration=0.0)
+        current = _point({"a": 100.0}, calibration=0.1)
+        comparison = compare(current, previous, threshold=0.2)
+        assert comparison.deltas[0].metric == "wall_seconds"
+
+    def test_render_mentions_verdict(self):
+        previous = _point({"a": 10.0})
+        failing = compare(_point({"a": 20.0}), previous, threshold=0.2)
+        assert "FAIL" in failing.render()
+        passing = compare(_point({"a": 10.0}), previous, threshold=0.2)
+        assert "PASS" in passing.render()

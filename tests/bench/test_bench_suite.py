@@ -1,0 +1,157 @@
+"""Bench runner tests: suite mechanics, BENCH_SCALE, and the CLI gate.
+
+The heavyweight figure benchmarks are stubbed here (CI's ``bench-smoke``
+job runs the real ``--quick`` suite); these tests pin the harness contract:
+report shape, scale resolution, micro-benchmark determinism, and the CLI's
+write-then-gate behaviour including exit codes.
+"""
+
+import json
+
+import pytest
+
+from repro.bench import report as report_mod
+from repro.bench import suite as suite_mod
+from repro.bench.suite import _Measured, run_suite
+from repro.cli import main
+
+
+@pytest.fixture()
+def stub_suite(monkeypatch):
+    """Replace the pinned suite with two instant benchmarks."""
+    calls = []
+
+    def fast(scale, quick):
+        calls.append(("fast", scale, quick))
+        return _Measured(events=1000, simulated_seconds=2.0)
+
+    def plain(scale, quick):
+        calls.append(("plain", scale, quick))
+        return _Measured()
+
+    monkeypatch.setattr(suite_mod, "SUITE", {"fast": fast, "plain": plain})
+    return calls
+
+
+class TestRunSuite:
+    def test_report_shape(self, stub_suite):
+        report = run_suite(quick=True, scale=512)
+        assert report.schema_version == report_mod.SCHEMA_VERSION
+        assert report.bench_scale == 512
+        assert report.quick is True
+        assert report.calibration_seconds > 0
+        assert report.peak_rss_kib > 0
+        assert set(report.benchmarks) == {"fast", "plain"}
+        fast = report.benchmarks["fast"]
+        assert fast.wall_seconds >= 0
+        assert fast.normalized_wall == pytest.approx(
+            fast.wall_seconds / report.calibration_seconds
+        )
+        assert fast.events == 1000
+        assert fast.sim_to_wall == pytest.approx(2.0 / fast.wall_seconds)
+        plain = report.benchmarks["plain"]
+        assert plain.events_per_second is None
+        assert plain.sim_to_wall is None
+
+    def test_benchmarks_receive_scale_and_quick(self, stub_suite):
+        run_suite(quick=False, scale=64)
+        assert ("fast", 64, False) in stub_suite
+
+    def test_scale_env_override(self, stub_suite, monkeypatch):
+        monkeypatch.setenv("BENCH_SCALE", "2048")
+        assert run_suite(quick=False).bench_scale == 2048
+        assert run_suite(quick=True).bench_scale == 2048
+
+    def test_scale_defaults(self, stub_suite, monkeypatch):
+        monkeypatch.delenv("BENCH_SCALE", raising=False)
+        assert run_suite(quick=False).bench_scale == suite_mod.DEFAULT_SCALE
+        assert run_suite(quick=True).bench_scale == suite_mod.QUICK_SCALE
+
+    def test_bad_scale_rejected(self, monkeypatch):
+        monkeypatch.setenv("BENCH_SCALE", "0")
+        with pytest.raises(ValueError, match="BENCH_SCALE"):
+            suite_mod.resolve_scale(False)
+
+
+class TestMicroBenchmarks:
+    def test_allocator_churn_counts_every_op(self):
+        # ops allocs per fit policy, plus exactly one free per alloc.
+        assert suite_mod._micro_allocator(300) == 2 * 300 * 2
+
+    def test_copy_queue_advances_virtual_time_only(self):
+        events, simulated = suite_mod._micro_copy_queue(64)
+        assert events == 64
+        assert simulated > 0  # queued on the DMA channels
+
+    def test_tracer_emits_both_modes(self):
+        assert suite_mod._micro_tracer(50) == 100
+
+
+class TestBenchCli:
+    def _write_baseline(self, path, normalized):
+        report = report_mod.BenchReport(
+            created_at="2026-08-01T00:00:00+00:00",
+            git_sha="baseline",
+            bench_scale=1024,
+            quick=True,
+            platform="test",
+            python="3.11",
+            calibration_seconds=1.0,
+            peak_rss_kib=1,
+            benchmarks={
+                name: report_mod.BenchRecord(
+                    name=name, wall_seconds=value, normalized_wall=value
+                )
+                for name, value in normalized.items()
+            },
+        )
+        report_mod.write_report(report, str(path))
+
+    def test_first_point_writes_and_passes(self, stub_suite, tmp_path):
+        out = tmp_path / "BENCH_now.json"
+        assert main(["bench", "--quick", "--out", str(out)]) == 0
+        data = json.loads(out.read_text())
+        assert set(data["benchmarks"]) == {"fast", "plain"}
+
+    def test_gate_fails_on_regression(self, stub_suite, tmp_path, capsys):
+        baseline = tmp_path / "BENCH_base.json"
+        # Implausibly fast baseline: any real run regresses past 20%.
+        self._write_baseline(baseline, {"fast": 1e-9, "plain": 1e-9})
+        out = tmp_path / "out.json"
+        code = main(
+            ["bench", "--quick", "--out", str(out), "--baseline", str(baseline)]
+        )
+        assert code == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_gate_passes_on_improvement(self, stub_suite, tmp_path, capsys):
+        baseline = tmp_path / "BENCH_base.json"
+        self._write_baseline(baseline, {"fast": 1e9, "plain": 1e9})
+        out = tmp_path / "out.json"
+        code = main(
+            ["bench", "--quick", "--out", str(out), "--baseline", str(baseline)]
+        )
+        assert code == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_gate_picks_newest_point_in_directory(self, stub_suite, tmp_path, capsys):
+        self._write_baseline(tmp_path / "BENCH_2026-01-01.json", {"fast": 1e9})
+        self._write_baseline(tmp_path / "BENCH_2026-02-01.json", {"fast": 1e-9})
+        code = main(["bench", "--quick", "--out", str(tmp_path)])
+        assert code == 1  # gated against the (newer, implausibly fast) point
+        assert "BENCH_2026-02-01.json" in capsys.readouterr().out
+
+    def test_unreadable_baseline_is_a_config_error(self, stub_suite, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        out = tmp_path / "out.json"
+        code = main(
+            ["bench", "--quick", "--out", str(out), "--baseline", str(bad)]
+        )
+        assert code == 2
+
+    def test_json_output_is_the_report(self, stub_suite, tmp_path, capsys):
+        out = tmp_path / "out.json"
+        assert main(["bench", "--quick", "--json", "--out", str(out)]) == 0
+        printed = json.loads(capsys.readouterr().out)
+        assert printed == json.loads(out.read_text())

@@ -152,3 +152,45 @@ def test_grow_shrink_preserve_invariants(ops):
     # Used bytes always remain addressable.
     for offset in live:
         assert offset + allocator.size_of(offset) <= allocator.capacity
+
+
+def _reference_find_fit(allocator, size: int, fit: str) -> int | None:
+    """The naive O(n) scan over the address-ordered block list.
+
+    This is the seed implementation's placement rule, kept as the executable
+    specification for the size-class-indexed ``_find_fit``: first fit takes
+    the lowest-offset free block that fits; best fit takes the smallest
+    fitting block, with the strict ``<`` breaking size ties toward the
+    earlier (lower-offset) block. The indexed allocator must reproduce these
+    choices exactly — placement determinism is what keeps every simulated
+    virtual-time result bit-identical across the optimization.
+    """
+    best = None
+    for block in allocator._blocks:
+        if not block.free or block.size < size:
+            continue
+        if fit == "first":
+            return block.offset
+        if best is None or block.size < best.size:
+            best = block
+    return None if best is None else best.offset
+
+
+@given(op_sequences(), st.sampled_from(["first", "best"]))
+@settings(max_examples=60, deadline=None)
+def test_indexed_fit_matches_linear_scan(ops, fit):
+    allocator = FreeListAllocator(CAPACITY, fit=fit)
+    live: list[int] = []
+    for op, value in ops:
+        if op == "alloc":
+            rounded = allocator._round_up(value)
+            expected = _reference_find_fit(allocator, rounded, fit)
+            try:
+                offset = allocator.allocate(value)
+            except OutOfMemoryError:
+                assert expected is None
+            else:
+                assert offset == expected
+                live.append(offset)
+        elif live:
+            allocator.free(live.pop(value % len(live)))
