@@ -8,6 +8,8 @@ Usage::
     python -m repro all
     python -m repro trace --model resnet200-large [--out trace.json]
     python -m repro profile --model tiny [--mode CA:LM] [--out trace.json]
+    python -m repro explain run.jsonl [--window K] [--out report.json]
+    python -m repro diff a.jsonl b.jsonl [--window K] [--out report.json]
     python -m repro chaos [--plan copy-flaky | --plan all] [--json]
     python -m repro bench [--quick] [--baseline FILE] [--threshold 0.2]
 
@@ -18,7 +20,12 @@ exports a model's kernel trace as a portable JSON artifact
 (:mod:`repro.workloads.serialize`); ``profile`` runs a model with event
 tracing on and prints the movement-attribution report, optionally writing a
 Perfetto-loadable Chrome trace (``--out``) and/or a raw event stream
-(``--jsonl``) — see ``docs/observability.md``. ``chaos`` runs the workloads
+(``--jsonl``) — see ``docs/observability.md``. ``explain`` folds one such
+event stream into a lifetime-ledger report (where the time went, which
+objects thrash); ``diff`` aligns two streams of the same workload
+kernel-by-kernel and attributes the end-to-end virtual-time delta to named
+kernels, objects, and root causes (docs/observability.md, "Explaining a
+run"). ``chaos`` runs the workloads
 under a named fault plan and reports recovery outcomes (exit status 1 if any
 scenario violates the robustness contract) — see ``docs/robustness.md``.
 ``bench`` runs the pinned performance suite at ``BENCH_SCALE``, writes a
@@ -216,6 +223,84 @@ def _profile(
     return 0
 
 
+def _load_events(path: str) -> list | None:
+    from repro.telemetry.export import read_jsonl
+
+    try:
+        with open(path, "r", encoding="utf-8") as fp:
+            return read_jsonl(fp)
+    except OSError as exc:
+        print(f"cannot read {path}: {exc}", file=sys.stderr)
+    except ValueError as exc:
+        print(f"{path} is not a JSONL event stream: {exc}", file=sys.stderr)
+    return None
+
+
+def _explain(
+    paths: list[str], *, window: int, out: str | None, as_json: bool
+) -> int:
+    from repro.telemetry.diff import explain_run
+
+    if len(paths) != 1:
+        print(
+            "explain takes exactly one trace path "
+            "(write one with: profile --model ... --jsonl run.jsonl)",
+            file=sys.stderr,
+        )
+        return 2
+    events = _load_events(paths[0])
+    if events is None:
+        return 2
+    explanation = explain_run(
+        events, label=paths[0], ping_pong_window=window
+    )
+    if out:
+        with open(out, "w", encoding="utf-8") as fp:
+            json.dump(explanation.to_json(), fp, indent=2, sort_keys=True)
+        print(f"wrote explanation -> {out}")
+    if as_json:
+        print(json.dumps(explanation.to_json(), indent=2, sort_keys=True))
+    else:
+        print(explanation.render())
+    return 0
+
+
+def _diff(
+    paths: list[str], *, window: int, out: str | None, as_json: bool
+) -> int:
+    from repro.telemetry.diff import diff_runs
+
+    if len(paths) != 2:
+        print(
+            "diff takes exactly two trace paths (baseline first): "
+            "python -m repro diff a.jsonl b.jsonl",
+            file=sys.stderr,
+        )
+        return 2
+    events_a = _load_events(paths[0])
+    if events_a is None:
+        return 2
+    events_b = _load_events(paths[1])
+    if events_b is None:
+        return 2
+    run_diff = diff_runs(
+        events_a,
+        events_b,
+        label_a=paths[0],
+        label_b=paths[1],
+        ping_pong_window=window,
+    )
+    if out:
+        with open(out, "w", encoding="utf-8") as fp:
+            json.dump(run_diff.to_json(), fp, indent=2, sort_keys=True)
+        print(f"wrote diff report -> {out}")
+    if as_json:
+        print(json.dumps(run_diff.to_json(), indent=2, sort_keys=True))
+    else:
+        print(run_diff.render())
+    return 0
+
+
 def _chaos(plan_name: str, *, as_json: bool) -> int:
     from repro.faults.chaos import run_chaos
     from repro.faults.plan import FAULT_PLANS
@@ -369,11 +454,20 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=EXPERIMENTS + ("all", "trace", "profile", "chaos", "bench"),
+        choices=EXPERIMENTS
+        + ("all", "trace", "profile", "explain", "diff", "chaos", "bench"),
         help="which table/figure to regenerate, 'trace' to export a model's "
         "kernel trace, 'profile' to run one with event tracing on, "
-        "'chaos' to run the fault-injection suite, or 'bench' to run the "
-        "pinned performance suite",
+        "'explain' to report on a recorded event stream, 'diff' to "
+        "attribute the delta between two recorded runs, 'chaos' to run "
+        "the fault-injection suite, or 'bench' to run the pinned "
+        "performance suite",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="JSONL event streams for 'explain' (one) and 'diff' (two, "
+        "baseline first); written by 'profile --jsonl'",
     )
     parser.add_argument(
         "--scale",
@@ -409,6 +503,13 @@ def main(argv: list[str] | None = None) -> int:
         "--jsonl", help="also write the raw event stream ('profile' only)"
     )
     parser.add_argument(
+        "--window",
+        type=int,
+        default=8,
+        help="explain/diff: kernels within which an evict-then-refetch "
+        "counts as a ping-pong (default 8)",
+    )
+    parser.add_argument(
         "--plan",
         default="all",
         help="fault plan for 'chaos': a plan name or 'all' (default all)",
@@ -431,6 +532,19 @@ def main(argv: list[str] | None = None) -> int:
         "this fraction (default 0.2)",
     )
     args = parser.parse_args(argv)
+    if args.paths and args.experiment not in ("explain", "diff"):
+        parser.error(
+            f"positional trace paths only apply to 'explain' and 'diff', "
+            f"not {args.experiment!r}"
+        )
+    if args.experiment == "explain":
+        return _explain(
+            args.paths, window=args.window, out=args.out, as_json=args.json
+        )
+    if args.experiment == "diff":
+        return _diff(
+            args.paths, window=args.window, out=args.out, as_json=args.json
+        )
     if args.experiment == "bench":
         return _bench(
             quick=args.quick,

@@ -258,6 +258,18 @@ class DataManager:
 
     def setdirty(self, region: Region, dirty: bool = True) -> None:
         region.check_live()
+        if region.dirty != dirty and self.tracer.enabled:
+            # Only actual transitions: a dirty bit flipping to True is
+            # writeback debt a future eviction must pay; flipping to False
+            # (post-copy) is that debt settled. Redundant writes are noise.
+            parent = region.parent
+            self.tracer.emit(
+                tracing.SETDIRTY,
+                obj=parent.name if parent is not None else "",
+                device=region.device_name,
+                nbytes=region.size,
+                dirty=dirty,
+            )
         region.dirty = dirty
 
     def parent(self, region: Region) -> MemObject:

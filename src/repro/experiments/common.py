@@ -187,6 +187,11 @@ def run_trace_mode(
 
             policy = SingleDevicePolicy("NVRAM")
         session = Session(session_cfg, policy=policy)
+        # Ablation hygiene: PolicyStats.attach deliberately carries counts
+        # accumulated before bind into the session registry, so a policy
+        # that saw any pre-session use would leak them into this mode's
+        # report. Zero everything in place before the run starts.
+        session.metrics.reset()
         adapter = CachedArraysAdapter(session, params)
     executor = Executor(
         adapter, gc_config=gc_cfg, sample_timeline=config.sample_timeline

@@ -23,6 +23,7 @@ from repro.experiments import report
 from repro.experiments.common import ExperimentConfig, ModeResult, run_trace_mode
 from repro.nn.models import MODEL_REGISTRY
 from repro.telemetry.export import to_chrome_trace
+from repro.telemetry.ledger import ObjectLedger, build_ledger
 from repro.telemetry.metrics import (
     Attribution,
     MetricsRegistry,
@@ -75,6 +76,7 @@ class ProfileResult:
     result: ModeResult
     attribution: Attribution
     metrics: MetricsRegistry
+    ledger: ObjectLedger
 
     @property
     def events(self) -> list:
@@ -109,6 +111,7 @@ def run_profile(
         result=result,
         attribution=attribute_copies(events),
         metrics=registry,
+        ledger=build_ledger(events),
     )
 
 
@@ -166,4 +169,41 @@ def render(profile: ProfileResult, *, top: int = 15) -> str:
             f"eviction scans: {cascade['count']}, mean cascade depth "
             f"{cascade['mean']:.1f}, max {cascade['max']:.0f}"
         )
+    ledger = profile.ledger
+    churn = ledger.churn()
+    if churn["evictions"] or churn["prefetches"]:
+        lines.append("")
+        lines.append(
+            f"object ledger: {churn['objects']} objects, "
+            f"{churn['evictions']} evictions "
+            f"({churn['evicted_objects']} distinct objects), "
+            f"{churn['prefetches']} prefetches"
+        )
+        moved = ledger.top_moved(min(top, 8))
+        if moved:
+            rows = []
+            for history in moved:
+                ratio = history.movement_ratio
+                rows.append(
+                    (
+                        history.name,
+                        format_size(history.bytes_moved * scale),
+                        f"{history.evictions}/{history.prefetches}",
+                        "∞" if ratio == float("inf") else f"{ratio:.2f}",
+                    )
+                )
+            lines.append("most-moved objects:")
+            lines.append(
+                report.table(
+                    ("object", "moved", "evict/prefetch", "moved/used"), rows
+                )
+            )
+        pongs = ledger.ping_pongs()
+        if pongs:
+            names = ", ".join(p.name for p in pongs[:8])
+            suffix = "" if len(pongs) <= 8 else f" (+{len(pongs) - 8} more)"
+            lines.append(
+                f"ping-pong objects (evicted then refetched within 8 "
+                f"kernels): {names}{suffix}"
+            )
     return "\n".join(lines)

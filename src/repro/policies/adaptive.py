@@ -27,6 +27,7 @@ from __future__ import annotations
 from collections import OrderedDict
 
 from repro.core.object import MemObject, Region
+from repro.policies.base import emit_decision
 from repro.policies.optimizing import OptimizingPolicy
 
 __all__ = ["AdaptivePolicy"]
@@ -136,6 +137,7 @@ class AdaptivePolicy(OptimizingPolicy):
     def _find_eviction_start(self, size: int) -> Region | None:
         assert self.fast is not None
         self.stats.forced_eviction_rounds += 1
+        traced = self.tracer.enabled
         candidates = [
             obj
             for obj in self.lru.coldest_first()
@@ -154,13 +156,76 @@ class AdaptivePolicy(OptimizingPolicy):
         # Protected objects are last-resort victims, oldest-touch first.
         protected.sort(key=lambda c: self._last_touch.get(c.id, 0))
         candidates = probation + protected
+        rejected: list[dict] | None = None
+        segments: dict[int, str] | None = None
+        if traced:
+            # The pre-filter above silently dropped off-device/pinned objects;
+            # surface those in the decision record too so the trace answers
+            # "why was X never even scored?".
+            rejected = []
+            for rank, obj in self.lru.ranked():
+                primary = obj.primary
+                if primary is None or primary.device_name != self.fast:
+                    rejected.append(
+                        {"obj": obj.name, "rank": rank,
+                         "reason": "not_resident_fast"}
+                    )
+                elif obj.pinned:
+                    rejected.append(
+                        {"obj": obj.name, "rank": rank, "reason": "pinned"}
+                    )
+            segments = {c.id: "probation" for c in probation}
+            segments.update({c.id: "protected" for c in protected})
+        considered = len(rejected) if rejected is not None else 0
         for candidate in candidates:
+            considered += 1
             primary = candidate.primary
             assert primary is not None
             victims = self.manager.span_victims(self.fast, primary, size)
+            entry: dict | None = None
+            if rejected is not None and segments is not None:
+                entry = {
+                    "obj": candidate.name,
+                    "score": self._score(candidate),
+                    "segment": segments[candidate.id],
+                }
             if victims is None:
+                if entry is not None:
+                    entry["reason"] = "no_contiguous_span"
+                    rejected.append(entry)
                 continue
             if any(v.parent is not None and v.parent.pinned for v in victims):
+                if entry is not None:
+                    entry["reason"] = "span_pinned"
+                    rejected.append(entry)
                 continue
+            if rejected is not None and entry is not None:
+                emit_decision(
+                    self.tracer,
+                    policy=type(self).__name__,
+                    device=self.fast,
+                    need=size,
+                    chosen=candidate.name,
+                    score=entry["score"],
+                    segment=entry["segment"],
+                    alpha=self.alpha,
+                    probation=len(probation),
+                    protected=len(protected),
+                    rejected=rejected,
+                    considered=considered,
+                )
             return primary
+        if rejected is not None:
+            emit_decision(
+                self.tracer,
+                policy=type(self).__name__,
+                device=self.fast,
+                need=size,
+                chosen="",
+                alpha=self.alpha,
+                probation=len(probation),
+                protected=len(protected),
+                rejected=rejected,
+                considered=considered,
+            )
         return None

@@ -15,8 +15,59 @@ from typing import Callable
 from repro.core.manager import DataManager
 from repro.core.object import MemObject, Region
 from repro.errors import OutOfMemoryError
+from repro.telemetry import trace as tracing
 
-__all__ = ["evict_object", "prefetch_object"]
+__all__ = [
+    "evict_object",
+    "prefetch_object",
+    "emit_decision",
+    "DECISION_REJECTED_LIMIT",
+]
+
+# Rejected-candidate entries kept per decision event. Victim scans walk the
+# whole LRU order, so an unbounded list would make one decision event scale
+# with the heap's object count; the first N (coldest first) are the
+# candidates the policy most wanted and could not use — the informative ones.
+DECISION_REJECTED_LIMIT = 24
+
+
+def emit_decision(
+    tracer,
+    *,
+    policy: str,
+    device: str,
+    need: int,
+    chosen: str,
+    rejected: list[dict],
+    considered: int,
+    action: str = "select_victim",
+    **extra,
+) -> None:
+    """Emit one structured ``decision`` event (docs/observability.md).
+
+    Records the victim a policy chose (``chosen`` is ``""`` when the scan
+    came up empty — the precursor to an OOM/recovery climb) *and* the
+    considered-but-rejected candidates with their reasons, so a trace reader
+    can answer "why was *this* object evicted and not that one?". Callers
+    must already have checked ``tracer.enabled``; the untraced fast path
+    never builds the rejected list.
+    """
+    dropped = 0
+    if len(rejected) > DECISION_REJECTED_LIMIT:
+        dropped = len(rejected) - DECISION_REJECTED_LIMIT
+        rejected = rejected[:DECISION_REJECTED_LIMIT]
+    tracer.emit(
+        tracing.DECISION,
+        policy=policy,
+        action=action,
+        device=device,
+        need=need,
+        chosen=chosen,
+        considered=considered,
+        rejected=rejected,
+        rejected_dropped=dropped,
+        **extra,
+    )
 
 
 def evict_object(

@@ -48,5 +48,22 @@ class LruTracker:
         """Objects from coldest to hottest; safe against mutation mid-walk."""
         return iter(list(self._order.values()))
 
+    def ranked(self) -> Iterator[tuple[int, MemObject]]:
+        """``(recency_rank, object)`` pairs, coldest first (rank 0 = coldest).
+
+        The rank is the score LRU-family policies report in their
+        ``decision`` trace events: it says *why* an object was the preferred
+        victim (low rank) or a reluctant one (high rank) at selection time.
+        Mutation-safe like :meth:`coldest_first`.
+        """
+        return enumerate(self.coldest_first())
+
+    def rank_of(self, obj: MemObject) -> int | None:
+        """Current recency rank of ``obj`` (``None`` if untracked)."""
+        for rank, candidate in self.ranked():
+            if candidate.id == obj.id:
+                return rank
+        return None
+
     def clear(self) -> None:
         self._order.clear()

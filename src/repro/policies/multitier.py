@@ -25,7 +25,7 @@ from repro.core.manager import DataManager
 from repro.core.object import MemObject, Region
 from repro.core.policy_api import AccessIntent, Policy
 from repro.errors import ConfigurationError, OutOfMemoryError, PolicyError
-from repro.policies.base import evict_object, prefetch_object
+from repro.policies.base import emit_decision, evict_object, prefetch_object
 from repro.policies.lru import LruTracker
 from repro.telemetry import trace as tracing
 from repro.telemetry.metrics import MetricsRegistry
@@ -160,16 +160,65 @@ class MultiTierPolicy(Policy):
 
     def _find_eviction_start(self, index: int, size: int) -> Region | None:
         tier = self.tiers[index]
-        for candidate in self.lru[tier].coldest_first():
+        traced = self.tracer.enabled
+        rejected: list[dict] | None = [] if traced else None
+        considered = 0
+        for rank, candidate in self.lru[tier].ranked():
+            considered += 1
             primary = candidate.primary
-            if primary is None or primary.device_name != tier or candidate.pinned:
+            if primary is None or primary.device_name != tier:
+                if rejected is not None:
+                    rejected.append(
+                        {"obj": candidate.name, "rank": rank,
+                         "reason": "not_resident_tier"}
+                    )
+                continue
+            if candidate.pinned:
+                if rejected is not None:
+                    rejected.append(
+                        {"obj": candidate.name, "rank": rank,
+                         "reason": "pinned"}
+                    )
                 continue
             victims = self.manager.span_victims(tier, primary, size)
             if victims is None:
+                if rejected is not None:
+                    rejected.append(
+                        {"obj": candidate.name, "rank": rank,
+                         "reason": "no_contiguous_span"}
+                    )
                 continue
             if any(v.parent is not None and v.parent.pinned for v in victims):
+                if rejected is not None:
+                    rejected.append(
+                        {"obj": candidate.name, "rank": rank,
+                         "reason": "span_pinned"}
+                    )
                 continue
+            if rejected is not None:
+                emit_decision(
+                    self.tracer,
+                    policy=type(self).__name__,
+                    device=tier,
+                    need=size,
+                    chosen=candidate.name,
+                    rank=rank,
+                    tier=index,
+                    rejected=rejected,
+                    considered=considered,
+                )
             return primary
+        if rejected is not None:
+            emit_decision(
+                self.tracer,
+                policy=type(self).__name__,
+                device=tier,
+                need=size,
+                chosen="",
+                tier=index,
+                rejected=rejected,
+                considered=considered,
+            )
         return None
 
     def _demote_region(self, region: Region, index: int) -> None:

@@ -29,7 +29,7 @@ from repro.core.manager import DataManager
 from repro.core.object import MemObject, Region
 from repro.core.policy_api import AccessIntent, Policy
 from repro.errors import ConfigurationError, OutOfMemoryError, PolicyError
-from repro.policies.base import evict_object, prefetch_object
+from repro.policies.base import emit_decision, evict_object, prefetch_object
 from repro.policies.lru import LruTracker
 from repro.telemetry import trace as tracing
 from repro.telemetry.metrics import Counter, MetricsRegistry
@@ -256,23 +256,73 @@ class OptimizingPolicy(Policy):
 
     def _find_eviction_start(self, size: int) -> Region | None:
         """Listing 2's ``find_region``: coldest unpinned object whose span is
-        clear of pinned operands."""
+        clear of pinned operands.
+
+        When tracing is on, the scan doubles as an explainability source: it
+        emits one ``decision`` event recording the chosen victim *and* every
+        candidate it skipped, with the reason (not resident in fast memory,
+        pinned, no contiguous span, span holds a pinned operand) and its
+        recency rank. The untraced path builds none of that.
+        """
         assert self.fast is not None
         self.stats.forced_eviction_rounds += 1
-        for candidate in self.lru.coldest_first():
+        traced = self.tracer.enabled
+        rejected: list[dict] | None = [] if traced else None
+        considered = 0
+        for rank, candidate in self.lru.ranked():
+            considered += 1
             primary = candidate.primary
-            if (
-                primary is None
-                or primary.device_name != self.fast
-                or candidate.pinned
-            ):
+            if primary is None or primary.device_name != self.fast:
+                if rejected is not None:
+                    rejected.append(
+                        {"obj": candidate.name, "rank": rank,
+                         "reason": "not_resident_fast"}
+                    )
+                continue
+            if candidate.pinned:
+                if rejected is not None:
+                    rejected.append(
+                        {"obj": candidate.name, "rank": rank,
+                         "reason": "pinned"}
+                    )
                 continue
             victims = self.manager.span_victims(self.fast, primary, size)
             if victims is None:
+                if rejected is not None:
+                    rejected.append(
+                        {"obj": candidate.name, "rank": rank,
+                         "reason": "no_contiguous_span"}
+                    )
                 continue
             if any(v.parent is not None and v.parent.pinned for v in victims):
+                if rejected is not None:
+                    rejected.append(
+                        {"obj": candidate.name, "rank": rank,
+                         "reason": "span_pinned"}
+                    )
                 continue
+            if rejected is not None:
+                emit_decision(
+                    self.tracer,
+                    policy=type(self).__name__,
+                    device=self.fast,
+                    need=size,
+                    chosen=candidate.name,
+                    rank=rank,
+                    rejected=rejected,
+                    considered=considered,
+                )
             return primary
+        if rejected is not None:
+            emit_decision(
+                self.tracer,
+                policy=type(self).__name__,
+                device=self.fast,
+                need=size,
+                chosen="",
+                rejected=rejected,
+                considered=considered,
+            )
         return None
 
     def _evict_region(self, region: Region) -> None:

@@ -227,9 +227,30 @@ class CachedArraysAdapter(SystemAdapter):
             )
             if ready_at > self.clock.now:
                 wait = ready_at - self.clock.now
-                self.clock.advance(wait, MOVEMENT_WAIT)
                 if tracer.enabled:
-                    tracer.emit(tracing.STALL, kernel=kernel.name, seconds=wait)
+                    # Charge the stall to the operands still in flight,
+                    # proportionally to how late each one is — the ledger
+                    # uses this to blame wait time on specific objects.
+                    now = self.clock.now
+                    late = [
+                        (obj.name, obj.primary.ready_at - now)
+                        for obj in pinned
+                        if obj.primary is not None and obj.primary.ready_at > now
+                    ]
+                    total_late = sum(remaining for _, remaining in late)
+                    self.clock.advance(wait, MOVEMENT_WAIT)
+                    tracer.emit(
+                        tracing.STALL,
+                        kernel=kernel.name,
+                        seconds=wait,
+                        objects=[name for name, _ in late],
+                        charged=[
+                            wait * remaining / total_late
+                            for _, remaining in late
+                        ] if total_late > 0 else [],
+                    )
+                else:
+                    self.clock.advance(wait, MOVEMENT_WAIT)
             reads: list[tuple] = []
             writes: list[tuple] = []
             for obj in read_objs:

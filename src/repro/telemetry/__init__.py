@@ -5,17 +5,36 @@ traffic (Figure 5), DRAM-cache tag statistics (Figure 4), bus utilisation
 (Figure 6), and resident-heap timelines (Figure 3). This subpackage provides
 the equivalent instrumentation for the simulated memory system, plus the
 structured event-tracing layer (:mod:`repro.telemetry.trace`), the metrics
-registry (:mod:`repro.telemetry.metrics`), and the Perfetto/Chrome-trace and
-JSONL exporters (:mod:`repro.telemetry.export`) — see
-``docs/observability.md``.
+registry (:mod:`repro.telemetry.metrics`), the Perfetto/Chrome-trace and
+JSONL exporters (:mod:`repro.telemetry.export`), the object-lifetime ledger
+(:mod:`repro.telemetry.ledger`), and the cross-run differential analyzer
+(:mod:`repro.telemetry.diff`) — see ``docs/observability.md``.
 """
 
 from repro.telemetry.counters import TrafficCounters, TrafficSnapshot
+from repro.telemetry.diff import (
+    RunDiff,
+    RunExplanation,
+    diff_runs,
+    explain_run,
+    parse_run,
+)
 from repro.telemetry.export import (
+    JSONL_SCHEMA_VERSION,
+    event_from_json,
     jsonl_lines,
+    read_jsonl,
     to_chrome_trace,
     write_chrome_trace,
     write_jsonl,
+)
+from repro.telemetry.ledger import (
+    LedgerBuilder,
+    ObjectHistory,
+    ObjectLedger,
+    PingPong,
+    build_ledger,
+    label_subject,
 )
 from repro.telemetry.metrics import (
     Attribution,
@@ -59,4 +78,18 @@ __all__ = [
     "write_chrome_trace",
     "write_jsonl",
     "jsonl_lines",
+    "read_jsonl",
+    "event_from_json",
+    "JSONL_SCHEMA_VERSION",
+    "LedgerBuilder",
+    "ObjectLedger",
+    "ObjectHistory",
+    "PingPong",
+    "build_ledger",
+    "label_subject",
+    "RunDiff",
+    "RunExplanation",
+    "diff_runs",
+    "explain_run",
+    "parse_run",
 ]

@@ -17,7 +17,11 @@ Virtual seconds become microseconds (the format's unit).
 
 :func:`write_jsonl` streams raw events one JSON object per line with sorted
 keys — byte-identical across runs for a deterministic workload, which is
-what makes traces diffable across policy ablations.
+what makes traces diffable across policy ablations. The stream opens with a
+``schema_version`` header line (v2); :func:`read_jsonl` loads either a v2 or
+a headerless v1 stream back into :class:`TraceEvent` objects, routing any
+top-level field it does not recognise into ``args`` so newer traces stay
+loadable by older tooling and vice versa.
 """
 
 from __future__ import annotations
@@ -31,6 +35,7 @@ from repro.telemetry.trace import (
     COPY_END,
     COPY_RETRY,
     COPY_START,
+    DECISION,
     DEFRAG,
     EVICT,
     EVICT_SCAN,
@@ -48,12 +53,31 @@ from repro.telemetry.trace import (
     QUARANTINE,
     RECOVERY,
     RECOVERY_STEP,
+    SETDIRTY,
     SETPRIMARY,
     STALL,
     TraceEvent,
 )
 
-__all__ = ["to_chrome_trace", "write_chrome_trace", "write_jsonl", "jsonl_lines"]
+__all__ = [
+    "JSONL_SCHEMA_VERSION",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+    "jsonl_lines",
+    "read_jsonl",
+    "event_from_json",
+]
+
+# Version of the JSONL stream layout. v1 (PR 1) had no header; v2 adds the
+# header line and the ledger-era event kinds (decision, setdirty). Readers
+# must tolerate *any* version: unknown kinds pass through as plain events
+# and unknown top-level fields land in ``args``.
+JSONL_SCHEMA_VERSION = 2
+
+# TraceEvent's own serialised fields; everything else in a JSONL object is a
+# kind-specific argument (or a field added by a future schema version).
+_EVENT_FIELDS = frozenset({"ts", "kind", "cause", "root", "root_ts"})
 
 # Process/thread layout of the exported trace.
 PID_EXECUTION = 1
@@ -71,8 +95,10 @@ _RUNTIME_INSTANTS = frozenset(
         FAULT, RECOVERY_STEP, RECOVERY, COPY_RETRY, POLICY_STRIKE, QUARANTINE,
     }
 )
-_POLICY_INSTANTS = frozenset({HINT, PLACE, EVICT, EVICT_SCAN, PREFETCH, SETPRIMARY})
-_DEVICE_INSTANTS = frozenset({ALLOC, FREE, DEFRAG})
+_POLICY_INSTANTS = frozenset(
+    {HINT, PLACE, EVICT, EVICT_SCAN, PREFETCH, SETPRIMARY, DECISION}
+)
+_DEVICE_INSTANTS = frozenset({ALLOC, FREE, DEFRAG, SETDIRTY})
 
 
 def _us(seconds: float) -> float:
@@ -279,7 +305,59 @@ def jsonl_lines(events: Iterable[TraceEvent]) -> Iterable[str]:
 
 
 def write_jsonl(events: Iterable[TraceEvent], fp: IO[str]) -> None:
-    """Stream :func:`jsonl_lines` to an open text file, one event per line."""
+    """Stream a schema header then :func:`jsonl_lines`, one event per line."""
+    header = {"schema": "repro.trace", "schema_version": JSONL_SCHEMA_VERSION}
+    fp.write(json.dumps(header, sort_keys=True, separators=(",", ":")))
+    fp.write("\n")
     for line in jsonl_lines(events):
         fp.write(line)
         fp.write("\n")
+
+
+def event_from_json(data: dict) -> TraceEvent:
+    """Rebuild one event from its flat JSONL object.
+
+    Inverse of :meth:`TraceEvent.to_json`, except that any top-level key this
+    reader does not recognise as an event field is treated as a kind-specific
+    argument — a trace written by a newer schema (extra fields) still loads.
+    """
+    args = {
+        key: value for key, value in data.items() if key not in _EVENT_FIELDS
+    }
+    return TraceEvent(
+        ts=float(data["ts"]),
+        kind=str(data["kind"]),
+        args=args,
+        cause=str(data.get("cause", "")),
+        root=str(data.get("root", "")),
+        root_ts=data.get("root_ts"),
+    )
+
+
+def read_jsonl(fp: IO[str]) -> list[TraceEvent]:
+    """Load a JSONL event stream written by :func:`write_jsonl`.
+
+    Accepts both v2 streams (schema header first) and headerless v1 streams;
+    any line carrying ``schema_version`` but no ``kind`` is a header and is
+    skipped regardless of the version it declares. Blank lines are ignored.
+    Raises :class:`ValueError` on lines that are neither.
+    """
+    events: list[TraceEvent] = []
+    for lineno, line in enumerate(fp, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"line {lineno}: not JSON: {exc}") from None
+        if not isinstance(data, dict):
+            raise ValueError(f"line {lineno}: expected an object, got {data!r}")
+        if "kind" not in data:
+            if "schema_version" in data:
+                continue  # header line (any version)
+            raise ValueError(f"line {lineno}: no 'kind' and not a header")
+        if "ts" not in data:
+            raise ValueError(f"line {lineno}: event lacks 'ts'")
+        events.append(event_from_json(data))
+    return events

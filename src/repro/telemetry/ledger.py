@@ -1,0 +1,466 @@
+"""Object-lifetime ledger: per-object histories folded from an event trace.
+
+The tracer (PR 1) records *what happened*; the ledger answers *what happened
+to this object*. :class:`LedgerBuilder` folds a :class:`TraceEvent` stream —
+live from a tracer or loaded with :func:`~repro.telemetry.export.read_jsonl`
+— into one :class:`ObjectHistory` per object name:
+
+* birth (first ``place``) and death (``retire`` hint, split into explicit
+  retires vs GC-driven ones via the attribution root);
+* every move (``evict``/``prefetch``) with its byte count, clean flag,
+  cause/root labels, and the kernel index it happened under;
+* residency intervals per device, from ``setprimary`` transitions;
+* dirty transitions (``setdirty``), the writeback debt history;
+* stall seconds charged to the object by the executor's proportional
+  stall-attribution (the ``objects``/``charged`` lists on ``stall`` events);
+* how often eviction decisions chose or rejected the object.
+
+:class:`ObjectLedger` then supports the queries the differential analyzer
+and the profile report build on: ping-pong detection (evicted then pulled
+back within *k* kernels), movement-per-use ratios, churn, and top-N lists.
+
+Object names recur across training iterations (activation ``a3`` is a fresh
+allocation every iteration); the ledger aggregates by name and counts the
+incarnations, which is exactly the per-tensor view the paper's Figure 4
+discussion takes ("the same buffers bounce between tiers every iteration").
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator
+
+from repro.telemetry.trace import (
+    DECISION,
+    EVICT,
+    HINT,
+    KERNEL_END,
+    PLACE,
+    PREFETCH,
+    SETDIRTY,
+    SETPRIMARY,
+    STALL,
+    TraceEvent,
+)
+
+__all__ = [
+    "Move",
+    "ResidencyInterval",
+    "ObjectHistory",
+    "ObjectLedger",
+    "LedgerBuilder",
+    "PingPong",
+    "build_ledger",
+    "label_subject",
+]
+
+# Hints that signal the application is about to *use* the object's bytes.
+_USE_HINTS = frozenset({"will_read", "will_write", "will_use"})
+
+
+def label_subject(label: str) -> str:
+    """The object name inside an attribution label, or ``""``.
+
+    Labels are ``kind[:qualifier]:subject`` (``evict:a3``,
+    ``hint:will_read:a7``, ``place:w0``); the subject is the last
+    ``:``-separated part. Unqualified labels (``gc``, ``iter_end``) name no
+    object and map to ``""``.
+    """
+    if ":" not in label:
+        return ""
+    return label.rsplit(":", 1)[1]
+
+
+class Move:
+    """One tier crossing: an eviction or a prefetch of a whole object."""
+
+    __slots__ = (
+        "ts", "kind", "src", "dst", "nbytes", "clean",
+        "kernel_index", "cause", "root",
+    )
+
+    def __init__(
+        self,
+        ts: float,
+        kind: str,
+        src: str,
+        dst: str,
+        nbytes: int,
+        clean: bool,
+        kernel_index: int,
+        cause: str,
+        root: str,
+    ) -> None:
+        self.ts = ts
+        self.kind = kind
+        self.src = src
+        self.dst = dst
+        self.nbytes = nbytes
+        self.clean = clean
+        self.kernel_index = kernel_index
+        self.cause = cause
+        self.root = root
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "ts": self.ts,
+            "kind": self.kind,
+            "src": self.src,
+            "dst": self.dst,
+            "nbytes": self.nbytes,
+            "clean": self.clean,
+            "kernel_index": self.kernel_index,
+            "cause": self.cause,
+            "root": self.root,
+        }
+
+
+class ResidencyInterval:
+    """A half-open span of virtual time the object's primary spent on a device."""
+
+    __slots__ = ("device", "start", "end")
+
+    def __init__(self, device: str, start: float, end: float | None = None) -> None:
+        self.device = device
+        self.start = start
+        self.end = end
+
+    @property
+    def seconds(self) -> float:
+        return 0.0 if self.end is None else self.end - self.start
+
+    def to_json(self) -> dict[str, Any]:
+        return {"device": self.device, "start": self.start, "end": self.end}
+
+
+class PingPong:
+    """An object that was evicted and pulled straight back (thrash signature)."""
+
+    __slots__ = ("name", "count", "nbytes", "trips")
+
+    def __init__(self, name: str, count: int, nbytes: int, trips: list[tuple[int, int]]) -> None:
+        self.name = name
+        self.count = count          # evict->return round trips within the window
+        self.nbytes = nbytes        # bytes moved by those round trips
+        self.trips = trips          # (evict_kernel_index, return_kernel_index)
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "count": self.count,
+            "nbytes": self.nbytes,
+            "trips": [list(trip) for trip in self.trips],
+        }
+
+
+class ObjectHistory:
+    """Everything the trace says about one object name."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.size = 0                 # largest allocation seen under this name
+        self.incarnations = 0         # place events (names recur per iteration)
+        self.born_ts: float | None = None
+        self.died_ts: float | None = None
+        self.death: str = ""          # "retire" | "gc" | "" (still alive)
+        self.moves: list[Move] = []
+        self.residency: list[ResidencyInterval] = []
+        self.evictions = 0
+        self.clean_evictions = 0
+        self.prefetches = 0
+        self.bytes_moved = 0          # bytes actually copied across tiers
+        self.uses = 0                 # will_read/will_write/will_use hints
+        self.bytes_used = 0           # uses x size at hint time
+        self.stall_seconds = 0.0      # executor stall time charged to us
+        self.dirty_marks = 0          # clean -> dirty transitions
+        self.decision_chosen = 0      # times a victim scan picked us
+        self.decision_rejected = 0    # times a scan considered-and-skipped us
+
+    @property
+    def movement_ratio(self) -> float:
+        """Bytes moved per byte the application asked to use.
+
+        Above ~1.0 the runtime shuffles the object more than the workload
+        reads it — the tell-tale of a placement/prefetch mistake.
+        """
+        if self.bytes_used <= 0:
+            return float("inf") if self.bytes_moved > 0 else 0.0
+        return self.bytes_moved / self.bytes_used
+
+    def residency_seconds(self) -> dict[str, float]:
+        """Closed-interval virtual seconds per device."""
+        out: dict[str, float] = {}
+        for interval in self.residency:
+            out[interval.device] = out.get(interval.device, 0.0) + interval.seconds
+        return out
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "size": self.size,
+            "incarnations": self.incarnations,
+            "born_ts": self.born_ts,
+            "died_ts": self.died_ts,
+            "death": self.death,
+            "evictions": self.evictions,
+            "clean_evictions": self.clean_evictions,
+            "prefetches": self.prefetches,
+            "bytes_moved": self.bytes_moved,
+            "uses": self.uses,
+            "bytes_used": self.bytes_used,
+            "movement_ratio": (
+                None if self.bytes_used <= 0 and self.bytes_moved > 0
+                else self.movement_ratio
+            ),
+            "stall_seconds": self.stall_seconds,
+            "dirty_marks": self.dirty_marks,
+            "decision_chosen": self.decision_chosen,
+            "decision_rejected": self.decision_rejected,
+            "residency_seconds": self.residency_seconds(),
+            "moves": [move.to_json() for move in self.moves],
+            "residency": [interval.to_json() for interval in self.residency],
+        }
+
+
+class ObjectLedger:
+    """Queryable collection of :class:`ObjectHistory` records."""
+
+    def __init__(
+        self,
+        objects: dict[str, ObjectHistory],
+        *,
+        kernels: int,
+        start_ts: float,
+        end_ts: float,
+    ) -> None:
+        self.objects = objects
+        self.kernels = kernels
+        self.start_ts = start_ts
+        self.end_ts = end_ts
+
+    def __len__(self) -> int:
+        return len(self.objects)
+
+    def __iter__(self) -> Iterator[ObjectHistory]:
+        return iter(self.objects.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.objects
+
+    def get(self, name: str) -> ObjectHistory | None:
+        return self.objects.get(name)
+
+    # -- queries -------------------------------------------------------------
+
+    def ping_pongs(self, window: int = 8) -> list[PingPong]:
+        """Objects evicted then brought back within ``window`` kernels.
+
+        A round trip is an ``evict`` move followed by the object's next
+        return to the evicting tier (a ``prefetch`` move) no more than
+        ``window`` kernel launches later. Sorted worst first (most trips,
+        then most bytes).
+        """
+        out: list[PingPong] = []
+        for history in self.objects.values():
+            trips: list[tuple[int, int]] = []
+            nbytes = 0
+            pending: Move | None = None
+            for move in history.moves:
+                if move.kind == EVICT:
+                    pending = move
+                elif move.kind == PREFETCH and pending is not None:
+                    if move.dst == pending.src:
+                        gap = move.kernel_index - pending.kernel_index
+                        if 0 <= gap <= window:
+                            trips.append(
+                                (pending.kernel_index, move.kernel_index)
+                            )
+                            nbytes += pending.nbytes + move.nbytes
+                    pending = None
+            if trips:
+                out.append(PingPong(history.name, len(trips), nbytes, trips))
+        out.sort(key=lambda p: (-p.count, -p.nbytes, p.name))
+        return out
+
+    def churn(self) -> dict[str, int]:
+        """Aggregate movement counts — the hot-set churn summary."""
+        evictions = sum(h.evictions for h in self.objects.values())
+        prefetches = sum(h.prefetches for h in self.objects.values())
+        return {
+            "objects": len(self.objects),
+            "evictions": evictions,
+            "prefetches": prefetches,
+            "evicted_objects": sum(
+                1 for h in self.objects.values() if h.evictions
+            ),
+            "ping_pong_objects": len(self.ping_pongs()),
+        }
+
+    def top_moved(self, n: int = 10) -> list[ObjectHistory]:
+        ranked = sorted(
+            self.objects.values(), key=lambda h: (-h.bytes_moved, h.name)
+        )
+        return [h for h in ranked[:n] if h.bytes_moved > 0]
+
+    def top_stalled(self, n: int = 10) -> list[ObjectHistory]:
+        ranked = sorted(
+            self.objects.values(), key=lambda h: (-h.stall_seconds, h.name)
+        )
+        return [h for h in ranked[:n] if h.stall_seconds > 0]
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "kernels": self.kernels,
+            "start_ts": self.start_ts,
+            "end_ts": self.end_ts,
+            "churn": self.churn(),
+            "ping_pongs": [p.to_json() for p in self.ping_pongs()],
+            "objects": {
+                name: history.to_json()
+                for name, history in sorted(self.objects.items())
+            },
+        }
+
+
+class LedgerBuilder:
+    """Single-pass fold of a trace into an :class:`ObjectLedger`.
+
+    Feed events in emission order (the tracer's list order / JSONL line
+    order); ``build`` closes any still-open residency intervals at the last
+    timestamp seen and returns the ledger. The builder keys strictly off
+    event args and attribution labels — it never needs the live objects, so
+    it works identically on a deserialised trace.
+    """
+
+    def __init__(self) -> None:
+        self._objects: dict[str, ObjectHistory] = {}
+        self._open: dict[str, ResidencyInterval] = {}  # name -> open interval
+        self._kernel_index = 0
+        self._first_ts: float | None = None
+        self._last_ts = 0.0
+
+    def _history(self, name: str) -> ObjectHistory:
+        history = self._objects.get(name)
+        if history is None:
+            history = self._objects[name] = ObjectHistory(name)
+        return history
+
+    def feed(self, events: Iterable[TraceEvent]) -> "LedgerBuilder":
+        for event in events:
+            self.add(event)
+        return self
+
+    def add(self, event: TraceEvent) -> None:
+        ts = event.ts
+        if self._first_ts is None:
+            self._first_ts = ts
+        if ts > self._last_ts:
+            self._last_ts = ts
+        kind = event.kind
+        args = event.args
+        if kind == KERNEL_END:
+            self._kernel_index += 1
+        elif kind == PLACE:
+            history = self._history(str(args.get("obj", "")))
+            history.incarnations += 1
+            nbytes = int(args.get("nbytes", 0))
+            if nbytes > history.size:
+                history.size = nbytes
+            if history.born_ts is None:
+                history.born_ts = ts
+        elif kind == SETPRIMARY:
+            name = str(args.get("obj", ""))
+            history = self._history(name)
+            nbytes = int(args.get("nbytes", 0))
+            if nbytes > history.size:
+                history.size = nbytes
+            device = str(args.get("device", ""))
+            open_interval = self._open.get(name)
+            if open_interval is not None:
+                if open_interval.device == device:
+                    return  # same-device re-set: not a residency change
+                open_interval.end = ts
+            interval = ResidencyInterval(device, ts)
+            self._open[name] = interval
+            history.residency.append(interval)
+        elif kind in (EVICT, PREFETCH):
+            name = str(args.get("obj", ""))
+            history = self._history(name)
+            clean = bool(args.get("clean", False))
+            nbytes = int(args.get("nbytes", 0))
+            history.moves.append(
+                Move(
+                    ts,
+                    kind,
+                    str(args.get("src", "")),
+                    str(args.get("dst", "")),
+                    nbytes,
+                    clean,
+                    self._kernel_index,
+                    event.cause,
+                    event.root,
+                )
+            )
+            if kind == EVICT:
+                history.evictions += 1
+                if clean:
+                    history.clean_evictions += 1
+                else:
+                    history.bytes_moved += nbytes
+            else:
+                history.prefetches += 1
+                history.bytes_moved += nbytes
+        elif kind == HINT:
+            hint = str(args.get("hint", ""))
+            name = str(args.get("subject", ""))
+            if not name:
+                return
+            if hint in _USE_HINTS:
+                history = self._history(name)
+                history.uses += 1
+                history.bytes_used += history.size
+            elif hint == "retire":
+                history = self._history(name)
+                history.died_ts = ts
+                # Application-driven retire vs the executor's GC sweep: the
+                # sweep runs under a "gc" attribution scope.
+                history.death = (
+                    "gc" if event.root.startswith("gc") else "retire"
+                )
+                open_interval = self._open.pop(name, None)
+                if open_interval is not None:
+                    open_interval.end = ts
+        elif kind == STALL:
+            names = args.get("objects") or ()
+            charges = args.get("charged") or ()
+            for name, charge in zip(names, charges):
+                self._history(str(name)).stall_seconds += float(charge)
+        elif kind == SETDIRTY:
+            if bool(args.get("dirty", False)):
+                name = str(args.get("obj", ""))
+                if name:
+                    self._history(name).dirty_marks += 1
+        elif kind == DECISION:
+            chosen = str(args.get("chosen", ""))
+            if chosen:
+                self._history(chosen).decision_chosen += 1
+            for entry in args.get("rejected") or ():
+                name = str(entry.get("obj", "")) if isinstance(entry, dict) else ""
+                if name:
+                    self._history(name).decision_rejected += 1
+
+    def build(self) -> ObjectLedger:
+        for interval in self._open.values():
+            if interval.end is None:
+                interval.end = self._last_ts
+        self._open.clear()
+        return ObjectLedger(
+            self._objects,
+            kernels=self._kernel_index,
+            start_ts=self._first_ts if self._first_ts is not None else 0.0,
+            end_ts=self._last_ts,
+        )
+
+
+def build_ledger(events: Iterable[TraceEvent]) -> ObjectLedger:
+    """One-shot convenience: fold ``events`` and build the ledger."""
+    return LedgerBuilder().feed(events).build()

@@ -45,6 +45,9 @@ class Counter:
     def inc(self, amount: int = 1) -> None:
         self.value += amount
 
+    def reset(self) -> None:
+        self.value = 0
+
 
 class Gauge:
     """A point-in-time value (last write wins)."""
@@ -57,6 +60,9 @@ class Gauge:
     def set(self, value: float) -> None:
         self.value = value
 
+    def reset(self) -> None:
+        self.value = 0.0
+
 
 class Histogram:
     """Streaming summary of an observed distribution (count/sum/min/max)."""
@@ -64,6 +70,12 @@ class Histogram:
     __slots__ = ("count", "total", "minimum", "maximum")
 
     def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.minimum = float("inf")
+        self.maximum = float("-inf")
+
+    def reset(self) -> None:
         self.count = 0
         self.total = 0.0
         self.minimum = float("inf")
@@ -133,6 +145,20 @@ class MetricsRegistry:
 
     def __contains__(self, key: str) -> bool:
         return key in self._metrics
+
+    def reset(self) -> None:
+        """Zero every registered metric *in place*.
+
+        Keys and metric object identity are preserved: policy stats hold
+        references to their registry counters (:class:`PolicyStats.attach`
+        deliberately carries pre-bind counts over), so dropping the dict
+        would silently disconnect them. Resetting in place gives a run
+        counters that start at zero without rewiring anything — the guard
+        :func:`repro.experiments.common.run_trace_mode` applies between
+        ablation modes so counts can never bleed from one run into the next.
+        """
+        for metric in self._metrics.values():
+            metric.reset()
 
     def as_dict(self) -> dict[str, object]:
         """Flat, deterministic dump (histograms expand to summary dicts)."""

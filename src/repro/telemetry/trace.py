@@ -60,6 +60,11 @@ PREFETCH = "prefetch"
 PLACE = "place"
 HINT = "hint"
 SETPRIMARY = "setprimary"
+# Explainability events (docs/observability.md, "Explaining a run"): the
+# victim a policy chose *and* the candidates it rejected, and dirty-bit
+# transitions (the writeback debt an eviction will have to pay).
+DECISION = "decision"
+SETDIRTY = "setdirty"
 KERNEL_START = "kernel_start"
 KERNEL_END = "kernel_end"
 STALL = "stall"
@@ -78,9 +83,9 @@ QUARANTINE = "quarantine"          # the watchdog switched to the fallback
 EVENT_KINDS = frozenset(
     {
         ALLOC, FREE, COPY_START, COPY_END, EVICT, EVICT_SCAN, PREFETCH,
-        PLACE, HINT, SETPRIMARY, KERNEL_START, KERNEL_END, STALL, DEFRAG,
-        GC, OOM_RETRY, INVARIANT_CHECK, FAULT, RECOVERY_STEP, RECOVERY,
-        COPY_RETRY, POLICY_STRIKE, QUARANTINE,
+        PLACE, HINT, SETPRIMARY, DECISION, SETDIRTY, KERNEL_START,
+        KERNEL_END, STALL, DEFRAG, GC, OOM_RETRY, INVARIANT_CHECK, FAULT,
+        RECOVERY_STEP, RECOVERY, COPY_RETRY, POLICY_STRIKE, QUARANTINE,
     }
 )
 

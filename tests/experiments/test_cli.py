@@ -90,7 +90,12 @@ def test_profile_smoke_writes_valid_chrome_trace(tmp_path, capsys):
             assert key in record
     with open(jsonl, encoding="utf-8") as fp:
         lines = fp.read().splitlines()
-    assert lines and all(json.loads(line)["kind"] for line in lines)
+    # v2 streams open with a schema header, then one event per line.
+    assert lines
+    header = json.loads(lines[0])
+    assert header["schema"] == "repro.trace"
+    assert header["schema_version"] >= 2
+    assert lines[1:] and all(json.loads(line)["kind"] for line in lines[1:])
 
 
 def test_profile_unknown_model_returns_2(capsys):

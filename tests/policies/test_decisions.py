@@ -1,0 +1,215 @@
+"""Policy decision records: chosen victims, rejected candidates, parity."""
+
+from repro.core.manager import DataManager
+from repro.memory.copyengine import CopyEngine
+from repro.memory.device import MemoryDevice
+from repro.memory.heap import Heap
+from repro.policies.adaptive import AdaptivePolicy
+from repro.policies.base import DECISION_REJECTED_LIMIT, emit_decision
+from repro.policies.multitier import MultiTierPolicy
+from repro.policies.optimizing import OptimizingPolicy
+from repro.sim.clock import SimClock
+from repro.telemetry.trace import DECISION, EVICT, SETDIRTY, Tracer
+from repro.units import KiB
+
+
+def build(policy, *, traced=True, fast_capacity=64 * KiB):
+    clock = SimClock()
+    tracer = Tracer(clock) if traced else None
+    heaps = {
+        "DRAM": Heap(MemoryDevice.dram(fast_capacity)),
+        "NVRAM": Heap(MemoryDevice.nvram(1024 * KiB)),
+    }
+    manager = DataManager(heaps, CopyEngine(clock, tracer=tracer), tracer=tracer)
+    policy.bind(manager)
+    return manager, policy
+
+
+def fill_and_overflow(manager, policy, *, count=4, size=16 * KiB):
+    """Fill fast memory, then place one more object to force an eviction."""
+    objs = [manager.new_object(size, f"o{i}") for i in range(count)]
+    for obj in objs:
+        policy.place(obj)
+    fresh = manager.new_object(size, "fresh")
+    policy.place(fresh)
+    return objs, fresh
+
+
+def decisions(manager):
+    return [e for e in manager.tracer.events if e.kind == DECISION]
+
+
+class TestOptimizingDecisions:
+    def test_forced_eviction_emits_a_decision(self):
+        manager, policy = build(OptimizingPolicy(local_alloc=True))
+        fill_and_overflow(manager, policy)
+        records = decisions(manager)
+        assert records, "eviction scan emitted no decision event"
+        record = records[0]
+        assert record.args["policy"] == "OptimizingPolicy"
+        assert record.args["action"] == "select_victim"
+        assert record.args["device"] == "DRAM"
+        assert record.args["need"] == 16 * KiB
+        assert record.args["chosen"] == "o0"  # coldest
+        assert record.args["considered"] >= 1
+        # The chosen victim matches the evict event that follows.
+        evicts = [e for e in manager.tracer.events if e.kind == EVICT]
+        assert evicts and evicts[0].args["obj"] == record.args["chosen"]
+
+    def test_pinned_candidates_are_recorded_with_reason(self):
+        manager, policy = build(OptimizingPolicy(local_alloc=True))
+        objs = [manager.new_object(16 * KiB, f"o{i}") for i in range(4)]
+        for obj in objs:
+            policy.place(obj)
+        objs[0].pin()  # the coldest object cannot be the victim
+        try:
+            fresh = manager.new_object(16 * KiB, "fresh")
+            policy.place(fresh)
+        finally:
+            objs[0].unpin()
+        record = decisions(manager)[0]
+        assert record.args["chosen"] != "o0"
+        reasons = {
+            entry["obj"]: entry["reason"] for entry in record.args["rejected"]
+        }
+        assert reasons.get("o0") == "pinned"
+        # Rejected entries carry the recency rank the scan saw.
+        assert all("rank" in entry for entry in record.args["rejected"])
+
+    def test_empty_scan_emits_decision_with_no_choice(self):
+        manager, policy = build(OptimizingPolicy(local_alloc=True))
+        objs = [manager.new_object(16 * KiB, f"o{i}") for i in range(4)]
+        for obj in objs:
+            policy.place(obj)
+        for obj in objs:
+            obj.pin()
+        try:
+            assert policy._find_eviction_start(16 * KiB) is None
+        finally:
+            for obj in objs:
+                obj.unpin()
+        record = decisions(manager)[-1]
+        assert record.args["chosen"] == ""
+        assert len(record.args["rejected"]) == 4
+
+    def test_untraced_scan_picks_the_same_victim(self):
+        def victims(traced):
+            manager, policy = build(
+                OptimizingPolicy(local_alloc=True), traced=traced
+            )
+            fill_and_overflow(manager, policy)
+            return sorted(
+                (obj.name, obj.primary.device_name)
+                for obj in manager.objects.values()
+            )
+
+        assert victims(True) == victims(False)
+
+    def test_untraced_scan_emits_nothing(self):
+        manager, policy = build(
+            OptimizingPolicy(local_alloc=True), traced=False
+        )
+        fill_and_overflow(manager, policy)
+        assert manager.tracer.events == ()
+
+
+class TestAdaptiveDecisions:
+    def test_decision_carries_scores_and_alpha(self):
+        manager, policy = build(AdaptivePolicy(local_alloc=True))
+        fill_and_overflow(manager, policy)
+        record = decisions(manager)[0]
+        assert record.args["policy"] == "AdaptivePolicy"
+        assert record.args["chosen"]
+        assert 0.0 <= record.args["alpha"] <= 1.0
+        assert "score" in record.args
+        assert record.args["segment"] in ("probation", "protected")
+        assert record.args["probation"] + record.args["protected"] >= 1
+
+    def test_untraced_scan_picks_the_same_victim(self):
+        def victims(traced):
+            manager, policy = build(
+                AdaptivePolicy(local_alloc=True), traced=traced
+            )
+            fill_and_overflow(manager, policy)
+            return sorted(
+                (obj.name, obj.primary.device_name)
+                for obj in manager.objects.values()
+            )
+
+        assert victims(True) == victims(False)
+
+
+class TestMultiTierDecisions:
+    def test_demotion_emits_tiered_decision(self):
+        manager, policy = build(MultiTierPolicy(["DRAM", "NVRAM"]))
+        fill_and_overflow(manager, policy)
+        record = decisions(manager)[0]
+        assert record.args["policy"] == "MultiTierPolicy"
+        assert record.args["device"] == "DRAM"
+        assert record.args["tier"] == 0
+        assert record.args["chosen"]
+
+    def test_untraced_scan_picks_the_same_victim(self):
+        def victims(traced):
+            manager, policy = build(
+                MultiTierPolicy(["DRAM", "NVRAM"]), traced=traced
+            )
+            fill_and_overflow(manager, policy)
+            return sorted(
+                (obj.name, obj.primary.device_name)
+                for obj in manager.objects.values()
+            )
+
+        assert victims(True) == victims(False)
+
+
+class TestEmitDecisionHelper:
+    def test_rejected_list_is_capped(self):
+        tracer = Tracer(SimClock())
+        rejected = [
+            {"obj": f"o{i}", "rank": i, "reason": "pinned"} for i in range(40)
+        ]
+        emit_decision(
+            tracer,
+            policy="TestPolicy",
+            device="DRAM",
+            need=1,
+            chosen="x",
+            rejected=rejected,
+            considered=41,
+        )
+        (event,) = tracer.events
+        kept = event.args["rejected"]
+        assert len(kept) == DECISION_REJECTED_LIMIT
+        assert event.args["rejected_dropped"] == 40 - DECISION_REJECTED_LIMIT
+        # Coldest-first prefix is kept: those are the candidates the policy
+        # most wanted and could not use.
+        assert kept[0]["obj"] == "o0"
+
+    def test_extra_kwargs_pass_through(self):
+        tracer = Tracer(SimClock())
+        emit_decision(
+            tracer,
+            policy="P",
+            device="D",
+            need=2,
+            chosen="c",
+            rejected=[],
+            considered=1,
+            alpha=0.25,
+        )
+        assert tracer.events[0].args["alpha"] == 0.25
+
+
+def test_setdirty_traces_transitions_only():
+    manager, policy = build(OptimizingPolicy(local_alloc=True))
+    obj = manager.new_object(16 * KiB, "x")
+    policy.place(obj)
+    region = manager.getprimary(obj)
+    manager.setdirty(region, True)
+    manager.setdirty(region, True)   # redundant: no second event
+    manager.setdirty(region, False)
+    events = [e for e in manager.tracer.events if e.kind == SETDIRTY]
+    assert [e.args["dirty"] for e in events] == [True, False]
+    assert all(e.args["obj"] == "x" for e in events)
+    assert all(e.args["device"] == "DRAM" for e in events)

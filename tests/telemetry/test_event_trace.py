@@ -26,6 +26,21 @@ def test_subject_label():
     assert subject_label(object()) == "#?"
 
 
+def test_subject_label_anonymous_objects():
+    class Anonymous:
+        def __init__(self, ident):
+            self.id = ident
+            self.name = ""  # empty name falls back to the id
+
+    assert subject_label(Anonymous(7)) == "#7"
+    assert subject_label(Anonymous(0)) == "#0"
+    # A MemObject never has an empty name: it self-names as obj<id>.
+    from repro.core.object import MemObject
+
+    unnamed = MemObject(size=64, name="")
+    assert subject_label(unnamed) == f"obj{unnamed.id}"
+
+
 def test_emit_stamps_virtual_time():
     clock = SimClock()
     tracer = Tracer(clock)

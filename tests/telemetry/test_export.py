@@ -3,9 +3,13 @@
 import io
 import json
 
+import pytest
+
 from repro.sim.clock import SimClock
 from repro.telemetry.export import (
+    JSONL_SCHEMA_VERSION,
     jsonl_lines,
+    read_jsonl,
     to_chrome_trace,
     write_chrome_trace,
     write_jsonl,
@@ -102,9 +106,63 @@ def test_jsonl_is_one_sorted_object_per_line():
     buffer = io.StringIO()
     write_jsonl(events, buffer)
     lines = buffer.getvalue().splitlines()
-    assert len(lines) == len(events)
-    first = json.loads(lines[0])
+    # One schema-header line, then one line per event.
+    assert len(lines) == len(events) + 1
+    header = json.loads(lines[0])
+    assert header == {
+        "schema": "repro.trace",
+        "schema_version": JSONL_SCHEMA_VERSION,
+    }
+    first = json.loads(lines[1])
     assert first["kind"] == KERNEL_START
     # Compact separators and sorted keys: deterministic bytes.
-    assert lines == list(jsonl_lines(events))
-    assert lines[0] == json.dumps(first, sort_keys=True, separators=(",", ":"))
+    assert lines[1:] == list(jsonl_lines(events))
+    assert lines[1] == json.dumps(first, sort_keys=True, separators=(",", ":"))
+
+
+def test_jsonl_round_trip_restores_events():
+    events = sample_tracer().events
+    buffer = io.StringIO()
+    write_jsonl(events, buffer)
+    buffer.seek(0)
+    loaded = read_jsonl(buffer)
+    assert loaded == list(events)
+
+
+def test_read_jsonl_accepts_headerless_v1_streams():
+    events = sample_tracer().events
+    body = "\n".join(jsonl_lines(events)) + "\n"
+    loaded = read_jsonl(io.StringIO(body))
+    assert loaded == list(events)
+
+
+def test_read_jsonl_routes_unknown_fields_into_args():
+    line = json.dumps(
+        {"ts": 1.5, "kind": "copy_start", "nbytes": 8, "galaxy": "far away"}
+    )
+    (event,) = read_jsonl(io.StringIO(line))
+    assert event.ts == 1.5
+    assert event.kind == "copy_start"
+    assert event.args == {"nbytes": 8, "galaxy": "far away"}
+
+
+def test_read_jsonl_skips_blank_lines_and_future_headers():
+    stream = io.StringIO(
+        '{"schema":"repro.trace","schema_version":99}\n'
+        "\n"
+        '{"kind":"gc","seconds":0.1,"ts":2.0}\n'
+    )
+    (event,) = read_jsonl(stream)
+    assert event.kind == "gc"
+    assert event.args == {"seconds": 0.1}
+
+
+def test_read_jsonl_rejects_garbage():
+    with pytest.raises(ValueError):
+        read_jsonl(io.StringIO("not json\n"))
+    with pytest.raises(ValueError):
+        read_jsonl(io.StringIO("[1, 2]\n"))
+    with pytest.raises(ValueError):
+        read_jsonl(io.StringIO('{"no_kind": true}\n'))
+    with pytest.raises(ValueError):
+        read_jsonl(io.StringIO('{"kind": "gc"}\n'))

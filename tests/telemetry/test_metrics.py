@@ -85,3 +85,36 @@ def test_attribution_counts_unattributed():
     assert attribution.attributed_fraction == pytest.approx(0.4)
     # No copies at all means nothing is unattributed.
     assert attribute_copies([]).attributed_fraction == 1.0
+
+
+def test_registry_reset_zeroes_in_place():
+    registry = MetricsRegistry()
+    counter = registry.counter("copies")
+    counter.inc(9)
+    gauge = registry.gauge("occupancy")
+    gauge.set(0.5)
+    histogram = registry.histogram("depth")
+    histogram.observe(4.0)
+    registry.reset()
+    # Values are zeroed...
+    assert counter.value == 0
+    assert gauge.value == 0.0
+    assert histogram.count == 0
+    assert histogram.as_dict() == {
+        "count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0,
+    }
+    # ...but identity and keys survive: held references keep working.
+    assert registry.counter("copies") is counter
+    counter.inc()
+    assert registry.as_dict()["copies"] == 1
+
+
+def test_histogram_usable_after_reset():
+    registry = MetricsRegistry()
+    histogram = registry.histogram("depth")
+    histogram.observe(10.0)
+    registry.reset()
+    histogram.observe(2.0)
+    assert histogram.as_dict()["min"] == 2.0
+    assert histogram.as_dict()["max"] == 2.0
+    assert histogram.mean == pytest.approx(2.0)

@@ -108,3 +108,31 @@ def test_to_dict_is_json_serialisable():
     timeline = make([(0.0, 1.0), (1.0, 2.0)])
     encoded = json.dumps(timeline.to_dict())
     assert Timeline.from_dict(json.loads(encoded)).values() == [1.0, 2.0]
+
+
+def test_empty_timeline_round_trip():
+    timeline = Timeline("empty")
+    data = timeline.to_dict()
+    assert data["samples"] == []
+    rebuilt = Timeline.from_dict(data)
+    assert rebuilt.name == "empty"
+    assert len(rebuilt) == 0
+    assert rebuilt.to_dict() == data
+
+
+def test_extreme_sample_values_round_trip():
+    import json
+
+    extremes = [
+        (0.0, 0.0),
+        (1e-12, 5e-324),            # smallest subnormal float
+        (1.0, -1.7976931348623157e308),
+        (2.0, 1.7976931348623157e308),
+        (3.0, 2**63),               # beyond int64, still exact as int
+    ]
+    timeline = make(extremes)
+    encoded = json.dumps(timeline.to_dict())
+    rebuilt = Timeline.from_dict(json.loads(encoded))
+    assert rebuilt.times() == timeline.times()
+    assert rebuilt.values() == timeline.values()
+    assert rebuilt.peak() == timeline.peak()
