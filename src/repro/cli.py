@@ -12,6 +12,7 @@ Usage::
     python -m repro diff a.jsonl b.jsonl [--window K] [--out report.json]
     python -m repro chaos [--plan copy-flaky | --plan all] [--json]
     python -m repro bench [--quick] [--baseline FILE] [--threshold 0.2]
+    python -m repro colo [--tenants cnn,dlrm] [--check] [--json]
 
 Times are reported rescaled to paper magnitudes (see
 :class:`~repro.experiments.common.ExperimentConfig`). ``--json`` emits a
@@ -31,6 +32,11 @@ scenario violates the robustness contract) — see ``docs/robustness.md``.
 ``bench`` runs the pinned performance suite at ``BENCH_SCALE``, writes a
 ``BENCH_<date>.json`` trajectory point, and gates against the previous
 point (exit status 1 on regression) — see ``docs/benchmarking.md``.
+``colo`` co-runs two or more tenant workloads on one shared memory system
+under the multi-stream scheduler and reports per-tenant slowdown vs solo,
+fairness, aggregate traffic, and cross-tenant stall attribution
+(``--check`` additionally enforces determinism and the >=90% attribution
+contract) — see ``docs/architecture.md``, "Multi-tenant runtime".
 """
 
 from __future__ import annotations
@@ -239,7 +245,7 @@ def _load_events(path: str) -> list | None:
 def _explain(
     paths: list[str], *, window: int, out: str | None, as_json: bool
 ) -> int:
-    from repro.telemetry.diff import explain_run
+    from repro.telemetry.diff import explain_run, stall_attribution, streams_in
 
     if len(paths) != 1:
         print(
@@ -251,6 +257,47 @@ def _explain(
     events = _load_events(paths[0])
     if events is None:
         return 2
+    # A multi-stream trace (a co-located run) gets one report per tenant
+    # stream plus the cross-tenant stall attribution; a single-stream trace
+    # keeps the historical single-report output.
+    streams = streams_in(events)
+    if streams:
+        explanations = [
+            explain_run(
+                events, label=paths[0], ping_pong_window=window, stream=name
+            )
+            for name in streams
+        ]
+        attribution = stall_attribution(events)
+        payload: dict = {
+            "streams": {
+                name: exp.to_json()
+                for name, exp in zip(streams, explanations)
+            },
+            "stall_attribution": attribution,
+        }
+        if out:
+            with open(out, "w", encoding="utf-8") as fp:
+                json.dump(payload, fp, indent=2, sort_keys=True)
+            print(f"wrote explanation -> {out}")
+        if as_json:
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            for exp in explanations:
+                print(exp.render())
+                print()
+            print(
+                f"stall attribution: "
+                f"{attribution['attributed_fraction']:.1%} of "
+                f"{attribution['total_stall_seconds']:.6f} s of movement-wait "
+                f"attributed to (stream, object) pairs"
+            )
+            for pair in attribution["pairs"][:8]:
+                print(
+                    f"  {pair['stream'] or '<unattributed>'}: "
+                    f"{pair['object']} {pair['seconds']:.6f} s"
+                )
+        return 0
     explanation = explain_run(
         events, label=paths[0], ping_pong_window=window
     )
@@ -263,6 +310,57 @@ def _explain(
     else:
         print(explanation.render())
     return 0
+
+
+def _colo(
+    tenants: str,
+    config: ExperimentConfig,
+    *,
+    mode: str,
+    check: bool,
+    as_json: bool,
+) -> int:
+    from repro.experiments import colo as colo_mod
+
+    names = tuple(t.strip() for t in tenants.split(",") if t.strip())
+    try:
+        result = colo_mod.run_colo(names, config, mode_name=mode)
+    except ConfigurationError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if as_json:
+        print(json.dumps(result.to_json(), indent=2, sort_keys=True))
+    else:
+        print(colo_mod.render(result))
+    if not check:
+        return 0
+    # --check: the CI contract. The co-run must be (a) deterministic —
+    # a second identical run produces the same digest — and (b) explainable:
+    # at least 90% of movement-wait stall time attributed to a specific
+    # (tenant, object) pair.
+    info = sys.stderr if as_json else sys.stdout
+    repeat = colo_mod.run_colo(names, config, mode_name=mode)
+    ok = True
+    if repeat.digest() != result.digest():
+        print(
+            f"DETERMINISM FAIL: digests differ across identical runs "
+            f"({result.digest()} vs {repeat.digest()})",
+            file=info,
+        )
+        ok = False
+    else:
+        print("determinism: digests match across repeated runs", file=info)
+    fraction = result.attribution.get("attributed_fraction", 0.0)
+    if fraction < 0.9:
+        print(
+            f"ATTRIBUTION FAIL: only {fraction:.1%} of stall time attributed "
+            f"(need >= 90%)",
+            file=info,
+        )
+        ok = False
+    else:
+        print(f"attribution: {fraction:.1%} of stall time attributed", file=info)
+    return 0 if ok else 1
 
 
 def _diff(
@@ -455,13 +553,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "experiment",
         choices=EXPERIMENTS
-        + ("all", "trace", "profile", "explain", "diff", "chaos", "bench"),
+        + ("all", "trace", "profile", "explain", "diff", "chaos", "bench", "colo"),
         help="which table/figure to regenerate, 'trace' to export a model's "
         "kernel trace, 'profile' to run one with event tracing on, "
         "'explain' to report on a recorded event stream, 'diff' to "
         "attribute the delta between two recorded runs, 'chaos' to run "
-        "the fault-injection suite, or 'bench' to run the pinned "
-        "performance suite",
+        "the fault-injection suite, 'bench' to run the pinned "
+        "performance suite, or 'colo' to co-run tenant workloads on one "
+        "shared memory system",
     )
     parser.add_argument(
         "paths",
@@ -531,6 +630,18 @@ def main(argv: list[str] | None = None) -> int:
         help="bench: fail when normalized wall time regresses more than "
         "this fraction (default 0.2)",
     )
+    parser.add_argument(
+        "--tenants",
+        default="cnn,dlrm",
+        help="colo: comma-separated tenant workloads to co-run "
+        "(default cnn,dlrm; known: cnn, dlrm, stream)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="colo: verify determinism across two runs and >=90%% stall "
+        "attribution (exit status 1 on failure)",
+    )
     args = parser.parse_args(argv)
     if args.paths and args.experiment not in ("explain", "diff"):
         parser.error(
@@ -560,6 +671,14 @@ def main(argv: list[str] | None = None) -> int:
             parser.error("trace requires --model")
         return _export_trace(args.model, args.out, args.scale)
     config = ExperimentConfig(scale=args.scale, iterations=args.iterations)
+    if args.experiment == "colo":
+        return _colo(
+            args.tenants,
+            config,
+            mode=args.mode,
+            check=args.check,
+            as_json=args.json,
+        )
     if args.experiment == "profile":
         if not args.model:
             parser.error("profile requires --model")

@@ -18,7 +18,7 @@ from repro.core.object import MemObject, Region
 from repro.core.manager import DataManager
 from repro.core.policy_api import Policy, AccessIntent
 from repro.core.cachedarray import CachedArray
-from repro.core.session import Session, SessionConfig
+from repro.core.session import Session, SessionConfig, SharedRuntime
 
 __all__ = [
     "MemObject",
@@ -29,4 +29,5 @@ __all__ = [
     "CachedArray",
     "Session",
     "SessionConfig",
+    "SharedRuntime",
 ]

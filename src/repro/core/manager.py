@@ -66,6 +66,33 @@ class DataManager:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._regions: dict[tuple[str, int], Region] = {}
         self.objects: dict[int, MemObject] = {}
+        # Multi-tenant accounting (docs/architecture.md, "Multi-tenant
+        # runtime"). ``active_tenant`` is the accounting principal for new
+        # allocations; the scheduler repoints it on every stream switch.
+        # Everything below is guarded by ``self._quota`` being non-empty,
+        # so single-tenant sessions pay nothing.
+        self.active_tenant: str = ""
+        self._quota: dict[tuple[str, str], int] = {}
+        self._tenant_used: dict[tuple[str, str], int] = {}
+        self._region_tenant: dict[tuple[str, int], str] = {}
+
+    # -- tenant quotas --------------------------------------------------------
+
+    def set_quota(self, tenant: str, device: str, limit: int) -> None:
+        """Cap ``tenant``'s live bytes on ``device``.
+
+        Must be set before the tenant allocates: only regions allocated
+        while quotas exist are charged to their owner. Exceeding the cap
+        raises :class:`OutOfMemoryError` from :meth:`allocate` exactly like
+        heap exhaustion, so policies and the recovery ladder respond the
+        same way (evicting the tenant's own regions frees its budget).
+        """
+        self.heap(device)  # validate the device name
+        self._quota[(tenant, device)] = int(limit)
+
+    def tenant_used(self, tenant: str, device: str) -> int:
+        """Quota-charged live bytes for ``tenant`` on ``device``."""
+        return self._tenant_used.get((tenant, device), 0)
 
     # -- device helpers -----------------------------------------------------
 
@@ -137,11 +164,26 @@ class DataManager:
     # -- region functions -------------------------------------------------------
 
     def allocate(self, device: str, size: int) -> Region:
-        """Allocate a region on ``device``; raises ``OutOfMemoryError``."""
+        """Allocate a region on ``device``; raises ``OutOfMemoryError``.
+
+        With tenant quotas configured, the active tenant's budget on the
+        device is checked first and charged on success.
+        """
         heap = self.heap(device)
+        if self._quota:
+            key = (self.active_tenant, device)
+            limit = self._quota.get(key)
+            if limit is not None:
+                used = self._tenant_used.get(key, 0)
+                if used + size > limit:
+                    raise OutOfMemoryError(device, size, max(0, limit - used))
         offset = heap.allocate(size)
         region = Region(heap, offset, size)
         self._regions[(device, offset)] = region
+        if self._quota:
+            key = (self.active_tenant, device)
+            self._tenant_used[key] = self._tenant_used.get(key, 0) + size
+            self._region_tenant[(device, offset)] = self.active_tenant
         if self.tracer.enabled:
             self.tracer.emit(
                 tracing.ALLOC, device=device, offset=offset, nbytes=size
@@ -171,6 +213,17 @@ class DataManager:
     def _release(self, region: Region) -> None:
         region.heap.free(region.offset)
         del self._regions[(region.device_name, region.offset)]
+        if self._quota:
+            # Charge the recorded owner, not the active tenant: cross-tenant
+            # evictions must refund the victim's budget, not the evictor's.
+            owner = self._region_tenant.pop(
+                (region.device_name, region.offset), None
+            )
+            if owner is not None:
+                key = (owner, region.device_name)
+                self._tenant_used[key] = (
+                    self._tenant_used.get(key, 0) - region.size
+                )
         region.freed = True
         if self.tracer.enabled:
             self.tracer.emit(
@@ -194,6 +247,13 @@ class DataManager:
         # Asynchronous copies complete later; consumers of the destination
         # must wait until then (enforced at kernel-pin time).
         dst.ready_at = record.completes_at
+        if self.tracer.enabled and self.engine.async_mode:
+            # Remember what is in flight so DMA-drain stalls can blame the
+            # specific objects still being moved (docs/observability.md).
+            parent = dst.parent or src.parent
+            self.engine.note_pending(
+                record.completes_at, parent.name if parent is not None else ""
+            )
 
     def link(self, x: Region, y: Region) -> None:
         """Associate two regions with the same object (primary stays put)."""
@@ -374,6 +434,10 @@ class DataManager:
             region = self._regions.pop((device, old))
             region.offset = new
             self._regions[(device, new)] = region
+            if self._quota:
+                owner = self._region_tenant.pop((device, old), None)
+                if owner is not None:
+                    self._region_tenant[(device, new)] = owner
         if self.tracer.enabled and moved:
             self.tracer.emit(tracing.DEFRAG, device=device, moves=moved)
         return moved

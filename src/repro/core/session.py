@@ -1,12 +1,21 @@
 """Session: wires devices, manager, and policy into a usable runtime.
 
-A :class:`Session` owns the preallocated heaps (one per device), the shared
-virtual clock, the copy engine, the :class:`DataManager`, and one bound
-:class:`Policy`. Applications create arrays through it and access them inside
-``kernel(...)`` scopes, which implement the paper's kernel programming model:
-hints fire before the kernel, operands are resolved to their primary regions
-exactly once, pinned for the kernel's duration, and write targets are marked
-dirty afterwards.
+Two layers (docs/architecture.md, "Multi-tenant runtime"):
+
+* :class:`SharedRuntime` owns the *mechanism*: preallocated heaps (one per
+  device), the shared virtual clock, the copy engine, the
+  :class:`DataManager`, the metrics registry, and the tracer. There is one
+  per memory system, however many workloads run on it.
+* :class:`Session` is a lightweight per-tenant *view* over a runtime: one
+  bound :class:`Policy`, a tenant-prefixed object namespace, and an optional
+  DRAM quota. Applications create arrays through it and access them inside
+  ``kernel(...)`` scopes, which implement the paper's kernel programming
+  model: hints fire before the kernel, operands are resolved to their
+  primary regions exactly once, pinned for the kernel's duration, and write
+  targets are marked dirty afterwards.
+
+``Session(config)`` without an explicit runtime builds a private
+:class:`SharedRuntime` underneath — the single-tenant API is unchanged.
 """
 
 from __future__ import annotations
@@ -14,7 +23,7 @@ from __future__ import annotations
 import contextlib
 import math
 from dataclasses import dataclass, field
-from typing import Iterator, Sequence
+from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
@@ -33,7 +42,13 @@ from repro.telemetry.counters import TrafficSnapshot
 from repro.telemetry.metrics import MetricsRegistry
 from repro.units import parse_size
 
-__all__ = ["Session", "SessionConfig"]
+__all__ = [
+    "Session",
+    "SessionConfig",
+    "SharedRuntime",
+    "issue_hints",
+    "resolve_residency",
+]
 
 # Precomputed cause-scope labels for kernel residency resolution, so the
 # traced hot path never concatenates strings per operand.
@@ -42,6 +57,61 @@ RESIDENCY_LABELS = {
     AccessIntent.READ: "resident_read",
     AccessIntent.WRITE: "resident_write",
 }
+
+
+def issue_hints(
+    policy: Policy,
+    tracer: "tracing.Tracer | tracing.NullTracer",
+    read_objs: Iterable[MemObject],
+    write_objs: Iterable[MemObject],
+) -> None:
+    """Fire ``will_read``/``will_write`` hints for a kernel's operands.
+
+    The untraced branch (the default for every figure) skips the scope/hint
+    context managers entirely rather than entering no-op ones — this runs
+    once per kernel and the manager overhead was visible in profiles. Both
+    branches drive the policy identically, so enabling tracing cannot
+    change placement or timing.
+    """
+    if tracer.enabled:
+        for obj in read_objs:
+            with tracer.hint("will_read", obj):
+                policy.will_read(obj)
+        for obj in write_objs:
+            with tracer.hint("will_write", obj):
+                policy.will_write(obj)
+    else:
+        for obj in read_objs:
+            policy.will_read(obj)
+        for obj in write_objs:
+            policy.will_write(obj)
+
+
+def resolve_residency(
+    policy: Policy,
+    tracer: "tracing.Tracer | tracing.NullTracer",
+    intents: Iterable[tuple[MemObject, AccessIntent]],
+    pinned: list[MemObject],
+) -> None:
+    """Ensure residency for each ``(object, intent)`` pair and pin it.
+
+    Objects are appended to ``pinned`` as they are pinned, so a failure
+    mid-way leaves the caller able to unpin exactly what was pinned. The
+    traced and untraced branches are kept separate for the same zero-cost
+    reason as :func:`issue_hints`; this helper is the single definition both
+    the :class:`Session` kernel scope and the trace executor share.
+    """
+    if tracer.enabled:
+        for obj, intent in intents:
+            with tracer.scope(RESIDENCY_LABELS[intent], obj):
+                policy.ensure_resident(obj, intent)
+            obj.pin()
+            pinned.append(obj)
+    else:
+        for obj, intent in intents:
+            policy.ensure_resident(obj, intent)
+            obj.pin()
+            pinned.append(obj)
 
 
 @dataclass
@@ -82,13 +152,18 @@ class SessionConfig:
         return built
 
 
-class Session:
-    """The CachedArrays runtime: devices + data manager + policy."""
+class SharedRuntime:
+    """The mechanism layer one memory system exposes to every tenant.
+
+    Owns the devices, heaps, clock, copy engine, data manager, metrics,
+    and tracer. Tenants attach through :meth:`session`, each bringing its
+    own policy; they contend for the same heaps and DMA channels, so one
+    tenant's pressure is visible to every other tenant's policy.
+    """
 
     def __init__(
         self,
         config: SessionConfig | None = None,
-        policy: Policy | None = None,
         *,
         tracer: "tracing.Tracer | tracing.NullTracer | None" = None,
         injector: object | None = None,
@@ -111,7 +186,7 @@ class Session:
             )
         self.tracer = tracer
         # Chaos mode (docs/robustness.md): a FaultInjector wired through the
-        # mechanism layer as a duck-typed hook. The session is the only place
+        # mechanism layer as a duck-typed hook. The runtime is the only place
         # that knows about it, so the firewall (mechanism never imports
         # repro.faults) holds.
         self.injector = injector
@@ -137,11 +212,31 @@ class Session:
         self.manager = DataManager(
             self.heaps, self.engine, tracer=self.tracer, metrics=self.metrics
         )
-        if policy is None:
-            policy = self._default_policy(names)
-        self.policy = policy
-        self.policy.bind(self.manager)
-        self._arrays: dict[int, CachedArray] = {}
+
+    # -- tenant attachment ----------------------------------------------------
+
+    def session(
+        self,
+        policy: Policy | None = None,
+        *,
+        tenant: str = "",
+        dram_quota: int | str | None = None,
+    ) -> "Session":
+        """Attach a tenant: a :class:`Session` view with its own policy."""
+        return Session(
+            policy=policy, runtime=self, tenant=tenant, dram_quota=dram_quota
+        )
+
+    def activate(self, tenant: str) -> None:
+        """Make ``tenant`` the accounting principal for new allocations.
+
+        The multi-stream scheduler calls this on every stream activation so
+        DRAM-quota charging follows whichever tenant is currently running.
+        """
+        self.manager.active_tenant = tenant
+
+    def default_policy(self) -> Policy:
+        return self._default_policy(list(self.heaps))
 
     @staticmethod
     def _default_policy(names: list[str]) -> Policy:
@@ -154,6 +249,119 @@ class Session:
         raise ConfigurationError(
             f"no default policy for device set {names}; pass one explicitly"
         )
+
+    # -- shared state ---------------------------------------------------------
+
+    @property
+    def is_real(self) -> bool:
+        return all(h.device.is_real for h in self.heaps.values())
+
+    def heap(self, device: str) -> Heap:
+        return self.manager.heap(device)
+
+    def traffic(self) -> dict[str, TrafficSnapshot]:
+        return {name: heap.traffic.snapshot() for name, heap in self.heaps.items()}
+
+    def occupancy(self) -> dict[str, int]:
+        return {name: heap.used_bytes for name, heap in self.heaps.items()}
+
+    def defragment(self) -> dict[str, int]:
+        """Compact every heap (the paper's between-iteration housekeeping)."""
+        return {name: self.manager.defragment(name) for name in self.heaps}
+
+    def close(self) -> None:
+        self.engine.shutdown()
+
+    def __enter__(self) -> "SharedRuntime":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class Session:
+    """A tenant's view of the CachedArrays runtime: one bound policy.
+
+    Standalone use (``Session(config)``) builds a private
+    :class:`SharedRuntime`; multi-tenant use attaches to an existing one via
+    :meth:`SharedRuntime.session`, which namespaces object names with the
+    tenant id and can cap the tenant's DRAM footprint.
+    """
+
+    def __init__(
+        self,
+        config: SessionConfig | None = None,
+        policy: Policy | None = None,
+        *,
+        tracer: "tracing.Tracer | tracing.NullTracer | None" = None,
+        injector: object | None = None,
+        runtime: SharedRuntime | None = None,
+        tenant: str = "",
+        dram_quota: int | str | None = None,
+    ) -> None:
+        if runtime is None:
+            runtime = SharedRuntime(config, tracer=tracer, injector=injector)
+            self._owns_runtime = True
+        else:
+            if config is not None or tracer is not None or injector is not None:
+                raise ConfigurationError(
+                    "config/tracer/injector belong to the SharedRuntime; "
+                    "configure them there"
+                )
+            self._owns_runtime = False
+        self.runtime = runtime
+        self.tenant = tenant
+        if dram_quota is not None:
+            runtime.manager.set_quota(tenant, "DRAM", parse_size(dram_quota))
+        if policy is None:
+            policy = runtime.default_policy()
+        self.policy = policy
+        self.policy.bind(runtime.manager)
+        self._arrays: dict[int, CachedArray] = {}
+
+    # -- delegation to the shared runtime ------------------------------------
+
+    @property
+    def config(self) -> SessionConfig:
+        return self.runtime.config
+
+    @property
+    def clock(self) -> SimClock:
+        return self.runtime.clock
+
+    @property
+    def tracer(self) -> "tracing.Tracer | tracing.NullTracer":
+        return self.runtime.tracer
+
+    @property
+    def injector(self) -> object | None:
+        return self.runtime.injector
+
+    @property
+    def heaps(self) -> dict[str, Heap]:
+        return self.runtime.heaps
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        return self.runtime.metrics
+
+    @property
+    def engine(self) -> CopyEngine:
+        return self.runtime.engine
+
+    @property
+    def manager(self) -> DataManager:
+        return self.runtime.manager
+
+    # -- object namespace -----------------------------------------------------
+
+    def qualify(self, name: str) -> str:
+        """The tenant-namespaced form of an object name."""
+        return f"{self.tenant}/{name}" if self.tenant else name
+
+    def new_object(self, nbytes: int, name: str = "") -> MemObject:
+        """Register a tenant-namespaced logical object with the manager."""
+        return self.runtime.manager.new_object(nbytes, self.qualify(name))
 
     # -- array creation ---------------------------------------------------------
 
@@ -169,7 +377,7 @@ class Session:
             shape = (shape,)
         dt = np.dtype(dtype)
         nbytes = int(math.prod(shape)) * dt.itemsize
-        obj = self.manager.new_object(nbytes, name)
+        obj = self.new_object(nbytes, name)
         try:
             with self.tracer.scope("place", obj):
                 self.policy.place(obj)
@@ -231,23 +439,8 @@ class Session:
         read_objs = [a.obj for a in reads]
         write_objs = [a.obj for a in writes]
         tracer = self.tracer
-        # Untraced sessions (the default) skip the no-op scope/hint context
-        # managers; both branches drive the policy identically, so tracing
-        # cannot change placement (same split as CachedArraysAdapter.kernel).
-        traced = tracer.enabled
         if hints:
-            if traced:
-                for obj in read_objs:
-                    with tracer.hint("will_read", obj):
-                        self.policy.will_read(obj)
-                for obj in write_objs:
-                    with tracer.hint("will_write", obj):
-                        self.policy.will_write(obj)
-            else:
-                for obj in read_objs:
-                    self.policy.will_read(obj)
-                for obj in write_objs:
-                    self.policy.will_write(obj)
+            issue_hints(self.policy, tracer, read_objs, write_objs)
         pinned: list[MemObject] = []
         # Resolve residency once per unique object; write intent dominates
         # when an operand is both read and written (in-place updates).
@@ -257,17 +450,7 @@ class Session:
         for obj in write_objs:
             intents[obj.id] = (obj, AccessIntent.WRITE)
         try:
-            if traced:
-                for obj, intent in intents.values():
-                    with tracer.scope(RESIDENCY_LABELS[intent], obj):
-                        self.policy.ensure_resident(obj, intent)
-                    obj.pin()
-                    pinned.append(obj)
-            else:
-                for obj, intent in intents.values():
-                    self.policy.ensure_resident(obj, intent)
-                    obj.pin()
-                    pinned.append(obj)
+            resolve_residency(self.policy, tracer, intents.values(), pinned)
             if self.is_real:
                 yield [a.view() for a in reads], [a.view() for a in writes]
             else:
@@ -281,26 +464,29 @@ class Session:
 
     @property
     def is_real(self) -> bool:
-        return all(h.device.is_real for h in self.heaps.values())
+        return self.runtime.is_real
 
     def heap(self, device: str) -> Heap:
         return self.manager.heap(device)
 
     def traffic(self) -> dict[str, TrafficSnapshot]:
-        return {name: heap.traffic.snapshot() for name, heap in self.heaps.items()}
+        return self.runtime.traffic()
 
     def occupancy(self) -> dict[str, int]:
-        return {name: heap.used_bytes for name, heap in self.heaps.items()}
+        return self.runtime.occupancy()
 
     def defragment(self) -> dict[str, int]:
         """Compact every heap (the paper's between-iteration housekeeping)."""
-        return {name: self.manager.defragment(name) for name in self.heaps}
+        return self.runtime.defragment()
 
     def describe(self) -> str:
         """A human-readable snapshot of the session's memory state."""
         from repro.units import format_size
 
-        lines = [f"Session ({type(self.policy).__name__})"]
+        title = f"Session ({type(self.policy).__name__})"
+        if self.tenant:
+            title += f" tenant={self.tenant}"
+        lines = [title]
         for name, heap in self.heaps.items():
             stats = heap.stats()
             lines.append(
@@ -319,7 +505,9 @@ class Session:
         return "\n".join(lines)
 
     def close(self) -> None:
-        self.engine.shutdown()
+        """Shut the runtime down — only when this session owns it."""
+        if self._owns_runtime:
+            self.runtime.close()
 
     def __enter__(self) -> "Session":
         return self

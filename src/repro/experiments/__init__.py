@@ -8,6 +8,7 @@ machinery (mode construction, scaling, device sizing) lives in
 EXPERIMENTS.md for paper-vs-measured values.
 """
 
+from repro.experiments.colo import ColoResult, TenantOutcome, run_colo
 from repro.experiments.common import (
     ExperimentConfig,
     ModeResult,
@@ -15,4 +16,12 @@ from repro.experiments.common import (
     run_modes,
 )
 
-__all__ = ["ExperimentConfig", "ModeResult", "run_mode", "run_modes"]
+__all__ = [
+    "ColoResult",
+    "ExperimentConfig",
+    "ModeResult",
+    "TenantOutcome",
+    "run_colo",
+    "run_mode",
+    "run_modes",
+]

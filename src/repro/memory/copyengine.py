@@ -29,7 +29,7 @@ from repro.errors import ConfigurationError, CopyError
 from repro.memory.device import MemoryKind
 from repro.memory.heap import Heap
 from repro.sim.bandwidth import DegradedBandwidth, copy_time, optimal_copy_threads
-from repro.sim.clock import SimClock
+from repro.sim.clock import SimClock, snap_residue
 from repro.telemetry import trace as tracing
 from repro.units import MiB
 
@@ -44,7 +44,8 @@ class CopyRecord:
 
     ``completes_at`` is the virtual time the destination's contents become
     valid: equal to "now" for synchronous copies, later for asynchronous
-    ones queued on the DMA channel.
+    ones queued on the DMA channel. Always populated — consumers (ledger,
+    export) never need to special-case a missing value.
     """
 
     source: str
@@ -53,7 +54,7 @@ class CopyRecord:
     threads: int
     seconds: float
     nt_stores: bool
-    completes_at: float = 0.0
+    completes_at: float
 
 
 class CopyEngine:
@@ -114,6 +115,9 @@ class CopyEngine:
         # tagged with a sequence id so exporters can pair them as async spans.
         self.tracer = tracer if tracer is not None else tracing.NULL_TRACER
         self._copy_seq = 0
+        # In-flight copy payloads for stall attribution (tracing only):
+        # (completes_at, label) pairs registered via note_pending.
+        self._inflight: list[tuple[float, str]] = []
 
     # -- thread tuning ------------------------------------------------------
 
@@ -379,8 +383,31 @@ class CopyEngine:
         return max(self._channel_free_at.values(), default=0.0)
 
     def drain_wait(self) -> float:
-        """Seconds the caller must wait (from now) for all queued copies."""
-        return max(0.0, self.pending_until - self.clock.now)
+        """Seconds the caller must wait (from now) for all queued copies.
+
+        Clamped at the source: accumulated ``completes_at`` arithmetic can
+        drift a few ULPs past the clock, and charging those residues as
+        real waits would litter traces with denormal-length stalls.
+        """
+        return snap_residue(self.pending_until - self.clock.now, self.clock.now)
+
+    def note_pending(self, completes_at: float, label: str) -> None:
+        """Register an in-flight copy's payload for stall attribution.
+
+        Tracing-only bookkeeping — callers should skip it when the tracer
+        is disabled so the untraced hot path stays allocation-free.
+        """
+        self._inflight.append((completes_at, label))
+
+    def pending_labels(self, now: float) -> list[tuple[str, float]]:
+        """``(label, remaining_seconds)`` per copy still in flight at ``now``.
+
+        Prunes entries that have already landed, so the list stays bounded
+        by the DMA channels' queue depth.
+        """
+        alive = [(t, label) for t, label in self._inflight if t > now]
+        self._inflight = alive
+        return [(label, t - now) for t, label in alive]
 
     def shutdown(self) -> None:
         """Tear down the worker pool (idempotent)."""

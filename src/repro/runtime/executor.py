@@ -23,12 +23,13 @@ from dataclasses import dataclass, field
 
 from repro.core.object import MemObject
 from repro.core.policy_api import AccessIntent
-from repro.core.session import RESIDENCY_LABELS, Session
+from repro.core.session import Session, issue_hints, resolve_residency
 from repro.errors import OutOfMemoryError, TraceError
 from repro.runtime.gc import GarbageCollector, GcConfig
 from repro.runtime.recovery import LadderHooks, recover_allocation
 from repro.runtime.kernel import ExecutionParams, KernelTiming, kernel_timing
-from repro.sim.clock import SimClock
+from repro.runtime.scheduler import StreamGen, StreamScheduler
+from repro.sim.clock import SimClock, snap_residue
 from repro.telemetry import trace as tracing
 from repro.telemetry.counters import TrafficSnapshot
 from repro.telemetry.timeline import Timeline
@@ -142,7 +143,7 @@ class CachedArraysAdapter(SystemAdapter):
         self._kernel_count = 0
 
     def alloc(self, spec: TensorSpec) -> None:
-        obj = self.session.manager.new_object(spec.nbytes, spec.name)
+        obj = self.session.new_object(spec.nbytes, spec.name)
         try:
             with self.tracer.scope("place", spec.name):
                 self.session.policy.place(obj)
@@ -177,28 +178,11 @@ class CachedArraysAdapter(SystemAdapter):
     def kernel(self, kernel: Kernel, trace: KernelTrace) -> KernelTiming:
         policy = self.session.policy
         tracer = self.tracer
-        # The untraced run (the default for every figure) skips scope/hint
-        # context managers entirely rather than entering no-op ones: this
-        # method runs once per kernel and the manager overhead was visible
-        # in profiles. Both branches drive the policy identically, so
-        # enabling tracing cannot change placement or timing.
-        traced = tracer.enabled
         objects = self.objects
         read_objs = [objects[name] for name in kernel.reads]
         write_objs = [objects[name] for name in kernel.writes]
         if kernel.hinted:
-            if traced:
-                for obj in read_objs:
-                    with tracer.hint("will_read", obj):
-                        policy.will_read(obj)
-                for obj in write_objs:
-                    with tracer.hint("will_write", obj):
-                        policy.will_write(obj)
-            else:
-                for obj in read_objs:
-                    policy.will_read(obj)
-                for obj in write_objs:
-                    policy.will_write(obj)
+            issue_hints(policy, tracer, read_objs, write_objs)
         pinned: list[MemObject] = []
         # Residency is resolved once per unique object (write intent wins
         # for read+write operands) and pinned immediately, so no later
@@ -209,24 +193,16 @@ class CachedArraysAdapter(SystemAdapter):
         for obj in write_objs:
             intents[obj.id] = (obj, AccessIntent.WRITE)
         try:
-            if traced:
-                for obj, intent in intents.values():
-                    with tracer.scope(RESIDENCY_LABELS[intent], obj):
-                        policy.ensure_resident(obj, intent)
-                    obj.pin()
-                    pinned.append(obj)
-            else:
-                for obj, intent in intents.values():
-                    policy.ensure_resident(obj, intent)
-                    obj.pin()
-                    pinned.append(obj)
+            resolve_residency(policy, tracer, intents.values(), pinned)
             # Asynchronous movement: the kernel cannot start until every
-            # operand's in-flight copy has completed.
+            # operand's in-flight copy has completed. The wait is clamped
+            # at the source: ready_at sums can drift a few ULPs past the
+            # clock, and those residues are not real stalls.
             ready_at = max(
                 (obj.primary.ready_at for obj in pinned if obj.primary), default=0.0
             )
-            if ready_at > self.clock.now:
-                wait = ready_at - self.clock.now
+            wait = snap_residue(ready_at - self.clock.now, self.clock.now)
+            if wait > 0:
                 if tracer.enabled:
                     # Charge the stall to the operands still in flight,
                     # proportionally to how late each one is — the ledger
@@ -303,9 +279,29 @@ class CachedArraysAdapter(SystemAdapter):
     def iteration_end(self) -> None:
         # Drain the DMA channel: an iteration is not over until its queued
         # evictions/prefetches have landed.
-        drain = self.session.engine.drain_wait()
+        engine = self.session.engine
+        drain = engine.drain_wait()
         if drain > 0:
-            self.clock.advance(drain, MOVEMENT_WAIT)
+            tracer = self.tracer
+            if tracer.enabled:
+                # Blame the drain on the objects still in flight,
+                # proportionally to how late each one lands (same charging
+                # scheme as the kernel-entry stall above).
+                late = engine.pending_labels(self.clock.now)
+                total_late = sum(remaining for _, remaining in late)
+                self.clock.advance(drain, MOVEMENT_WAIT)
+                tracer.emit(
+                    tracing.STALL,
+                    kernel="iter_end_drain",
+                    seconds=drain,
+                    objects=[name for name, _ in late],
+                    charged=[
+                        drain * remaining / total_late
+                        for _, remaining in late
+                    ] if total_late > 0 else [],
+                )
+            else:
+                self.clock.advance(drain, MOVEMENT_WAIT)
         self.session.defragment()
         self.session.policy.on_iteration_end()
 
@@ -335,7 +331,7 @@ class CachedArraysAdapter(SystemAdapter):
             region = manager.try_allocate(device, spec.nbytes)
             if region is None:
                 continue
-            obj = manager.new_object(spec.nbytes, spec.name)
+            obj = self.session.new_object(spec.nbytes, spec.name)
             manager.setprimary(obj, region)
             self.objects[spec.name] = obj
             return True
@@ -516,6 +512,7 @@ class Executor:
         *,
         gc_config: GcConfig | None = None,
         sample_timeline: bool = True,
+        stream_name: str = "",
     ) -> None:
         self.adapter = adapter
         self.gc = GarbageCollector(
@@ -524,6 +521,12 @@ class Executor:
             live_objects=adapter.live_count,
         )
         self.sample_timeline = sample_timeline
+        # Multi-tenant runs name each executor's stream; timeline tracks
+        # are prefixed with it so per-tenant series stay monotonic and
+        # distinguishable after merging. Empty (the default) leaves track
+        # names exactly as the single-tenant runtime produced them.
+        self.stream_name = stream_name
+        self._track_prefix = f"{stream_name}/" if stream_name else ""
         self._timelines: dict[str, Timeline] = {}
 
     # -- event handlers -------------------------------------------------------
@@ -575,21 +578,24 @@ class Executor:
     def _sample(self, label: str = "") -> None:
         if not self.sample_timeline:
             return
+        prefix = self._track_prefix
         now = self.adapter.clock.now
         occupancy = self.adapter.occupancy()
         total = 0
         for device, used in occupancy.items():
-            self._timelines.setdefault(device, Timeline(device)).record(
+            key = prefix + device
+            self._timelines.setdefault(key, Timeline(key)).record(
                 now, used, label
             )
             total += used
-        self._timelines.setdefault("total", Timeline("total")).record(
+        total_key = prefix + "total"
+        self._timelines.setdefault(total_key, Timeline(total_key)).record(
             now, total, label
         )
         # Cumulative traffic per device: windowed differencing turns these
         # into utilisation-over-time series (telemetry.stats.windowed_rate).
         for device, snap in self.adapter.traffic().items():
-            key = f"traffic:{device}"
+            key = f"{prefix}traffic:{device}"
             self._timelines.setdefault(key, Timeline(key)).record(
                 now, snap.total_bytes, label
             )
@@ -597,7 +603,32 @@ class Executor:
     # -- the run loop -------------------------------------------------------------
 
     def run(self, trace: KernelTrace, iterations: int = 1) -> RunResult:
-        """Execute ``iterations`` repetitions of the (annotated) trace."""
+        """Execute ``iterations`` repetitions of the (annotated) trace.
+
+        Single-stream convenience driver: spawns :meth:`stream` on a private
+        :class:`StreamScheduler`, whose one-stream fast path replays the
+        yielded kernel advances in exactly the historical sequential order.
+        Co-running workloads spawn several executors' streams on one shared
+        scheduler instead (see :mod:`repro.experiments.colo`).
+        """
+        scheduler = StreamScheduler(
+            self.adapter.clock, tracer=self.adapter.tracer
+        )
+        stream = scheduler.spawn(self.stream_name, self.stream(trace, iterations))
+        scheduler.run()
+        return stream.result
+
+    def stream(self, trace: KernelTrace, iterations: int = 1) -> StreamGen:
+        """The run loop as a resumable stream generator.
+
+        Walks the trace exactly like the historical ``run`` loop, but every
+        kernel's duration is **yielded to the scheduler** as an
+        ``(seconds, category)`` advance request instead of being applied to
+        the clock here. Everything between two yields — hints, residency
+        resolution, synchronous copies, stalls, GC — runs atomically at the
+        stream's local time. Returns the :class:`RunResult` via
+        ``StopIteration.value``.
+        """
         if iterations < 1:
             raise TraceError(f"need at least one iteration, got {iterations}")
         results: list[IterationResult] = []
@@ -626,7 +657,9 @@ class Executor:
                     if traced:
                         tracer.emit(tracing.KERNEL_START, kernel=event.name)
                     timing = adapter_kernel(event, trace)
-                    clock.advance(timing.total, KERNEL)
+                    # Yield the kernel's duration to the scheduler; other
+                    # streams may run before this one resumes.
+                    yield timing.total, KERNEL
                     if traced:
                         tracer.emit(
                             tracing.KERNEL_END,

@@ -1,0 +1,212 @@
+"""The multi-stream scheduler: concurrent tenant workloads on one runtime.
+
+The executor expresses a workload as a *stream*: a generator that performs
+trace events against its adapter and, at every kernel boundary, **yields the
+kernel's duration to the scheduler** instead of advancing the clock itself
+(``yield (seconds, category)``). The scheduler owns the shared
+:class:`~repro.sim.clock.SimClock` and an
+:class:`~repro.sim.events.EventQueue`; it repeatedly:
+
+1. pops the stream with the earliest local virtual time (FIFO among ties);
+2. *activates* it — seeks the clock to the stream's local time, binds the
+   stream's private busy map, tags the tracer so every event emitted during
+   the step carries the stream id, and announces the tenant to the data
+   manager for quota accounting;
+3. resumes the generator for one step (everything up to its next yield runs
+   atomically at the stream's advancing local time: allocations, hints,
+   synchronous copies, stalls);
+4. applies the yielded duration with ``clock.advance`` and requeues the
+   stream at its new local time.
+
+**Granularity.** Streams interleave at kernel-yield granularity: the stream
+with the smallest local time always runs next, and everything inside one
+step is atomic. Cross-stream interactions (heap pressure, DMA-channel
+queueing) are therefore ordered by step start times, deterministic across
+runs — the conservative coarse-grain discretisation heterogeneous-memory
+simulators typically use.
+
+**Single-stream reduction.** With exactly one stream the scheduler has
+nothing to arbitrate: it resumes the lone generator in a loop, applies each
+yielded advance immediately, and never seeks the clock (a stream's resume
+time always equals ``clock.now``) nor binds a private busy map. The
+resulting sequence of clock operations is exactly the pre-scheduler
+``Executor.run`` loop — the golden virtual-time digests pin this.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator
+
+from repro.errors import ConfigurationError
+from repro.sim.clock import SimClock
+from repro.sim.events import EventQueue
+
+__all__ = ["Stream", "StreamScheduler"]
+
+# A stream generator yields (seconds, busy-category) advance requests and
+# returns its final result via StopIteration.value.
+StreamGen = Generator[tuple[float, str], None, Any]
+
+
+class Stream:
+    """One schedulable execution stream (a tenant's workload)."""
+
+    __slots__ = (
+        "name", "gen", "activate", "local_time", "busy",
+        "done", "result", "error",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        gen: StreamGen,
+        *,
+        activate: Callable[[], None] | None = None,
+    ) -> None:
+        self.name = name
+        self.gen = gen
+        # Optional per-activation hook (e.g. announce the tenant to the
+        # shared DataManager for quota accounting).
+        self.activate = activate
+        self.local_time = 0.0
+        # Per-stream busy-time accounting (bound into the clock while the
+        # stream runs, multi-stream schedules only).
+        self.busy: dict[str, float] = {}
+        self.done = False
+        self.result: Any = None
+        self.error: BaseException | None = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.done else f"t={self.local_time:.6f}"
+        return f"Stream({self.name!r}, {state})"
+
+
+class StreamScheduler:
+    """Drives one or more streams over a shared clock in virtual-time order."""
+
+    def __init__(self, clock: SimClock, *, tracer: Any = None) -> None:
+        self.clock = clock
+        # The tracer to tag with the active stream id; ``None`` or a
+        # disabled tracer is never touched.
+        self.tracer = tracer
+        self.streams: list[Stream] = []
+        self._started = False
+
+    def spawn(
+        self,
+        name: str,
+        gen: StreamGen,
+        *,
+        activate: Callable[[], None] | None = None,
+        start_time: float | None = None,
+    ) -> Stream:
+        """Register a stream; it becomes runnable at ``start_time``
+        (default: the clock's current time)."""
+        if self._started:
+            raise ConfigurationError("cannot spawn streams mid-run")
+        if any(s.name == name for s in self.streams):
+            raise ConfigurationError(f"duplicate stream name {name!r}")
+        stream = Stream(name, gen, activate=activate)
+        stream.local_time = (
+            self.clock.now if start_time is None else start_time
+        )
+        self.streams.append(stream)
+        return stream
+
+    def results(self) -> dict[str, Any]:
+        """Stream name -> generator return value (after :meth:`run`)."""
+        return {s.name: s.result for s in self.streams}
+
+    # -- driving ------------------------------------------------------------
+
+    def run(self) -> None:
+        """Run every stream to completion, interleaved in virtual-time order.
+
+        A stream that raises stops the whole schedule: concurrent tenants
+        share one memory system, so continuing past a corrupted step could
+        charge phantom time to the survivors. The exception propagates with
+        ``stream.error`` set for post-mortems.
+        """
+        if self._started:
+            raise ConfigurationError("scheduler already ran")
+        self._started = True
+        if not self.streams:
+            return
+        if len(self.streams) == 1:
+            self._run_single(self.streams[0])
+            return
+        self._run_many()
+
+    def _run_single(self, stream: Stream) -> None:
+        """The sequential fast path: no queue, no seeks, no busy rebinding.
+
+        Behaviour (and clock arithmetic) is bit-identical to the historical
+        single-loop executor: resume, advance by whatever was yielded,
+        repeat.
+        """
+        clock = self.clock
+        gen = stream.gen
+        self._tag(stream.name)
+        if stream.activate is not None:
+            # One activation is enough: no other stream ever takes over.
+            stream.activate()
+        try:
+            while True:
+                try:
+                    seconds, category = next(gen)
+                except StopIteration as stop:
+                    stream.result = stop.value
+                    stream.done = True
+                    break
+                if seconds:
+                    clock.advance(seconds, category)
+        except BaseException as exc:
+            stream.error = exc
+            raise
+        finally:
+            stream.local_time = clock.now
+            self._tag("")
+
+    def _run_many(self) -> None:
+        clock = self.clock
+        queue = EventQueue()
+        for stream in self.streams:
+            queue.push(stream.local_time, stream)
+        active: Stream | None = None
+        try:
+            while queue:
+                event = queue.pop()
+                stream = event.payload
+                active = stream
+                # Activate: the clock becomes this stream's local timeline.
+                clock.seek(event.time)
+                clock.bind_stream(stream.busy)
+                self._tag(stream.name)
+                if stream.activate is not None:
+                    stream.activate()
+                try:
+                    seconds, category = next(stream.gen)
+                except StopIteration as stop:
+                    stream.result = stop.value
+                    stream.done = True
+                    stream.local_time = clock.now
+                    continue
+                if seconds:
+                    clock.advance(seconds, category)
+                stream.local_time = clock.now
+                queue.push(stream.local_time, stream)
+        except BaseException as exc:
+            if active is not None:
+                active.error = exc
+            raise
+        finally:
+            clock.bind_stream(None)
+            self._tag("")
+            # Leave the clock at the frontier: the latest local time any
+            # stream reached (the co-run's end-to-end makespan).
+            clock.seek(max((s.local_time for s in self.streams), default=clock.now))
+
+    def _tag(self, name: str) -> None:
+        tracer = self.tracer
+        if tracer is not None and getattr(tracer, "enabled", False):
+            tracer.stream = name

@@ -13,20 +13,50 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["SimClock"]
+__all__ = ["SimClock", "snap_residue"]
+
+# Relative tolerance for floating-point residues in wait arithmetic.
+# Accumulated ``ready_at``/``pending_until`` sums can differ from the clock
+# by a few ULPs after an advance lands the clock "exactly" on a completion
+# time; treating those residues as real waits would charge spurious
+# denormal-length stalls. One part in 1e12 is ~4 orders of magnitude above
+# double rounding error and ~10 below any modelled duration.
+_RESIDUE_RTOL = 1e-12
+
+
+def snap_residue(wait: float, now: float) -> float:
+    """Clamp a float-drift residue ``wait`` (relative to time ``now``) to 0.
+
+    Negative waits and positive waits within rounding error of zero both
+    collapse to ``0.0``; genuine waits pass through untouched.
+    """
+    if wait <= (abs(now) + 1.0) * _RESIDUE_RTOL:
+        return 0.0
+    return wait
 
 
 @dataclass(slots=True)
 class SimClock:
-    """Monotonic virtual clock with per-category busy-time accounting.
+    """Stream-monotonic virtual clock with per-category busy accounting.
 
     Slotted: ``advance`` runs once per modelled duration (every kernel,
     copy chunk, and stall), so attribute access on ``now``/``_busy`` is a
     measured hot path.
+
+    With one execution stream (the default) the clock is strictly
+    monotonic. Under the multi-stream scheduler
+    (:mod:`repro.runtime.scheduler`), ``now`` is the *currently running*
+    stream's local time: the scheduler repositions it with :meth:`seek`
+    when switching streams, and each stream's own advances remain
+    monotonic. ``_stream_busy``, when set by the scheduler, additionally
+    accumulates busy time into the active stream's private map so
+    per-tenant accounting stays uncontaminated by other tenants' advances.
     """
 
     now: float = 0.0
     _busy: dict[str, float] = field(default_factory=dict)
+    # The active stream's private busy map (None outside the scheduler).
+    _stream_busy: dict[str, float] | None = None
 
     def advance(self, seconds: float, category: str = "other") -> float:
         """Advance the clock by ``seconds`` attributed to ``category``.
@@ -37,7 +67,23 @@ class SimClock:
             raise ValueError(f"cannot advance clock by {seconds} s")
         self.now += seconds
         self._busy[category] = self._busy.get(category, 0.0) + seconds
+        stream_busy = self._stream_busy
+        if stream_busy is not None:
+            stream_busy[category] = stream_busy.get(category, 0.0) + seconds
         return self.now
+
+    def seek(self, now: float) -> None:
+        """Reposition the clock to a stream's local time (scheduler only).
+
+        Unlike :meth:`advance` this moves in either direction and charges
+        no busy time: the scheduler is switching *which* stream's local
+        time ``now`` represents, not modelling elapsed work.
+        """
+        self.now = now
+
+    def bind_stream(self, busy: dict[str, float] | None) -> None:
+        """Point per-stream busy accounting at ``busy`` (None to detach)."""
+        self._stream_busy = busy
 
     def busy(self, category: str) -> float:
         """Total virtual time attributed to ``category`` so far."""
@@ -47,15 +93,27 @@ class SimClock:
         """A copy of the per-category busy-time map."""
         return dict(self._busy)
 
+    def _busy_map(self) -> dict[str, float]:
+        """The active accounting scope: the running stream's map when the
+        scheduler bound one, the global map otherwise."""
+        stream_busy = self._stream_busy
+        return self._busy if stream_busy is None else stream_busy
+
     def checkpoint(self) -> "ClockCheckpoint":
-        """Snapshot for computing deltas over a window (e.g. one iteration)."""
-        return ClockCheckpoint(now=self.now, busy=dict(self._busy))
+        """Snapshot for computing deltas over a window (e.g. one iteration).
+
+        Inside a scheduled stream the snapshot covers only that stream's
+        busy time, so a tenant's iteration metrics never absorb another
+        tenant's kernels or copies.
+        """
+        return ClockCheckpoint(now=self.now, busy=dict(self._busy_map()))
 
     def since(self, checkpoint: "ClockCheckpoint") -> "ClockDelta":
         """Elapsed time and per-category busy deltas since ``checkpoint``."""
+        current = self._busy_map()
         busy = {
-            key: self._busy.get(key, 0.0) - checkpoint.busy.get(key, 0.0)
-            for key in set(self._busy) | set(checkpoint.busy)
+            key: current.get(key, 0.0) - checkpoint.busy.get(key, 0.0)
+            for key in set(current) | set(checkpoint.busy)
         }
         return ClockDelta(elapsed=self.now - checkpoint.now, busy=busy)
 
@@ -63,6 +121,8 @@ class SimClock:
         """Rewind to time zero and clear accounting (between experiments)."""
         self.now = 0.0
         self._busy.clear()
+        if self._stream_busy is not None:
+            self._stream_busy.clear()
 
 
 @dataclass(frozen=True)

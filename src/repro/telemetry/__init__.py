@@ -18,6 +18,8 @@ from repro.telemetry.diff import (
     diff_runs,
     explain_run,
     parse_run,
+    stall_attribution,
+    streams_in,
 )
 from repro.telemetry.export import (
     JSONL_SCHEMA_VERSION,
@@ -92,4 +94,6 @@ __all__ = [
     "diff_runs",
     "explain_run",
     "parse_run",
+    "stall_attribution",
+    "streams_in",
 ]

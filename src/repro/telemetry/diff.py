@@ -45,7 +45,52 @@ __all__ = [
     "parse_run",
     "diff_runs",
     "explain_run",
+    "streams_in",
+    "stall_attribution",
 ]
+
+
+def streams_in(events: Iterable[TraceEvent]) -> list[str]:
+    """The named execution streams present in a trace, in sorted order.
+
+    Single-tenant traces (every event's ``stream`` empty) return ``[]``.
+    """
+    return sorted({e.stream for e in events if e.stream})
+
+
+def stall_attribution(events: Iterable[TraceEvent]) -> dict[str, Any]:
+    """How much STALL time is blamed on specific (stream, object) pairs.
+
+    Stall events carry ``objects`` (the operands still in flight) and
+    ``charged`` (that stall's seconds split proportionally among them).
+    The attributed fraction is the co-location acceptance gate: it should
+    sit near 1.0 because every async wait knows exactly which copies it is
+    waiting on; it drops only for stall events emitted without payload
+    attribution (e.g. by an out-of-tree adapter).
+    """
+    total = 0.0
+    pairs: dict[tuple[str, str], float] = {}
+    for event in events:
+        if event.kind != STALL:
+            continue
+        total += float(event.args.get("seconds", 0.0))
+        objects = event.args.get("objects") or ()
+        charged = event.args.get("charged") or ()
+        for name, seconds in zip(objects, charged):
+            key = (event.stream, str(name))
+            pairs[key] = pairs.get(key, 0.0) + float(seconds)
+    attributed = sum(pairs.values())
+    return {
+        "total_stall_seconds": total,
+        "attributed_seconds": attributed,
+        "attributed_fraction": attributed / total if total > 0 else 1.0,
+        "pairs": [
+            {"stream": stream, "object": name, "seconds": seconds}
+            for (stream, name), seconds in sorted(
+                pairs.items(), key=lambda item: (-item[1], item[0])
+            )
+        ],
+    }
 
 
 class KernelSpan:
@@ -109,14 +154,24 @@ class RunShape:
         return self.kernels[index].start - self.kernels[index - 1].end
 
 
-def parse_run(events: Iterable[TraceEvent]) -> RunShape:
-    """Fold an event stream into a :class:`RunShape` (single pass)."""
+def parse_run(
+    events: Iterable[TraceEvent], *, stream: str | None = None
+) -> RunShape:
+    """Fold an event stream into a :class:`RunShape` (single pass).
+
+    ``stream`` restricts the fold to one tenant's events: multi-stream
+    traces interleave several kernel sequences, so folding them unfiltered
+    would mispair kernel starts and ends across tenants. ``None`` (the
+    default) keeps every event — correct for single-stream traces.
+    """
     kernels: list[KernelSpan] = []
     gap_causes: dict[int, dict[str, list[float]]] = {}
     current: KernelSpan | None = None
     first_ts: float | None = None
     last_ts = 0.0
     for event in events:
+        if stream is not None and event.stream != stream:
+            continue
         if first_ts is None:
             first_ts = event.ts
         if event.ts > last_ts:
@@ -567,8 +622,17 @@ def explain_run(
     *,
     label: str = "run",
     ping_pong_window: int = 8,
+    stream: str | None = None,
 ) -> RunExplanation:
-    """Build the single-run explanation report."""
+    """Build the single-run explanation report.
+
+    Pass ``stream`` to scope the report to one tenant of a multi-stream
+    trace (kernel spans, ledger, and ping-pong analysis all filter to that
+    tenant's events).
+    """
+    if stream is not None:
+        events = [e for e in events if e.stream == stream]
+        label = f"{label}[{stream}]"
     return RunExplanation(
         label,
         parse_run(events),

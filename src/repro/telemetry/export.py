@@ -70,14 +70,15 @@ __all__ = [
 ]
 
 # Version of the JSONL stream layout. v1 (PR 1) had no header; v2 adds the
-# header line and the ledger-era event kinds (decision, setdirty). Readers
-# must tolerate *any* version: unknown kinds pass through as plain events
-# and unknown top-level fields land in ``args``.
-JSONL_SCHEMA_VERSION = 2
+# header line and the ledger-era event kinds (decision, setdirty); v3 adds
+# the optional ``stream`` field (multi-tenant runs). Readers must tolerate
+# *any* version: unknown kinds pass through as plain events and unknown
+# top-level fields land in ``args``.
+JSONL_SCHEMA_VERSION = 3
 
 # TraceEvent's own serialised fields; everything else in a JSONL object is a
 # kind-specific argument (or a field added by a future schema version).
-_EVENT_FIELDS = frozenset({"ts", "kind", "cause", "root", "root_ts"})
+_EVENT_FIELDS = frozenset({"ts", "kind", "cause", "root", "root_ts", "stream"})
 
 # Process/thread layout of the exported trace.
 PID_EXECUTION = 1
@@ -108,6 +109,8 @@ def _us(seconds: float) -> float:
 
 def _args_of(event: TraceEvent) -> dict:
     args = dict(event.args)
+    if event.stream:
+        args["stream"] = event.stream
     if event.cause:
         args["cause"] = event.cause
     if event.root:
@@ -139,21 +142,33 @@ def to_chrome_trace(
     """Build a Chrome trace-event document from a tracer's event list."""
     out: list[dict] = []
     devices = _DeviceTracks()
-    kernel_stack: list[TraceEvent] = []
+    # Kernel spans pair start/end per stream: interleaved tenants each get
+    # their own stack and their own kernel lane. The streamless (single-
+    # tenant) case keeps the historical TID_KERNELS lane.
+    kernel_stacks: dict[str, list[TraceEvent]] = {}
+    stream_tids: dict[str, int] = {"": TID_KERNELS}
+
+    def kernel_tid(stream: str) -> int:
+        tid = stream_tids.get(stream)
+        if tid is None:
+            # Named streams land on tids above the fixed runtime lane.
+            tid = stream_tids[stream] = TID_RUNTIME + len(stream_tids)
+        return tid
 
     for event in events:
         ts = _us(event.ts)
         if event.kind == KERNEL_START:
-            kernel_stack.append(event)
+            kernel_stacks.setdefault(event.stream, []).append(event)
         elif event.kind == KERNEL_END:
-            start = kernel_stack.pop() if kernel_stack else event
+            stack = kernel_stacks.get(event.stream)
+            start = stack.pop() if stack else event
             out.append(
                 {
                     "ph": "X",
                     "ts": _us(start.ts),
                     "dur": round(ts - _us(start.ts), 3),
                     "pid": PID_EXECUTION,
-                    "tid": TID_KERNELS,
+                    "tid": kernel_tid(event.stream),
                     "name": str(event.args.get("kernel", "kernel")),
                     "cat": "kernel",
                     "args": _args_of(event),
@@ -257,11 +272,16 @@ def to_chrome_trace(
                 "args": {"name": name},
             }
         )
+    stream_lanes = tuple(
+        (PID_EXECUTION, tid, f"kernels:{stream}")
+        for stream, tid in stream_tids.items()
+        if stream
+    )
     for thread_meta in (
         (PID_EXECUTION, TID_KERNELS, "kernels"),
         (PID_EXECUTION, TID_RUNTIME, "runtime"),
         (PID_POLICY, 1, "decisions"),
-    ):
+    ) + stream_lanes:
         pid, tid, name = thread_meta
         meta.append(
             {
@@ -331,6 +351,7 @@ def event_from_json(data: dict) -> TraceEvent:
         cause=str(data.get("cause", "")),
         root=str(data.get("root", "")),
         root_ts=data.get("root_ts"),
+        stream=str(data.get("stream", "")),
     )
 
 

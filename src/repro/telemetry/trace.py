@@ -110,7 +110,10 @@ class TraceEvent:
     ``args`` carries the kind-specific payload (device, byte counts, ...).
     ``cause``/``root`` are the innermost/outermost attribution scopes active
     at emission time; ``root_ts`` is the virtual time the root scope opened
-    (the hint-to-movement latency baseline).
+    (the hint-to-movement latency baseline). ``stream`` is the execution
+    stream (tenant) the event belongs to — empty in single-stream runs,
+    the tenant id under the multi-stream scheduler, which retags the
+    tracer on every stream switch.
 
     A hand-rolled ``__slots__`` class rather than a dataclass: event
     construction is the single hottest allocation in an enabled-tracer run
@@ -119,7 +122,7 @@ class TraceEvent:
     cuts emission cost. Events are treated as immutable by convention.
     """
 
-    __slots__ = ("ts", "kind", "args", "cause", "root", "root_ts")
+    __slots__ = ("ts", "kind", "args", "cause", "root", "root_ts", "stream")
 
     def __init__(
         self,
@@ -129,6 +132,7 @@ class TraceEvent:
         cause: str = "",
         root: str = "",
         root_ts: float | None = None,
+        stream: str = "",
     ) -> None:
         self.ts = ts
         self.kind = kind
@@ -136,12 +140,13 @@ class TraceEvent:
         self.cause = cause
         self.root = root
         self.root_ts = root_ts
+        self.stream = stream
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"TraceEvent(ts={self.ts!r}, kind={self.kind!r}, "
             f"args={self.args!r}, cause={self.cause!r}, root={self.root!r}, "
-            f"root_ts={self.root_ts!r})"
+            f"root_ts={self.root_ts!r}, stream={self.stream!r})"
         )
 
     def __eq__(self, other: object) -> bool:
@@ -154,11 +159,14 @@ class TraceEvent:
             and self.cause == other.cause
             and self.root == other.root
             and self.root_ts == other.root_ts
+            and self.stream == other.stream
         )
 
     def to_json(self) -> dict[str, Any]:
         """A flat, JSON-serialisable view (stable key order via sorting)."""
         out: dict[str, Any] = {"ts": self.ts, "kind": self.kind}
+        if self.stream:
+            out["stream"] = self.stream
         if self.cause:
             out["cause"] = self.cause
         if self.root:
@@ -212,6 +220,9 @@ class Tracer:
         self.events: list[TraceEvent] = []
         # (label, open-time) pairs, outermost first.
         self._scopes: list[tuple[str, float]] = []
+        # The active execution stream (tenant); the multi-stream scheduler
+        # retags this on every stream switch so events self-identify.
+        self.stream = ""
 
     # -- emission -----------------------------------------------------------
 
@@ -225,7 +236,9 @@ class Tracer:
             root, root_ts = scopes[0]
         else:
             cause, root, root_ts = "", "", None
-        event = TraceEvent(self.clock.now, kind, args, cause, root, root_ts)
+        event = TraceEvent(
+            self.clock.now, kind, args, cause, root, root_ts, self.stream
+        )
         self.events.append(event)
         return event
 
@@ -237,7 +250,7 @@ class Tracer:
             root, root_ts = scopes[0]
         else:
             cause, root, root_ts = "", "", None
-        event = TraceEvent(ts, kind, args, cause, root, root_ts)
+        event = TraceEvent(ts, kind, args, cause, root, root_ts, self.stream)
         self.events.append(event)
         return event
 
@@ -286,6 +299,7 @@ class NullTracer:
     events: tuple[TraceEvent, ...] = ()
     cause = ""
     root = ""
+    stream = ""
 
     def emit(self, kind: str, **args: Any) -> None:
         return None

@@ -106,3 +106,68 @@ def test_profile_unknown_model_returns_2(capsys):
 def test_profile_requires_model():
     with pytest.raises(SystemExit):
         main(["profile"])
+
+
+def test_colo_text_report(capsys):
+    assert main(["colo", "--scale", "4096", "--iterations", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "Co-located tenants" in out
+    assert "cnn" in out and "dlrm" in out
+    assert "fairness" in out
+    assert "digest" in out
+
+
+def test_colo_json_report(capsys):
+    import json
+
+    assert main(["colo", "--scale", "4096", "--iterations", "1", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert set(payload["tenants"]) == {"cnn", "dlrm"}
+    assert payload["attributed_stall_fraction"] >= 0.0
+    assert len(payload["digest"]) == 64
+
+
+def test_colo_unknown_tenant_returns_2(capsys):
+    assert main(["colo", "--tenants", "cnn,bogus", "--scale", "4096"]) == 2
+    assert "unknown workload" in capsys.readouterr().err
+
+
+def test_explain_renders_per_stream_reports(tmp_path, capsys):
+    import io
+    import json
+
+    from repro.telemetry.export import write_jsonl
+    from repro.telemetry.trace import TraceEvent
+
+    events = []
+    for stream, kernel in (("a", "ka"), ("b", "kb")):
+        events.append(
+            TraceEvent(0.0, "kernel_start", {"kernel": kernel}, stream=stream)
+        )
+        events.append(
+            TraceEvent(
+                1.0,
+                "kernel_end",
+                {"kernel": kernel, "seconds": 1.0, "compute": 1.0, "memory": 0.0},
+                stream=stream,
+            )
+        )
+    events.append(
+        TraceEvent(
+            1.5,
+            "stall",
+            {"kernel": "ka", "seconds": 0.5, "objects": ["b/x"],
+             "charged": [0.5]},
+            stream="a",
+        )
+    )
+    path = tmp_path / "multi.jsonl"
+    with open(path, "w", encoding="utf-8") as fp:
+        write_jsonl(events, fp)
+    assert main(["explain", str(path), "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert set(payload["streams"]) == {"a", "b"}
+    attribution = payload["stall_attribution"]
+    assert attribution["attributed_fraction"] == 1.0
+    assert attribution["pairs"][0]["stream"] == "a"
+    assert attribution["pairs"][0]["object"] == "b/x"

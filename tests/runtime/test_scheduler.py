@@ -1,0 +1,218 @@
+"""The multi-stream scheduler: interleaving, determinism, reduction."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runtime.scheduler import StreamScheduler
+from repro.sim.clock import SimClock
+
+
+def make_stream(log, name, durations, *, category="kernel"):
+    """A stream that records (name, step, clock-now-at-resume) per step."""
+
+    def gen(clock):
+        for index, seconds in enumerate(durations):
+            log.append((name, index, clock.now))
+            yield seconds, category
+        return f"{name}-done"
+
+    return gen
+
+
+class TestSingleStream:
+    def test_matches_manual_sequential_loop(self):
+        reference = SimClock()
+        for seconds in (1.0, 2.0, 0.5):
+            reference.advance(seconds, "kernel")
+
+        clock = SimClock()
+        scheduler = StreamScheduler(clock)
+        log: list = []
+        stream = scheduler.spawn("", make_stream(log, "solo", [1.0, 2.0, 0.5])(clock))
+        scheduler.run()
+        assert clock.now == reference.now
+        assert clock.categories() == reference.categories()
+        assert stream.result == "solo-done"
+        assert stream.done
+
+    def test_result_captured_from_return(self):
+        clock = SimClock()
+        scheduler = StreamScheduler(clock)
+
+        def gen():
+            yield 1.0, "kernel"
+            return {"answer": 42}
+
+        stream = scheduler.spawn("s", gen())
+        scheduler.run()
+        assert stream.result == {"answer": 42}
+        assert scheduler.results() == {"s": {"answer": 42}}
+
+    def test_activate_hook_runs(self):
+        clock = SimClock()
+        scheduler = StreamScheduler(clock)
+        calls = []
+
+        def gen():
+            yield 1.0, "kernel"
+            return None
+
+        scheduler.spawn("s", gen(), activate=lambda: calls.append("hi"))
+        scheduler.run()
+        assert calls  # called at least once before the stream ran
+
+    def test_error_propagates_and_is_recorded(self):
+        clock = SimClock()
+        scheduler = StreamScheduler(clock)
+
+        def gen():
+            yield 1.0, "kernel"
+            raise RuntimeError("boom")
+
+        stream = scheduler.spawn("s", gen())
+        with pytest.raises(RuntimeError):
+            scheduler.run()
+        assert isinstance(stream.error, RuntimeError)
+
+
+class TestMultiStream:
+    def test_earliest_local_time_runs_next(self):
+        clock = SimClock()
+        scheduler = StreamScheduler(clock)
+        log: list = []
+        # "slow" yields 3s steps, "fast" 1s steps: fast should run three
+        # steps while slow runs one.
+        scheduler.spawn("slow", make_stream(log, "slow", [3.0, 3.0])(clock))
+        scheduler.spawn("fast", make_stream(log, "fast", [1.0, 1.0, 1.0])(clock))
+        scheduler.run()
+        resumes = [(name, now) for name, _, now in log]
+        assert resumes == [
+            ("slow", 0.0),
+            ("fast", 0.0),
+            ("fast", 1.0),
+            ("fast", 2.0),
+            ("slow", 3.0),
+        ]
+
+    def test_ties_resume_in_spawn_order(self):
+        clock = SimClock()
+        scheduler = StreamScheduler(clock)
+        log: list = []
+        scheduler.spawn("a", make_stream(log, "a", [1.0, 1.0])(clock))
+        scheduler.spawn("b", make_stream(log, "b", [1.0, 1.0])(clock))
+        scheduler.run()
+        assert [name for name, _, _ in log] == ["a", "b", "a", "b"]
+
+    def test_clock_ends_at_frontier(self):
+        clock = SimClock()
+        scheduler = StreamScheduler(clock)
+        log: list = []
+        scheduler.spawn("short", make_stream(log, "short", [1.0])(clock))
+        long = scheduler.spawn("long", make_stream(log, "long", [5.0])(clock))
+        scheduler.run()
+        assert clock.now == 5.0
+        assert long.local_time == 5.0
+
+    def test_per_stream_busy_maps_are_private(self):
+        clock = SimClock()
+        scheduler = StreamScheduler(clock)
+        log: list = []
+        a = scheduler.spawn("a", make_stream(log, "a", [1.0, 1.0])(clock))
+        b = scheduler.spawn("b", make_stream(log, "b", [4.0])(clock))
+        scheduler.run()
+        assert a.busy == {"kernel": 2.0}
+        assert b.busy == {"kernel": 4.0}
+        # The shared map still aggregates everyone.
+        assert clock.busy("kernel") == 6.0
+
+    def test_activation_hooks_follow_the_running_stream(self):
+        clock = SimClock()
+        scheduler = StreamScheduler(clock)
+        log: list = []
+        active: list[str] = []
+        scheduler.spawn(
+            "a",
+            make_stream(log, "a", [1.0, 1.0])(clock),
+            activate=lambda: active.append("a"),
+        )
+        scheduler.spawn(
+            "b",
+            make_stream(log, "b", [2.0])(clock),
+            activate=lambda: active.append("b"),
+        )
+        scheduler.run()
+        # Every resume — including the terminal one that raises
+        # StopIteration — was preceded by that stream's activation:
+        # a@0, b@0, a@1, then the tie at t=2 pops in push order (b, a).
+        assert active == ["a", "b", "a", "b", "a"]
+
+    def test_start_time_delays_a_stream(self):
+        clock = SimClock()
+        scheduler = StreamScheduler(clock)
+        log: list = []
+        scheduler.spawn("late", make_stream(log, "late", [1.0])(clock),
+                        start_time=10.0)
+        scheduler.spawn("early", make_stream(log, "early", [1.0])(clock))
+        scheduler.run()
+        assert [name for name, _, _ in log] == ["early", "late"]
+        assert log[-1][2] == 10.0
+
+
+class TestSpawnRules:
+    def test_duplicate_names_rejected(self):
+        scheduler = StreamScheduler(SimClock())
+
+        def gen():
+            yield 1.0, "kernel"
+
+        scheduler.spawn("x", gen())
+        with pytest.raises(ConfigurationError):
+            scheduler.spawn("x", gen())
+
+    def test_spawn_after_run_rejected(self):
+        scheduler = StreamScheduler(SimClock())
+
+        def gen():
+            yield 1.0, "kernel"
+
+        scheduler.spawn("x", gen())
+        scheduler.run()
+        with pytest.raises(ConfigurationError):
+            scheduler.spawn("y", gen())
+
+    def test_run_twice_rejected(self):
+        scheduler = StreamScheduler(SimClock())
+
+        def gen():
+            yield 1.0, "kernel"
+
+        scheduler.spawn("x", gen())
+        scheduler.run()
+        with pytest.raises(ConfigurationError):
+            scheduler.run()
+
+    def test_empty_schedule_is_a_noop(self):
+        clock = SimClock()
+        StreamScheduler(clock).run()
+        assert clock.now == 0.0
+
+
+class TestTracerTagging:
+    def test_events_tagged_with_stream_id(self):
+        from repro.telemetry.trace import Tracer
+
+        clock = SimClock()
+        tracer = Tracer(clock)
+        scheduler = StreamScheduler(clock, tracer=tracer)
+
+        def gen(name):
+            tracer.emit("kernel_start", kernel=name)
+            yield 1.0, "kernel"
+            return None
+
+        scheduler.spawn("t0", gen("k0"))
+        scheduler.spawn("t1", gen("k1"))
+        scheduler.run()
+        streams = {e.args["kernel"]: e.stream for e in tracer.events}
+        assert streams == {"k0": "t0", "k1": "t1"}
+        assert tracer.stream == ""  # untagged after the run

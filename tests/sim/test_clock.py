@@ -76,3 +76,61 @@ def test_reset():
     clock.reset()
     assert clock.now == 0.0
     assert clock.busy("kernel") == 0.0
+
+
+class TestSnapResidue:
+    def test_negative_residue_clamps(self):
+        from repro.sim.clock import snap_residue
+
+        assert snap_residue(-1e-18, 100.0) == 0.0
+
+    def test_tiny_positive_residue_clamps(self):
+        from repro.sim.clock import snap_residue
+
+        # A few-ULP residue at a large clock value is float drift, not a
+        # real wait.
+        now = 1e6
+        assert snap_residue(now * 1e-13, now) == 0.0
+
+    def test_genuine_wait_passes_through(self):
+        from repro.sim.clock import snap_residue
+
+        assert snap_residue(0.25, 100.0) == 0.25
+        assert snap_residue(1e-9, 0.0) == 1e-9
+
+
+class TestStreamAccounting:
+    def test_seek_moves_without_charging_busy(self):
+        clock = SimClock()
+        clock.advance(2.0, "kernel")
+        clock.seek(10.0)
+        assert clock.now == 10.0
+        clock.seek(1.0)  # backwards is fine: it is a stream switch
+        assert clock.now == 1.0
+        assert clock.categories() == {"kernel": 2.0}
+
+    def test_bound_stream_map_accumulates(self):
+        clock = SimClock()
+        mine: dict[str, float] = {}
+        clock.bind_stream(mine)
+        clock.advance(1.5, "kernel")
+        assert mine == {"kernel": 1.5}
+        # The global map is charged too (aggregate accounting survives).
+        assert clock.busy("kernel") == 1.5
+        clock.bind_stream(None)
+        clock.advance(1.0, "kernel")
+        assert mine == {"kernel": 1.5}
+        assert clock.busy("kernel") == 2.5
+
+    def test_checkpoint_scopes_to_bound_stream(self):
+        clock = SimClock()
+        a: dict[str, float] = {}
+        b: dict[str, float] = {}
+        clock.bind_stream(a)
+        checkpoint = clock.checkpoint()
+        clock.advance(1.0, "kernel")
+        # Another stream's work must not leak into a's delta.
+        clock.bind_stream(b)
+        clock.advance(5.0, "kernel")
+        clock.bind_stream(a)
+        assert clock.since(checkpoint).of("kernel") == 1.0
