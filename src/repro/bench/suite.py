@@ -1,6 +1,6 @@
 """The pinned benchmark suite behind ``python -m repro bench``.
 
-Four benchmarks cover the layers the hot-path work touches (the suite is
+Five benchmarks cover the layers the hot-path work touches (the suite is
 *pinned*: names, workloads, and op counts only change with a schema bump so
 trajectory points stay comparable — see docs/benchmarking.md):
 
@@ -14,6 +14,9 @@ trajectory points stay comparable — see docs/benchmarking.md):
   combined events/second figure.
 * ``chaos-off`` — the chaos harness's trace-virtual scenario under an empty
   fault plan: measures what the always-present fault seams cost when idle.
+* ``monitor-overhead`` — the fig2 single-model run untraced vs with the
+  always-on runtime monitor attached: pins the monitor tier's cost and its
+  bit-identical-results contract (see docs/observability.md).
 
 ``BENCH_SCALE`` (environment variable) divides workload and device sizes,
 default 256; ``--quick`` shrinks the suite for CI smoke runs (one model,
@@ -97,7 +100,7 @@ class _Measured:
     simulated_seconds: float | None = None
 
 
-# -- the four pinned benchmarks ------------------------------------------------
+# -- the five pinned benchmarks ------------------------------------------------
 
 
 def _bench_fig2(scale: int, quick: bool) -> _Measured:
@@ -216,6 +219,59 @@ def _micro_tracer(ops: int) -> int:
     return 2 * ops
 
 
+def _bench_monitor_overhead(scale: int, quick: bool) -> _Measured:
+    """Monitor-on vs untraced wall time on the fig2 single-model run.
+
+    Two contracts ride along with the timing sample: the virtual-time
+    result must be *bit-identical* with the monitor attached (it is pure
+    observation), and monitor-on wall time must stay within a generous
+    smoke bound of untraced. The bare CA:LM run timed here is the
+    monitor's *worst case* — every event kind the monitor folds, no
+    model-building or low-movement modes diluting the ratio — so the
+    bound is deliberately loose to survive loaded CI hosts; the <=5%
+    acceptance number is measured against the full ``fig2-runtime``
+    benchmark at BENCH_SCALE=256 (~1% there — see
+    docs/observability.md). Best-of-N damps scheduler noise.
+    """
+    from dataclasses import replace
+
+    from repro.experiments.common import ExperimentConfig, run_trace_mode
+    from repro.nn.models import MODEL_REGISTRY
+
+    config = ExperimentConfig(scale=scale, iterations=2)
+    trace = (
+        MODEL_REGISTRY["resnet200-large"].builder().training_trace().scaled(scale)
+    )
+    reps = 2 if quick else 3
+
+    def best_of(monitor: bool) -> tuple[float, float, int]:
+        best_wall, seconds, events = float("inf"), 0.0, 0
+        for _ in range(reps):
+            cfg = replace(config, monitor=monitor)
+            start = time.perf_counter()
+            result = run_trace_mode(trace, "CA:LM", cfg)
+            wall = time.perf_counter() - start
+            best_wall = min(best_wall, wall)
+            seconds = result.iteration.seconds
+            if result.monitor is not None:
+                events = result.monitor.events_seen
+        return best_wall, seconds, events
+
+    untraced_wall, untraced_seconds, _ = best_of(False)
+    monitored_wall, monitored_seconds, events = best_of(True)
+    if monitored_seconds != untraced_seconds:  # pragma: no cover - a real bug
+        raise RuntimeError(
+            f"monitor changed simulated time: "
+            f"{untraced_seconds!r} vs {monitored_seconds!r}"
+        )
+    if monitored_wall > untraced_wall * 1.5:  # pragma: no cover - regression
+        raise RuntimeError(
+            f"monitor overhead blew the smoke bound: untraced "
+            f"{untraced_wall:.3f}s vs monitored {monitored_wall:.3f}s"
+        )
+    return _Measured(events=events, simulated_seconds=monitored_seconds)
+
+
 def _bench_chaos_off(scale: int, quick: bool) -> _Measured:
     from repro.faults.chaos import run_scenario
     from repro.faults.plan import FaultPlan
@@ -238,6 +294,7 @@ SUITE = {
     "fig5-traffic": _bench_fig5,
     "micro-substrate": _bench_micro,
     "chaos-off": _bench_chaos_off,
+    "monitor-overhead": _bench_monitor_overhead,
 }
 
 

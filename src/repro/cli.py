@@ -10,7 +10,8 @@ Usage::
     python -m repro profile --model tiny [--mode CA:LM] [--out trace.json]
     python -m repro explain run.jsonl [--window K] [--out report.json]
     python -m repro diff a.jsonl b.jsonl [--window K] [--out report.json]
-    python -m repro chaos [--plan copy-flaky | --plan all] [--json]
+    python -m repro monitor [run.jsonl | --model tiny] [--interval S] [--json]
+    python -m repro chaos [--plan copy-flaky | --plan all] [--dump-dir D] [--json]
     python -m repro bench [--quick] [--baseline FILE] [--threshold 0.2]
     python -m repro colo [--tenants cnn,dlrm] [--check] [--json]
 
@@ -26,9 +27,13 @@ event stream into a lifetime-ledger report (where the time went, which
 objects thrash); ``diff`` aligns two streams of the same workload
 kernel-by-kernel and attributes the end-to-end virtual-time delta to named
 kernels, objects, and root causes (docs/observability.md, "Explaining a
-run"). ``chaos`` runs the workloads
+run"). ``monitor`` folds a run — a recorded stream or a fresh ``--model``
+run — through the always-on runtime monitor and prints its health dashboard:
+windowed rollups, latency percentiles, alerts, flight-recorder state
+(docs/observability.md, "Live monitoring"). ``chaos`` runs the workloads
 under a named fault plan and reports recovery outcomes (exit status 1 if any
-scenario violates the robustness contract) — see ``docs/robustness.md``.
+scenario violates the robustness contract); failing scenarios name their
+flight-recorder dump — see ``docs/robustness.md``.
 ``bench`` runs the pinned performance suite at ``BENCH_SCALE``, writes a
 ``BENCH_<date>.json`` trajectory point, and gates against the previous
 point (exit status 1 on regression) — see ``docs/benchmarking.md``.
@@ -229,12 +234,21 @@ def _profile(
     return 0
 
 
-def _load_events(path: str) -> list | None:
-    from repro.telemetry.export import read_jsonl
+def _load_events(path: str):
+    """Open a JSONL trace as a lazy, re-iterable :class:`EventStream`.
+
+    The analyzers stream the file per pass instead of materializing the
+    whole run (O(1) memory on multi-million-event traces). The first event
+    is probed eagerly so a missing file or a non-JSONL file still fails
+    right here with a friendly message rather than mid-analysis.
+    """
+    from repro.telemetry.export import EventStream, iter_jsonl
 
     try:
         with open(path, "r", encoding="utf-8") as fp:
-            return read_jsonl(fp)
+            for _ in iter_jsonl(fp):
+                break
+        return EventStream(path)
     except OSError as exc:
         print(f"cannot read {path}: {exc}", file=sys.stderr)
     except ValueError as exc:
@@ -399,7 +413,95 @@ def _diff(
     return 0
 
 
-def _chaos(plan_name: str, *, as_json: bool) -> int:
+def _monitor(
+    paths: list[str],
+    model: str | None,
+    mode: str,
+    config: ExperimentConfig,
+    *,
+    interval: float,
+    out: str | None,
+    dump_dir: str | None,
+    as_json: bool,
+) -> int:
+    """The runtime-monitor dashboard: health, rollups, latencies, alerts.
+
+    Two sources: replay an existing JSONL trace (positional path), or attach
+    the monitor to a fresh run of ``--model`` under ``--mode``. Either way
+    the run folds into bounded-memory rollups and prints one
+    :class:`HealthSnapshot` dashboard (``--json`` for the machine form;
+    ``--out`` additionally writes the occupancy / in-flight-copy counter
+    tracks as a Perfetto-loadable Chrome trace).
+    """
+    from dataclasses import replace
+
+    from repro.telemetry.export import to_chrome_trace
+    from repro.telemetry.monitor import MonitorConfig, RuntimeMonitor
+
+    if interval <= 0:
+        print("--interval must be positive", file=sys.stderr)
+        return 2
+    monitor_cfg = MonitorConfig(window_seconds=interval, dump_dir=dump_dir)
+    events_for_trace = []
+    if paths:
+        if len(paths) != 1 or model:
+            print(
+                "monitor takes one recorded trace path (from 'profile "
+                "--jsonl') or --model to run live, not both",
+                file=sys.stderr,
+            )
+            return 2
+        stream = _load_events(paths[0])
+        if stream is None:
+            return 2
+        monitor = RuntimeMonitor(monitor_cfg)
+        monitor.observe_all(stream)
+        monitor.finish()
+        events_for_trace = stream
+        label = paths[0]
+    else:
+        if not model:
+            print(
+                "monitor needs a recorded trace path or --model "
+                "(e.g. python -m repro monitor --model tiny)",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.experiments import profile as profile_mod
+        from repro.experiments.common import run_trace_mode
+
+        run_config = replace(config, monitor=True, monitor_config=monitor_cfg)
+        try:
+            trace = profile_mod.trace_for(model, run_config)
+            result = run_trace_mode(trace, mode, run_config, model_label=model)
+        except ConfigurationError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        monitor = result.monitor
+        label = f"{model} under {mode}"
+    if out:
+        doc = to_chrome_trace(
+            events_for_trace, timelines=monitor.counter_timelines()
+        )
+        with open(out, "w", encoding="utf-8") as fp:
+            json.dump(doc, fp)
+        # With --json, stdout carries exactly the snapshot document.
+        info = sys.stderr if as_json else sys.stdout
+        print(f"wrote counter trace -> {out}", file=info)
+    snapshot = monitor.snapshot(recent_windows=8)
+    if as_json:
+        print(json.dumps(snapshot.to_json(), indent=2, sort_keys=True))
+    else:
+        print(f"runtime monitor: {label}")
+        print(snapshot.render())
+    return 0
+
+
+def _chaos(
+    plan_name: str, *, as_json: bool, dump_dir: str | None = None
+) -> int:
+    import tempfile
+
     from repro.faults.chaos import run_chaos
     from repro.faults.plan import FAULT_PLANS
 
@@ -414,7 +516,12 @@ def _chaos(plan_name: str, *, as_json: bool) -> int:
             file=sys.stderr,
         )
         return 2
-    reports = [run_chaos(name) for name in names]
+    # Flight-recorder dumps outlive the process so a failing scenario's
+    # black box can be inspected (or attached to a CI artifact): default to
+    # a fresh temp directory rather than discarding the recordings.
+    if dump_dir is None:
+        dump_dir = tempfile.mkdtemp(prefix="repro-chaos-flight-")
+    reports = [run_chaos(name, dump_dir=dump_dir) for name in names]
     if as_json:
         print(
             json.dumps(
@@ -434,6 +541,7 @@ def _chaos(plan_name: str, *, as_json: bool) -> int:
                                 "copy_retries": o.copy_retries,
                                 "strikes": o.strikes,
                                 "quarantined": o.quarantined,
+                                "flight_record": o.flight_record,
                             }
                             for o in report.outcomes
                         },
@@ -553,11 +661,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "experiment",
         choices=EXPERIMENTS
-        + ("all", "trace", "profile", "explain", "diff", "chaos", "bench", "colo"),
+        + ("all", "trace", "profile", "explain", "diff", "monitor", "chaos",
+           "bench", "colo"),
         help="which table/figure to regenerate, 'trace' to export a model's "
         "kernel trace, 'profile' to run one with event tracing on, "
         "'explain' to report on a recorded event stream, 'diff' to "
-        "attribute the delta between two recorded runs, 'chaos' to run "
+        "attribute the delta between two recorded runs, 'monitor' to "
+        "fold a run (recorded or live) into the runtime-monitor health "
+        "dashboard, 'chaos' to run "
         "the fault-injection suite, 'bench' to run the pinned "
         "performance suite, or 'colo' to co-run tenant workloads on one "
         "shared memory system",
@@ -565,8 +676,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "paths",
         nargs="*",
-        help="JSONL event streams for 'explain' (one) and 'diff' (two, "
-        "baseline first); written by 'profile --jsonl'",
+        help="JSONL event streams for 'explain' (one), 'diff' (two, "
+        "baseline first), and 'monitor' (one, optional); written by "
+        "'profile --jsonl'",
     )
     parser.add_argument(
         "--scale",
@@ -614,6 +726,18 @@ def main(argv: list[str] | None = None) -> int:
         help="fault plan for 'chaos': a plan name or 'all' (default all)",
     )
     parser.add_argument(
+        "--interval",
+        type=float,
+        default=0.25,
+        help="monitor: rollup window length in virtual seconds "
+        "(default 0.25)",
+    )
+    parser.add_argument(
+        "--dump-dir",
+        help="monitor/chaos: directory for flight-recorder dumps "
+        "(chaos defaults to a fresh temp directory)",
+    )
+    parser.add_argument(
         "--quick",
         action="store_true",
         help="bench: reduced suite for CI smoke runs (see docs/benchmarking.md)",
@@ -643,10 +767,10 @@ def main(argv: list[str] | None = None) -> int:
         "attribution (exit status 1 on failure)",
     )
     args = parser.parse_args(argv)
-    if args.paths and args.experiment not in ("explain", "diff"):
+    if args.paths and args.experiment not in ("explain", "diff", "monitor"):
         parser.error(
-            f"positional trace paths only apply to 'explain' and 'diff', "
-            f"not {args.experiment!r}"
+            f"positional trace paths only apply to 'explain', 'diff', and "
+            f"'monitor', not {args.experiment!r}"
         )
     if args.experiment == "explain":
         return _explain(
@@ -665,12 +789,23 @@ def main(argv: list[str] | None = None) -> int:
             as_json=args.json,
         )
     if args.experiment == "chaos":
-        return _chaos(args.plan, as_json=args.json)
+        return _chaos(args.plan, as_json=args.json, dump_dir=args.dump_dir)
     if args.experiment == "trace":
         if not args.model:
             parser.error("trace requires --model")
         return _export_trace(args.model, args.out, args.scale)
     config = ExperimentConfig(scale=args.scale, iterations=args.iterations)
+    if args.experiment == "monitor":
+        return _monitor(
+            args.paths,
+            args.model,
+            args.mode,
+            config,
+            interval=args.interval,
+            out=args.out,
+            dump_dir=args.dump_dir,
+            as_json=args.json,
+        )
     if args.experiment == "colo":
         return _colo(
             args.tenants,

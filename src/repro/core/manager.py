@@ -94,6 +94,18 @@ class DataManager:
         """Quota-charged live bytes for ``tenant`` on ``device``."""
         return self._tenant_used.get((tenant, device), 0)
 
+    def tenant_usage(self) -> dict[tuple[str, str], int]:
+        """The full (tenant, device) -> live-bytes accounting table.
+
+        The runtime monitor samples this at window close for quota-headroom
+        rollups; treat the returned mapping as read-only.
+        """
+        return self._tenant_used
+
+    def tenant_quotas(self) -> dict[tuple[str, str], int]:
+        """The live (tenant, device) -> byte-limit table (read-only)."""
+        return self._quota
+
     # -- device helpers -----------------------------------------------------
 
     def heap(self, device: str) -> Heap:
@@ -184,9 +196,14 @@ class DataManager:
             key = (self.active_tenant, device)
             self._tenant_used[key] = self._tenant_used.get(key, 0) + size
             self._region_tenant[(device, offset)] = self.active_tenant
-        if self.tracer.enabled:
-            self.tracer.emit(
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.emit(
                 tracing.ALLOC, device=device, offset=offset, nbytes=size
+            )
+        elif tracer.monitoring:
+            tracer.monitor.note_alloc(
+                tracer.clock.now, device, size, offset, tracer.stream
             )
         return region
 
@@ -225,12 +242,21 @@ class DataManager:
                     self._tenant_used.get(key, 0) - region.size
                 )
         region.freed = True
-        if self.tracer.enabled:
-            self.tracer.emit(
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.emit(
                 tracing.FREE,
                 device=region.device_name,
                 offset=region.offset,
                 nbytes=region.size,
+            )
+        elif tracer.monitoring:
+            tracer.monitor.note_free(
+                tracer.clock.now,
+                region.device_name,
+                region.size,
+                region.offset,
+                tracer.stream,
             )
 
     def copyto(self, dst: Region, src: Region) -> None:

@@ -40,6 +40,7 @@ from repro.sim.clock import SimClock
 from repro.telemetry import trace as tracing
 from repro.telemetry.counters import TrafficSnapshot
 from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.monitor import MonitorConfig, MonitorTracer, RuntimeMonitor
 from repro.units import parse_size
 
 __all__ = [
@@ -138,6 +139,15 @@ class SessionConfig:
     # default: the disabled path is a shared no-op tracer with zero
     # per-kernel cost.
     tracing: bool = False
+    # Attach the always-on runtime monitor (docs/observability.md, "Live
+    # monitoring"): windowed rollups, latency sketches, alerts, and the
+    # flight recorder, all in bounded memory. Composes with ``tracing``:
+    # monitor alone streams events without retaining them; monitor +
+    # tracing keeps the full event list too.
+    monitor: bool = False
+    # Optional tuning for the monitor (window size, ring capacity, alert
+    # rules, flight-dump directory); None uses MonitorConfig defaults.
+    monitor_config: "MonitorConfig | None" = None
 
     def build_devices(self) -> list[MemoryDevice]:
         if self.devices:
@@ -179,11 +189,16 @@ class SharedRuntime:
                 "async_movement is a timing model and requires virtual devices"
             )
         if tracer is None:
-            tracer = (
-                tracing.Tracer(self.clock)
-                if self.config.tracing
-                else tracing.NULL_TRACER
-            )
+            if self.config.monitor:
+                tracer = MonitorTracer(
+                    self.clock,
+                    RuntimeMonitor(self.config.monitor_config),
+                    keep_events=self.config.tracing,
+                )
+            elif self.config.tracing:
+                tracer = tracing.Tracer(self.clock)
+            else:
+                tracer = tracing.NULL_TRACER
         self.tracer = tracer
         # Chaos mode (docs/robustness.md): a FaultInjector wired through the
         # mechanism layer as a duck-typed hook. The runtime is the only place
@@ -212,6 +227,20 @@ class SharedRuntime:
         self.manager = DataManager(
             self.heaps, self.engine, tracer=self.tracer, metrics=self.metrics
         )
+        # The always-on monitor (if any tracer carries one) gets the exact
+        # context the offline replay path can only estimate: device
+        # capacities for occupancy alerts and the manager's quota
+        # accounting for per-tenant headroom. Pure observation — nothing
+        # here feeds back into placement or timing.
+        self.monitor: RuntimeMonitor | None = getattr(
+            self.tracer, "monitor", None
+        )
+        if self.monitor is not None:
+            self.monitor.bind_capacities(
+                {name: heap.capacity for name, heap in self.heaps.items()}
+            )
+            self.monitor.bind_usage_probe(self.manager.tenant_usage)
+            self.monitor.bind_quotas(self.manager.tenant_quotas())
 
     # -- tenant attachment ----------------------------------------------------
 
@@ -336,6 +365,10 @@ class Session:
     @property
     def injector(self) -> object | None:
         return self.runtime.injector
+
+    @property
+    def monitor(self) -> RuntimeMonitor | None:
+        return self.runtime.monitor
 
     @property
     def heaps(self) -> dict[str, Heap]:

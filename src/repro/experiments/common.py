@@ -27,6 +27,7 @@ from repro.runtime.executor import (
 )
 from repro.runtime.gc import GcConfig
 from repro.runtime.kernel import ExecutionParams
+from repro.telemetry.monitor import MonitorConfig, MonitorTracer, RuntimeMonitor
 from repro.twolm.system import TwoLMSystem
 from repro.units import GB
 from repro.workloads.annotate import annotate
@@ -52,6 +53,12 @@ class ExperimentConfig:
     # Collect structured trace events (RunResult.trace); off by default so
     # experiment runs pay nothing for observability they don't use.
     tracing: bool = False
+    # Attach the always-on runtime monitor (ModeResult.monitor): windowed
+    # rollups, latency sketches, alerts, flight recorder. Bounded memory;
+    # composes with ``tracing`` (monitor alone retains no events).
+    monitor: bool = False
+    # Optional monitor tuning (window size, alert rules, flight-dump dir).
+    monitor_config: "MonitorConfig | None" = None
 
     def scaled_dram(self) -> int:
         return max(self.line_size, self.dram_bytes // self.scale)
@@ -97,6 +104,9 @@ class ModeResult:
     run: RunResult
     footprint_bytes: int
     config: ExperimentConfig
+    # The run's RuntimeMonitor when ExperimentConfig.monitor was set (its
+    # trailing window is closed, so snapshots include the whole run).
+    monitor: "RuntimeMonitor | None" = None
 
     @property
     def iteration(self) -> IterationResult:
@@ -164,7 +174,13 @@ def run_trace_mode(
             line_size=config.line_size,
         )
         adapter = TwoLMAdapter(system, params)
-        if config.tracing:
+        if config.monitor:
+            adapter.tracer = MonitorTracer(
+                adapter.clock,
+                RuntimeMonitor(config.monitor_config),
+                keep_events=config.tracing,
+            )
+        elif config.tracing:
             from repro.telemetry.trace import Tracer
 
             adapter.tracer = Tracer(adapter.clock)
@@ -179,6 +195,8 @@ def run_trace_mode(
             copy_overhead=config.copy_overhead / config.scale,
             async_movement=config.async_movement,
             tracing=config.tracing,
+            monitor=config.monitor,
+            monitor_config=config.monitor_config,
         )
         if config.dram_bytes > 0:
             policy = mode_cfg.make_policy("DRAM", "NVRAM")
@@ -197,12 +215,16 @@ def run_trace_mode(
         adapter, gc_config=gc_cfg, sample_timeline=config.sample_timeline
     )
     run = executor.run(annotated, iterations=config.iterations)
+    monitor = getattr(adapter.tracer, "monitor", None)
+    if monitor is not None:
+        monitor.finish()
     return ModeResult(
         model=model_label or trace.name,
         mode=mode_cfg,
         run=run,
         footprint_bytes=footprint,
         config=config,
+        monitor=monitor,
     )
 
 

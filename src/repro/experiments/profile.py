@@ -24,6 +24,7 @@ from repro.experiments.common import ExperimentConfig, ModeResult, run_trace_mod
 from repro.nn.models import MODEL_REGISTRY
 from repro.telemetry.export import to_chrome_trace
 from repro.telemetry.ledger import ObjectLedger, build_ledger
+from repro.telemetry.monitor import MonitorConfig
 from repro.telemetry.metrics import (
     Attribution,
     MetricsRegistry,
@@ -34,7 +35,9 @@ from repro.units import GB, format_size
 from repro.workloads.synthetic import filo_stack_trace
 from repro.workloads.trace import KernelTrace
 
-__all__ = ["ProfileResult", "available_models", "run_profile", "render"]
+__all__ = [
+    "ProfileResult", "available_models", "trace_for", "run_profile", "render",
+]
 
 TINY = "tiny"
 
@@ -55,7 +58,8 @@ def _tiny_trace() -> KernelTrace:
     )
 
 
-def _trace_for(model: str, config: ExperimentConfig) -> KernelTrace:
+def trace_for(model: str, config: ExperimentConfig) -> KernelTrace:
+    """Build the scaled kernel trace for any profilable model key."""
     if model == TINY:
         return _tiny_trace().scaled(config.scale)
     try:
@@ -84,11 +88,15 @@ class ProfileResult:
 
     def chrome_trace(self) -> dict:
         """The run as a Chrome trace-event document (Perfetto-loadable),
-        with occupancy/traffic timelines as counter tracks."""
+        with occupancy/traffic timelines as counter tracks — plus, when the
+        runtime monitor rode along, its windowed rollup counters (per-device
+        occupancy, in-flight copy bytes)."""
         timelines = [
             self.result.run.occupancy_timeline[name]
             for name in sorted(self.result.run.occupancy_timeline)
         ]
+        if self.result.monitor is not None:
+            timelines.extend(self.result.monitor.counter_timelines())
         return to_chrome_trace(self.events, timelines=timelines)
 
 
@@ -100,8 +108,17 @@ def run_profile(
     """Run ``model`` under ``mode`` with tracing forced on and attribute
     every copy to its root cause."""
     config = config if config is not None else ExperimentConfig(iterations=1)
-    config = replace(config, tracing=True)
-    trace = _trace_for(model, config)
+    # Tracing on (the whole point); the runtime monitor rides along for its
+    # counter timelines (occupancy, in-flight copy bytes) with alert rules
+    # disabled so the recorded event stream stays byte-identical to a
+    # monitor-less traced run.
+    config = replace(
+        config,
+        tracing=True,
+        monitor=True,
+        monitor_config=MonitorConfig(rules=()),
+    )
+    trace = trace_for(model, config)
     result = run_trace_mode(trace, mode, config, model_label=model)
     events = result.run.trace
     registry = derive_metrics(events)

@@ -28,6 +28,7 @@ Two scenarios exercise the two halves of the runtime:
 from __future__ import annotations
 
 import hashlib
+import os
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -43,7 +44,7 @@ from repro.runtime.executor import CachedArraysAdapter, Executor
 from repro.runtime.gc import GcConfig
 from repro.runtime.kernel import ExecutionParams
 from repro.runtime.recovery import recover_allocation, session_hooks
-from repro.telemetry import trace as tracing
+from repro.telemetry.monitor import MonitorConfig
 from repro.units import KiB, MiB
 from repro.workloads.annotate import annotate
 from repro.workloads.synthetic import streaming_trace
@@ -74,6 +75,10 @@ class ScenarioOutcome:
     copy_retries: int = 0
     strikes: int = 0
     quarantined: bool = False
+    # Flight-recorder dump written by the runtime monitor during this run
+    # (empty when nothing escalated or no dump directory was configured):
+    # a failing scenario ships its last-N-events black box.
+    flight_record: str = ""
 
     @property
     def ok(self) -> bool:
@@ -111,10 +116,14 @@ class ScenarioOutcome:
                 + (" -> quarantined" if self.quarantined else "")
             )
         status = "ok " if self.ok else "FAIL"
-        return (
+        line = (
             f"  [{status}] {self.scenario}: {verdict} "
             f"({'; '.join(checks)}; {'; '.join(parts)})"
         )
+        if self.flight_record and (not self.completed or not self.ok):
+            # Any abort — contract-honouring or not — ships its black box.
+            line += f"\n         flight record: {self.flight_record}"
+        return line
 
 
 @dataclass
@@ -136,14 +145,30 @@ class ChaosReport:
 # -- scenario A: real-backed session, scripted workload ------------------------
 
 
-def _build_session(plan: FaultPlan | None, *, real: bool,
-                   dram: int, nvram: int) -> tuple[Session, FaultInjector | None]:
+def _build_session(
+    plan: FaultPlan | None,
+    *,
+    real: bool,
+    dram: int,
+    nvram: int,
+    dump_dir: str | None = None,
+) -> tuple[Session, FaultInjector | None]:
     injector = FaultInjector(plan) if plan is not None else None
     policy = OptimizingPolicy(fast="DRAM", slow="NVRAM", local_alloc=True)
     if injector is not None:
         policy = PolicyWatchdog(FaultyPolicy(policy, injector))
     session = Session(
-        SessionConfig(dram=dram, nvram=nvram, real=real, tracing=True),
+        SessionConfig(
+            dram=dram,
+            nvram=nvram,
+            real=real,
+            tracing=True,
+            # The runtime monitor rides along for free counting (the
+            # outcome's recovery/strike tallies) and, when a dump
+            # directory is given, flight-records every escalation.
+            monitor=True,
+            monitor_config=MonitorConfig(dump_dir=dump_dir),
+        ),
         policy=policy,
         injector=injector,
     )
@@ -205,17 +230,21 @@ def _scripted_workload(session: Session) -> dict[str, str]:
     return digests
 
 
-def _count_events(session: Session, outcome: ScenarioOutcome) -> None:
-    for event in session.tracer.events:
-        if event.kind == tracing.RECOVERY:
-            step = str(event.args.get("step", "?"))
-            outcome.recoveries[step] = outcome.recoveries.get(step, 0) + 1
-        elif event.kind == tracing.COPY_RETRY:
-            outcome.copy_retries += 1
-        elif event.kind == tracing.POLICY_STRIKE:
-            outcome.strikes += 1
-        elif event.kind == tracing.QUARANTINE:
-            outcome.quarantined = True
+def _collect_stats(session: Session, outcome: ScenarioOutcome) -> None:
+    """Fill the outcome's tallies from the run's monitor.
+
+    The monitor folded every event as it was emitted, so this is a constant-
+    time read of its cumulative totals — no post-hoc scan over the trace.
+    """
+    monitor = session.monitor
+    if monitor is None:  # pragma: no cover - chaos always attaches one
+        return
+    outcome.recoveries = dict(monitor.recoveries_by_step)
+    outcome.copy_retries = monitor.totals["copy_retries"]
+    outcome.strikes = monitor.totals["strikes"]
+    outcome.quarantined |= monitor.totals["quarantines"] > 0
+    if monitor.dumps:
+        outcome.flight_record = monitor.dumps[-1]
 
 
 def _sweep(session: Session) -> bool:
@@ -229,7 +258,9 @@ def _sweep(session: Session) -> bool:
     return True
 
 
-def _run_real_scenario(plan: FaultPlan) -> ScenarioOutcome:
+def _run_real_scenario(
+    plan: FaultPlan, *, dump_dir: str | None = None
+) -> ScenarioOutcome:
     outcome = ScenarioOutcome(scenario="session-real", completed=False)
     baseline_session, _ = _build_session(
         None, real=True, dram=REAL_DRAM, nvram=REAL_NVRAM
@@ -237,7 +268,7 @@ def _run_real_scenario(plan: FaultPlan) -> ScenarioOutcome:
     with baseline_session:
         baseline = _scripted_workload(baseline_session)
     session, injector = _build_session(
-        plan, real=True, dram=REAL_DRAM, nvram=REAL_NVRAM
+        plan, real=True, dram=REAL_DRAM, nvram=REAL_NVRAM, dump_dir=dump_dir
     )
     with session:
         try:
@@ -252,9 +283,14 @@ def _run_real_scenario(plan: FaultPlan) -> ScenarioOutcome:
         else:
             outcome.completed = True
             outcome.digests_match = digests == baseline
+        if outcome.error and session.monitor is not None:
+            # Capture the black box at the abort, whatever escalated first.
+            session.monitor.record_escalation(f"abort:{outcome.error}")
+        if session.monitor is not None:
+            session.monitor.finish()
         outcome.invariants_clean = _sweep(session)
         outcome.faults_fired = len(injector.fired) if injector else 0
-        _count_events(session, outcome)
+        _collect_stats(session, outcome)
         if isinstance(session.policy, PolicyWatchdog):
             outcome.quarantined |= session.policy.quarantined
     return outcome
@@ -263,10 +299,12 @@ def _run_real_scenario(plan: FaultPlan) -> ScenarioOutcome:
 # -- scenario B: virtual trace executor ----------------------------------------
 
 
-def _run_virtual_scenario(plan: FaultPlan) -> ScenarioOutcome:
+def _run_virtual_scenario(
+    plan: FaultPlan, *, dump_dir: str | None = None
+) -> ScenarioOutcome:
     outcome = ScenarioOutcome(scenario="trace-virtual", completed=False)
     session, injector = _build_session(
-        plan, real=False, dram=2 * MiB, nvram=32 * MiB
+        plan, real=False, dram=2 * MiB, nvram=32 * MiB, dump_dir=dump_dir
     )
     executor = Executor(
         CachedArraysAdapter(session, ExecutionParams()),
@@ -286,9 +324,13 @@ def _run_virtual_scenario(plan: FaultPlan) -> ScenarioOutcome:
         outcome.error_detail = str(error)
     else:
         outcome.completed = True
+    if outcome.error and session.monitor is not None:
+        session.monitor.record_escalation(f"abort:{outcome.error}")
+    if session.monitor is not None:
+        session.monitor.finish()
     outcome.invariants_clean = _sweep(session)
     outcome.faults_fired = len(injector.fired) if injector else 0
-    _count_events(session, outcome)
+    _collect_stats(session, outcome)
     if isinstance(session.policy, PolicyWatchdog):
         outcome.quarantined |= session.policy.quarantined
     return outcome
@@ -297,23 +339,46 @@ def _run_virtual_scenario(plan: FaultPlan) -> ScenarioOutcome:
 # -- entry points --------------------------------------------------------------
 
 
-def run_scenario(plan: FaultPlan, scenario: str) -> ScenarioOutcome:
-    """Run one named scenario (``session-real`` or ``trace-virtual``)."""
+def run_scenario(
+    plan: FaultPlan, scenario: str, *, dump_dir: str | None = None
+) -> ScenarioOutcome:
+    """Run one named scenario (``session-real`` or ``trace-virtual``).
+
+    ``dump_dir`` enables flight-recorder dumps: any fault, watchdog strike,
+    ladder escalation, or abort writes its last-N-events black box there and
+    the outcome carries the path.
+    """
     if scenario == "session-real":
-        return _run_real_scenario(plan)
+        return _run_real_scenario(plan, dump_dir=dump_dir)
     if scenario == "trace-virtual":
-        return _run_virtual_scenario(plan)
+        return _run_virtual_scenario(plan, dump_dir=dump_dir)
     raise ValueError(f"unknown chaos scenario {scenario!r}")
 
 
-def run_chaos(plan_or_name: FaultPlan | str) -> ChaosReport:
-    """Run every scenario under one fault plan and collect the report."""
+def run_chaos(
+    plan_or_name: FaultPlan | str, *, dump_dir: str | None = None
+) -> ChaosReport:
+    """Run every scenario under one fault plan and collect the report.
+
+    Scenario flight dumps land in per-scenario subdirectories of
+    ``dump_dir`` (so two scenarios never overwrite each other's black box).
+    """
     plan = (
         fault_plan(plan_or_name)
         if isinstance(plan_or_name, str)
         else plan_or_name
     )
+
+    def scenario_dir(scenario: str) -> str | None:
+        if dump_dir is None:
+            return None
+        return os.path.join(dump_dir, plan.name, scenario)
+
     report = ChaosReport(plan=plan)
-    report.outcomes.append(_run_real_scenario(plan))
-    report.outcomes.append(_run_virtual_scenario(plan))
+    report.outcomes.append(
+        _run_real_scenario(plan, dump_dir=scenario_dir("session-real"))
+    )
+    report.outcomes.append(
+        _run_virtual_scenario(plan, dump_dir=scenario_dir("trace-virtual"))
+    )
     return report

@@ -128,6 +128,8 @@ class FaultInjector:
         if self.tracer.enabled:
             self.tracer.emit(FAULT, site=site, device=device, op=op,
                              index=index, **detail)
+        elif self.tracer.monitoring:
+            self.tracer.monitor.note_fault(self._now, site)
         return fault
 
     def _matching(self, site: str, index: int, device: str = "*",

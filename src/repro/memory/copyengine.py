@@ -240,6 +240,13 @@ class CopyEngine:
                     attempt=attempt,
                     reason="injected copy failure",
                 )
+        elif tracer.monitoring and failed_attempts:
+            start_ts = completes_at - seconds
+            for attempt in range(1, failed_attempts + 1):
+                tracer.monitor.note_copy_retry(
+                    start_ts + attempt_seconds * attempt,
+                    "injected copy failure",
+                )
         if exhausted:
             raise CopyError(
                 source.name,
@@ -293,6 +300,14 @@ class CopyEngine:
                 nbytes=nbytes,
                 seq=seq,
             )
+        elif tracer.monitoring:
+            tracer.monitor.note_copy(
+                completes_at - seconds,
+                completes_at,
+                nbytes,
+                source.name,
+                dest.name,
+            )
         return record
 
     def _verify_and_retry(
@@ -344,6 +359,10 @@ class CopyEngine:
                     nbytes=nbytes,
                     attempt=mismatches,
                     reason="verification mismatch",
+                )
+            elif self.tracer.monitoring:
+                self.tracer.monitor.note_copy_retry(
+                    self.clock.now, "verification mismatch"
                 )
             self._memcpy(source, source_offset, dest, dest_offset, nbytes)
 

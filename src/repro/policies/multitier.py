@@ -249,6 +249,20 @@ class MultiTierPolicy(Policy):
             )
             with tracer.scope("evict", obj):
                 evicted = evict_object(self.manager, obj, self.tiers[index], below)
+        elif tracer.monitoring:
+            monitor = tracer.monitor
+            monitor.note_evict(tracer.clock.now, obj.name, obj.size)
+            # See OptimizingPolicy._evict_region: demotion writebacks are
+            # attributed "evict" via the monitor's copy_cause string, the
+            # cheap tier's stand-in for attribution scopes.
+            prev = monitor.copy_cause
+            monitor.copy_cause = "evict"
+            try:
+                evicted = evict_object(
+                    self.manager, obj, self.tiers[index], below
+                )
+            finally:
+                monitor.copy_cause = prev
         else:
             evicted = evict_object(self.manager, obj, self.tiers[index], below)
         if evicted:
@@ -310,6 +324,10 @@ class MultiTierPolicy(Policy):
                     src=self.tiers[current],
                     dst=top,
                     nbytes=obj.size,
+                )
+            elif self.tracer.monitoring:
+                self.tracer.monitor.note_prefetch(
+                    self.tracer.clock.now, obj.name, obj.size
                 )
         return region
 

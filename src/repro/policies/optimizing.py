@@ -237,6 +237,10 @@ class OptimizingPolicy(Policy):
                     dst=self.fast,
                     nbytes=obj.size,
                 )
+            elif was_slow and self.tracer.monitoring:
+                self.tracer.monitor.note_prefetch(
+                    self.tracer.clock.now, obj.name, obj.size
+                )
         return region
 
     def _allocate_fast(self, size: int, *, force: bool) -> Region | None:
@@ -346,6 +350,19 @@ class OptimizingPolicy(Policy):
             )
             with tracer.scope("evict", obj):
                 evicted = evict_object(self.manager, obj, self.fast, self.slow)
+        elif tracer.monitoring:
+            monitor = tracer.monitor
+            monitor.note_evict(tracer.clock.now, obj.name, obj.size)
+            # Cheap stand-in for the full tier's `with tracer.scope("evict")`:
+            # the writeback copy evict_object performs lands in the monitor's
+            # by-cause rollup under "evict". Restored (not cleared) so
+            # cascaded demotions keep the outer attribution.
+            prev = monitor.copy_cause
+            monitor.copy_cause = "evict"
+            try:
+                evicted = evict_object(self.manager, obj, self.fast, self.slow)
+            finally:
+                monitor.copy_cause = prev
         else:
             evicted = evict_object(self.manager, obj, self.fast, self.slow)
         if evicted:

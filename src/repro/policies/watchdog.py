@@ -73,6 +73,8 @@ class PolicyWatchdog(DelegatingPolicy):
                 strikes=self.strikes,
                 error=str(error),
             )
+        elif tracer.monitoring:
+            tracer.monitor.note_strike(tracer.clock.now, op)
         self.manager.metrics.counter("watchdog.strikes").inc()
         if self.strikes >= self.max_strikes and not self.quarantined:
             self.quarantined = True
@@ -82,6 +84,10 @@ class PolicyWatchdog(DelegatingPolicy):
                     policy=type(self.inner).__name__,
                     fallback=type(self.fallback).__name__,
                     strikes=self.strikes,
+                )
+            elif tracer.monitoring:
+                tracer.monitor.note_quarantine(
+                    tracer.clock.now, type(self.inner).__name__
                 )
             self.manager.metrics.counter("watchdog.quarantines").inc()
             # The quarantined policy may have died mid-operation; make sure

@@ -227,6 +227,10 @@ class CachedArraysAdapter(SystemAdapter):
                     )
                 else:
                     self.clock.advance(wait, MOVEMENT_WAIT)
+                    if tracer.monitoring:
+                        tracer.monitor.note_stall(
+                            self.clock.now, wait, kernel.name
+                        )
             reads: list[tuple] = []
             writes: list[tuple] = []
             for obj in read_objs:
@@ -302,6 +306,10 @@ class CachedArraysAdapter(SystemAdapter):
                 )
             else:
                 self.clock.advance(drain, MOVEMENT_WAIT)
+                if tracer.monitoring:
+                    tracer.monitor.note_stall(
+                        self.clock.now, drain, "iter_end_drain"
+                    )
         self.session.defragment()
         self.session.policy.on_iteration_end()
 
@@ -361,6 +369,11 @@ class TwoLMAdapter(SystemAdapter):
                 offset=offset,
                 nbytes=spec.nbytes,
             )
+        elif self.tracer.monitoring:
+            self.tracer.monitor.note_alloc(
+                self.clock.now, self.system.nvram.name, spec.nbytes,
+                offset, self.tracer.stream,
+            )
 
     def exists(self, name: str) -> bool:
         return name in self.offsets
@@ -376,6 +389,11 @@ class TwoLMAdapter(SystemAdapter):
                 obj=name,
                 offset=offset,
                 nbytes=nbytes,
+            )
+        elif self.tracer.monitoring:
+            self.tracer.monitor.note_free(
+                self.clock.now, self.system.nvram.name, nbytes,
+                offset, self.tracer.stream,
             )
 
     def archive(self, name: str) -> None:
@@ -546,6 +564,10 @@ class Executor:
             tracer = self.adapter.tracer
             if tracer.enabled:
                 tracer.emit(tracing.OOM_RETRY, obj=spec.name, nbytes=spec.nbytes)
+            elif tracer.monitoring:
+                tracer.monitor.note_oom_retry(
+                    self.adapter.clock.now, spec.name
+                )
             recover_allocation(
                 lambda: self.adapter.alloc(spec),
                 err,
@@ -574,6 +596,8 @@ class Executor:
         self.adapter.clock.advance(pause, GC)
         if tracer.enabled:
             tracer.emit(tracing.GC, seconds=pause)
+        elif tracer.monitoring:
+            tracer.monitor.note_gc(self.adapter.clock.now, pause)
 
     def _sample(self, label: str = "") -> None:
         if not self.sample_timeline:
@@ -651,6 +675,7 @@ class Executor:
             adapter_kernel = adapter.kernel
             adapter_occupancy = adapter.occupancy
             traced = tracer.enabled
+            monitoring = tracer.monitoring
             peak_get = peak.get
             for event in trace.events:
                 if isinstance(event, Kernel):
@@ -668,6 +693,8 @@ class Executor:
                             compute=timing.compute,
                             memory=timing.memory,
                         )
+                    elif monitoring:
+                        tracer.monitor.note_kernel(clock.now, timing.total)
                     compute += timing.compute
                     kernel_memory += timing.memory
                     self._sample()

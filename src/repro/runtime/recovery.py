@@ -99,6 +99,8 @@ def recover_allocation(
                 free=error.free,
                 acted=acted,
             )
+        elif tracer.monitoring:
+            tracer.monitor.note_recovery_step(tracer.clock.now, step)
 
     def _succeed(step: str, result: T) -> T:
         if tracer.enabled:
@@ -109,6 +111,8 @@ def recover_allocation(
                 requested=error.requested,
                 steps=",".join(steps_taken),
             )
+        elif tracer.monitoring:
+            tracer.monitor.note_recovery(tracer.clock.now, step)
         if metrics is not None:
             metrics.counter("recovery.success", step=step).inc()
         return result
@@ -145,6 +149,10 @@ def recover_allocation(
 
     if metrics is not None:
         metrics.counter("recovery.exhausted").inc()
+    # Announce the exhaustion as a final ladder step before raising: the
+    # runtime monitor treats it as an escalation and dumps the flight
+    # recorder, so the typed abort ships with its last-N-events context.
+    _emit_step("exhausted", False)
     raise RecoveryExhaustedError(
         error.device, error.requested, error.free, steps_taken
     ) from first_error

@@ -162,6 +162,7 @@ class StreamScheduler:
                     clock.advance(seconds, category)
         except BaseException as exc:
             stream.error = exc
+            self._flight_dump(stream.name)
             raise
         finally:
             stream.local_time = clock.now
@@ -198,6 +199,7 @@ class StreamScheduler:
         except BaseException as exc:
             if active is not None:
                 active.error = exc
+                self._flight_dump(active.name)
             raise
         finally:
             clock.bind_stream(None)
@@ -210,3 +212,15 @@ class StreamScheduler:
         tracer = self.tracer
         if tracer is not None and getattr(tracer, "enabled", False):
             tracer.stream = name
+
+    def _flight_dump(self, stream_name: str) -> None:
+        """Ask the runtime monitor (if one is attached) for a black box.
+
+        A stream abort ends the whole schedule, so the last-N-events context
+        is captured *now*, before unwinding discards the runtime state.
+        """
+        monitor = getattr(self.tracer, "monitor", None)
+        if monitor is not None:
+            monitor.record_escalation(
+                f"stream_error:{stream_name}", self.clock.now
+            )

@@ -23,7 +23,9 @@ from repro.telemetry.diff import (
 )
 from repro.telemetry.export import (
     JSONL_SCHEMA_VERSION,
+    EventStream,
     event_from_json,
+    iter_jsonl,
     jsonl_lines,
     read_jsonl,
     to_chrome_trace,
@@ -37,6 +39,19 @@ from repro.telemetry.ledger import (
     PingPong,
     build_ledger,
     label_subject,
+)
+from repro.telemetry.monitor import (
+    DEFAULT_ALERT_RULES,
+    AlertRule,
+    AlertState,
+    FlightRecorder,
+    HealthSnapshot,
+    MonitorConfig,
+    MonitorTracer,
+    QuantileSketch,
+    RollupAggregator,
+    RollupWindow,
+    RuntimeMonitor,
 )
 from repro.telemetry.metrics import (
     Attribution,
@@ -81,8 +96,21 @@ __all__ = [
     "write_jsonl",
     "jsonl_lines",
     "read_jsonl",
+    "iter_jsonl",
+    "EventStream",
     "event_from_json",
     "JSONL_SCHEMA_VERSION",
+    "QuantileSketch",
+    "RollupWindow",
+    "RollupAggregator",
+    "FlightRecorder",
+    "AlertRule",
+    "AlertState",
+    "DEFAULT_ALERT_RULES",
+    "HealthSnapshot",
+    "MonitorConfig",
+    "RuntimeMonitor",
+    "MonitorTracer",
     "LedgerBuilder",
     "ObjectLedger",
     "ObjectHistory",

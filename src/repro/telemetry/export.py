@@ -27,7 +27,7 @@ loadable by older tooling and vice versa.
 from __future__ import annotations
 
 import json
-from typing import IO, Iterable, Sequence
+from typing import IO, Iterable, Iterator, Sequence
 
 from repro.telemetry.timeline import Timeline
 from repro.telemetry.trace import (
@@ -66,6 +66,8 @@ __all__ = [
     "write_jsonl",
     "jsonl_lines",
     "read_jsonl",
+    "iter_jsonl",
+    "EventStream",
     "event_from_json",
 ]
 
@@ -355,15 +357,15 @@ def event_from_json(data: dict) -> TraceEvent:
     )
 
 
-def read_jsonl(fp: IO[str]) -> list[TraceEvent]:
-    """Load a JSONL event stream written by :func:`write_jsonl`.
+def iter_jsonl(fp: IO[str]) -> Iterator[TraceEvent]:
+    """Stream a JSONL trace one event at a time — O(1) memory.
 
-    Accepts both v2 streams (schema header first) and headerless v1 streams;
-    any line carrying ``schema_version`` but no ``kind`` is a header and is
-    skipped regardless of the version it declares. Blank lines are ignored.
-    Raises :class:`ValueError` on lines that are neither.
+    Same format tolerance as :func:`read_jsonl` (v1 headerless or v2+ with
+    header; blank lines skipped; unknown top-level fields into ``args``) but
+    yields events as lines are read instead of materializing a list, so
+    multi-million-event serving traces can be analyzed without holding the
+    whole run in memory. Raises :class:`ValueError` on malformed lines.
     """
-    events: list[TraceEvent] = []
     for lineno, line in enumerate(fp, start=1):
         line = line.strip()
         if not line:
@@ -380,5 +382,31 @@ def read_jsonl(fp: IO[str]) -> list[TraceEvent]:
             raise ValueError(f"line {lineno}: no 'kind' and not a header")
         if "ts" not in data:
             raise ValueError(f"line {lineno}: event lacks 'ts'")
-        events.append(event_from_json(data))
-    return events
+        yield event_from_json(data)
+
+
+def read_jsonl(fp: IO[str]) -> list[TraceEvent]:
+    """Load a JSONL event stream written by :func:`write_jsonl` into a list.
+
+    Compatibility wrapper over :func:`iter_jsonl`; prefer the iterator (or
+    :class:`EventStream` for a whole file) when the trace may be large.
+    """
+    return list(iter_jsonl(fp))
+
+
+class EventStream:
+    """A *re-iterable* lazy view of a JSONL trace file.
+
+    The trace analyzers (`repro explain`/`diff`/`profile`) make several full
+    passes over a trace — stream discovery, then per-stream folds, then
+    stall attribution. A generator would be exhausted after the first pass,
+    so this wrapper re-opens the file on every ``iter()``: each pass streams
+    from disk with O(1) memory and no pass sees a half-consumed iterator.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        with open(self.path, "r", encoding="utf-8") as fp:
+            yield from iter_jsonl(fp)

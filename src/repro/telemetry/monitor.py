@@ -1,0 +1,1583 @@
+"""Always-on runtime monitor: bounded-memory observability (PR 6 tentpole).
+
+Full tracing (:class:`~repro.telemetry.trace.Tracer`) records every event and
+is priceless after the fact but too heavy to leave on; :data:`NULL_TRACER`
+costs nothing and sees nothing. This module is the production-grade middle
+tier the paper's online-guidance relatives (Olson et al., Jenga) assume: an
+event *consumer* whose memory is bounded no matter how long the run is.
+
+Four cooperating pieces, all driven by :meth:`RuntimeMonitor.observe`:
+
+* :class:`RollupAggregator` — folds events into fixed-interval virtual-time
+  windows (bytes moved per cause, stall seconds, evictions/prefetches,
+  per-device occupancy, per-tenant usage). O(max_windows) memory; windows
+  that age out are folded into cumulative totals, never lost.
+* :class:`QuantileSketch` — streaming p50/p95/p99 for kernel, stall, and
+  copy latencies without storing samples. Log-bucketed (HDR-histogram
+  style): geometric buckets of ratio ``(1+eps)**2`` guarantee every
+  reported quantile is within ``eps`` relative error of a sample at that
+  rank — accuracy-tested against exact ``numpy.percentile``.
+* :class:`FlightRecorder` — a fixed-size ring of the most recent events,
+  dumped to JSONL automatically when a fault fires, the watchdog strikes,
+  or the recovery ladder escalates: the crashed run's "black box".
+* :class:`AlertRule` / :class:`HealthSnapshot` — declarative per-window
+  health checks (stall fraction, ping-pong rate, occupancy, quota
+  pressure) with hysteresis, emitting ``alert`` events into the trace.
+
+:class:`MonitorTracer` adapts the monitor to the runtime's tracer slot: it
+*is* a :class:`Tracer` (same scopes, same virtual-time stamps — so cause
+attribution and determinism carry over) but feeds each event straight into
+the monitor and, by default, does not retain it. The monitor is pure
+observation: it never advances the clock and never feeds back into policy
+decisions, so results are bit-identical with it on or off.
+
+Everything here also works *offline*: replaying a JSONL trace through
+``observe`` produces the same rollups/alerts the live run would have seen —
+that is what ``python -m repro monitor trace.jsonl`` does.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import IO, TYPE_CHECKING, Any, Callable, Iterable, Mapping
+
+from repro.telemetry.timeline import Timeline
+from repro.telemetry.trace import (
+    ALERT,
+    ALLOC,
+    COPY_END,
+    COPY_RETRY,
+    COPY_START,
+    EVICT,
+    FAULT,
+    FREE,
+    GC,
+    KERNEL_END,
+    OOM_RETRY,
+    POLICY_STRIKE,
+    PREFETCH,
+    QUARANTINE,
+    RECOVERY,
+    RECOVERY_STEP,
+    STALL,
+    TraceEvent,
+    Tracer,
+    _NULL_SCOPE,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.clock import SimClock
+
+__all__ = [
+    "QuantileSketch",
+    "RollupWindow",
+    "RollupAggregator",
+    "FlightRecorder",
+    "AlertRule",
+    "AlertState",
+    "DEFAULT_ALERT_RULES",
+    "HealthSnapshot",
+    "MonitorConfig",
+    "RuntimeMonitor",
+    "MonitorTracer",
+    "FLIGHT_SCHEMA_VERSION",
+]
+
+FLIGHT_SCHEMA_VERSION = 1
+
+# Ladder rungs considered an *escalation*: reaching them means the cheap
+# collect/evict rungs were not enough, which is flight-dump-worthy context.
+_ESCALATION_STEPS = frozenset({"defrag", "fallback", "exhausted"})
+
+
+# -- streaming quantile sketch -------------------------------------------------
+
+
+class QuantileSketch:
+    """Streaming quantiles over positive samples in bounded memory.
+
+    Values are hashed into geometric buckets ``[g**i, g**(i+1))`` with
+    ``g = (1 + relative_error)**2``; a quantile query walks the (sparse)
+    buckets in index order to the target rank and reports the bucket's
+    geometric midpoint, clamped to the observed ``[min, max]``. The midpoint
+    of a ratio-``g`` bucket is within ``sqrt(g) - 1 == relative_error`` of
+    every sample in it, which bounds the reported quantile's relative error
+    against the true order statistic at that rank.
+
+    Chosen over the P² estimator because P²'s parabolic interpolation is
+    badly wrong on bimodal inputs; bucket counting has no distributional
+    assumptions. Non-positive samples (latencies are never negative, but
+    zero-duration events exist) are counted exactly in a dedicated bucket.
+    Memory is O(distinct buckets): spanning 1ns..1e6s at the default 0.5%
+    error needs at most ~3500 entries, in practice far fewer.
+    """
+
+    __slots__ = (
+        "relative_error", "_log_growth", "_half_log_growth",
+        "count", "total", "minimum", "maximum", "_nonpos", "_buckets",
+    )
+
+    def __init__(self, relative_error: float = 0.005) -> None:
+        if not 0.0 < relative_error < 0.5:
+            raise ValueError(
+                f"relative_error must be in (0, 0.5), got {relative_error}"
+            )
+        self.relative_error = relative_error
+        growth = (1.0 + relative_error) ** 2
+        self._log_growth = math.log(growth)
+        self._half_log_growth = 0.5 * self._log_growth
+        self.count = 0
+        self.total = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+        self._nonpos = 0  # samples <= 0, kept out of the log buckets
+        self._buckets: dict[int, int] = {}
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+        if value <= 0.0:
+            self._nonpos += 1
+            return
+        index = math.floor(math.log(value) / self._log_growth)
+        buckets = self._buckets
+        buckets[index] = buckets.get(index, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """The q-quantile (q in [0, 1]) of everything observed so far.
+
+        Rank convention matches ``numpy.percentile``'s default: the target
+        rank is ``q * (count - 1)``; the sample holding that (floored) rank
+        is located and its bucket midpoint returned. Returns 0.0 when empty.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        if self.minimum == self.maximum:
+            return self.minimum  # constant stream: exact
+        rank = math.floor(q * (self.count - 1))
+        if rank < self._nonpos:
+            # All non-positive samples sort first; report the worst (closest
+            # to zero) bound we know, which for latencies is simply min.
+            return min(self.minimum, 0.0)
+        seen = self._nonpos
+        for index in sorted(self._buckets):
+            seen += self._buckets[index]
+            if rank < seen:
+                midpoint = math.exp(
+                    index * self._log_growth + self._half_log_growth
+                )
+                return min(max(midpoint, self.minimum), self.maximum)
+        return self.maximum  # unreachable unless counts drifted
+
+    def summary(self) -> dict[str, float]:
+        """count/sum/min/max/mean plus the p50/p95/p99 the dashboard shows."""
+        if self.count == 0:
+            return {
+                "count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0,
+                "p50": 0.0, "p95": 0.0, "p99": 0.0,
+            }
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+            "mean": self.mean,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
+
+# -- windowed rollups ----------------------------------------------------------
+
+
+def cause_kind(root: str) -> str:
+    """Bucket a root-cause label to its *kind*, bounding cardinality.
+
+    Scope labels embed object names (``hint:will_write:a7``,
+    ``evict:conv3.w``); per-object keys would grow without bound on a long
+    run, so rollups key on the label's kind prefix: ``hint:will_write``,
+    ``evict``, ``place``, ... Empty roots roll up as ``unattributed``.
+    """
+    if not root:
+        return "unattributed"
+    first, sep, rest = root.partition(":")
+    if first == "hint" and sep:
+        return "hint:" + rest.partition(":")[0]
+    return first
+
+
+class RollupWindow:
+    """Aggregated activity for one fixed virtual-time interval."""
+
+    __slots__ = (
+        "index", "start", "duration", "events",
+        "copies", "copy_bytes", "copy_bytes_by_cause",
+        "stalls", "stall_seconds", "evictions", "prefetches",
+        "allocs", "alloc_bytes", "frees", "free_bytes",
+        "kernels", "kernel_seconds", "gcs", "oom_retries",
+        "faults", "recovery_steps", "recoveries", "copy_retries",
+        "strikes", "quarantines",
+        "occupancy", "inflight_copy_bytes", "tenant_used",
+    )
+
+    def __init__(self, index: int, duration: float) -> None:
+        self.index = index
+        self.start = index * duration
+        self.duration = duration
+        self.events = 0
+        self.copies = 0
+        self.copy_bytes = 0
+        self.copy_bytes_by_cause: dict[str, int] = {}
+        self.stalls = 0
+        self.stall_seconds = 0.0
+        self.evictions = 0
+        self.prefetches = 0
+        self.allocs = 0
+        self.alloc_bytes = 0
+        self.frees = 0
+        self.free_bytes = 0
+        self.kernels = 0
+        self.kernel_seconds = 0.0
+        self.gcs = 0
+        self.oom_retries = 0
+        self.faults = 0
+        self.recovery_steps = 0
+        self.recoveries = 0
+        self.copy_retries = 0
+        self.strikes = 0
+        self.quarantines = 0
+        # Filled at window close from the monitor's live state.
+        self.occupancy: dict[str, int] = {}
+        self.inflight_copy_bytes = 0
+        self.tenant_used: dict[str, int] = {}
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    @property
+    def stall_fraction(self) -> float:
+        return self.stall_seconds / self.duration if self.duration else 0.0
+
+    @property
+    def ping_pong_rate(self) -> float:
+        """Evict/prefetch *churn* per second: min(evictions, prefetches)/dt.
+
+        A window that only evicts (pressure) or only prefetches (warm-up) is
+        healthy; paired evict+refetch in the same window is thrash.
+        """
+        if not self.duration:
+            return 0.0
+        return min(self.evictions, self.prefetches) / self.duration
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "index": self.index,
+            "start": self.start,
+            "duration": self.duration,
+            "events": self.events,
+            "copies": self.copies,
+            "copy_bytes": self.copy_bytes,
+            "copy_bytes_by_cause": dict(
+                sorted(self.copy_bytes_by_cause.items())
+            ),
+            "stalls": self.stalls,
+            "stall_seconds": self.stall_seconds,
+            "stall_fraction": self.stall_fraction,
+            "evictions": self.evictions,
+            "prefetches": self.prefetches,
+            "ping_pong_rate": self.ping_pong_rate,
+            "allocs": self.allocs,
+            "alloc_bytes": self.alloc_bytes,
+            "frees": self.frees,
+            "free_bytes": self.free_bytes,
+            "kernels": self.kernels,
+            "kernel_seconds": self.kernel_seconds,
+            "gcs": self.gcs,
+            "oom_retries": self.oom_retries,
+            "faults": self.faults,
+            "recovery_steps": self.recovery_steps,
+            "recoveries": self.recoveries,
+            "copy_retries": self.copy_retries,
+            "strikes": self.strikes,
+            "quarantines": self.quarantines,
+            "occupancy": dict(sorted(self.occupancy.items())),
+            "inflight_copy_bytes": self.inflight_copy_bytes,
+            "tenant_used": dict(sorted(self.tenant_used.items())),
+        }
+
+
+class RollupAggregator:
+    """Fixed-interval windows over virtual time, O(max_windows) memory.
+
+    Windows *close* when an event lands in a later interval; the close
+    callback (alert evaluation, occupancy snapshotting) fires once per
+    window in index order. Async completions (``emit_at``) can arrive with
+    an earlier timestamp than the event that closed their window — such
+    late events still fold into the retained window (counts stay exact) or,
+    past the retention horizon, into the folded totals; only the per-window
+    *alert view* is best-effort at close time. Retention is bounded:
+    windows older than ``max_windows`` fold into a cumulative
+    :class:`RollupWindow` (index -1) and are dropped.
+    """
+
+    def __init__(
+        self,
+        window_seconds: float,
+        max_windows: int,
+        on_close: Callable[[RollupWindow], None] | None = None,
+    ) -> None:
+        if window_seconds <= 0:
+            raise ValueError(f"window_seconds must be > 0, got {window_seconds}")
+        if max_windows < 1:
+            raise ValueError(f"max_windows must be >= 1, got {max_windows}")
+        self.window_seconds = window_seconds
+        self.max_windows = max_windows
+        self.on_close = on_close
+        self.windows: dict[int, RollupWindow] = {}  # insertion == index order
+        self.folded = RollupWindow(-1, window_seconds)
+        self.windows_closed = 0
+        self._highest = -1
+        # One-entry cache for the common case (consecutive events landing in
+        # the same window). The bounds are plain floats so the monitor-tier
+        # fast path can test membership with two comparisons — no division,
+        # no dict probe, no call. Invalidated whenever the cached window
+        # could be folded away or has been closed by finish().
+        self._cache_lo = math.inf
+        self._cache_hi = -math.inf
+        self._cache_window: RollupWindow | None = None
+
+    def window_for(self, ts: float) -> RollupWindow:
+        """The window containing ``ts``, closing any interval it skips past."""
+        if self._cache_lo <= ts < self._cache_hi:
+            return self._cache_window  # type: ignore[return-value]
+        index = int(ts / self.window_seconds)
+        window = self.windows.get(index)
+        if window is None:
+            if index > self._highest:
+                if self._highest >= 0:
+                    self._close_through(index - 1)
+                self._highest = index
+            window = self.windows[index] = RollupWindow(
+                index, self.window_seconds
+            )
+            self._evict_old()
+        self._cache_lo = window.start
+        self._cache_hi = window.start + window.duration
+        self._cache_window = window
+        return window
+
+    def _invalidate_cache(self) -> None:
+        self._cache_lo = math.inf
+        self._cache_hi = -math.inf
+        self._cache_window = None
+
+    def _close_through(self, last: int) -> None:
+        # Close every retained window up to `last`, materialising empty gap
+        # windows so hysteresis counts idle intervals too. A jump larger
+        # than the retention span skips the unobservable middle.
+        first = self._highest
+        if last - first >= self.max_windows:
+            first = last - self.max_windows + 1
+        for index in range(self._highest, last + 1):
+            window = self.windows.get(index)
+            if window is None:
+                if index < first:
+                    continue
+                window = self.windows[index] = RollupWindow(
+                    index, self.window_seconds
+                )
+            self.windows_closed += 1
+            if self.on_close is not None:
+                self.on_close(window)
+        self._evict_old()
+
+    def finish(self) -> None:
+        """Close the trailing window (end of run / final snapshot)."""
+        if self._highest >= 0 and self._highest in self.windows:
+            self._close_through(self._highest)
+            self._highest += 1  # re-observing the same ts opens a fresh view
+            self._invalidate_cache()
+
+    def _evict_old(self) -> None:
+        while len(self.windows) > self.max_windows:
+            oldest = next(iter(self.windows))
+            window = self.windows.pop(oldest)
+            if window is self._cache_window:
+                self._invalidate_cache()
+            self._fold(window)
+
+    def _fold(self, window: RollupWindow) -> None:
+        into = self.folded
+        into.events += window.events
+        into.copies += window.copies
+        into.copy_bytes += window.copy_bytes
+        for cause, nbytes in window.copy_bytes_by_cause.items():
+            into.copy_bytes_by_cause[cause] = (
+                into.copy_bytes_by_cause.get(cause, 0) + nbytes
+            )
+        into.stalls += window.stalls
+        into.stall_seconds += window.stall_seconds
+        into.evictions += window.evictions
+        into.prefetches += window.prefetches
+        into.allocs += window.allocs
+        into.alloc_bytes += window.alloc_bytes
+        into.frees += window.frees
+        into.free_bytes += window.free_bytes
+        into.kernels += window.kernels
+        into.kernel_seconds += window.kernel_seconds
+        into.gcs += window.gcs
+        into.oom_retries += window.oom_retries
+        into.faults += window.faults
+        into.recovery_steps += window.recovery_steps
+        into.recoveries += window.recoveries
+        into.copy_retries += window.copy_retries
+        into.strikes += window.strikes
+        into.quarantines += window.quarantines
+
+    def recent(self, limit: int | None = None) -> list[RollupWindow]:
+        """Retained windows in index order (most recent last)."""
+        windows = list(self.windows.values())
+        if limit is not None and len(windows) > limit:
+            windows = windows[-limit:]
+        return windows
+
+
+# -- flight recorder -----------------------------------------------------------
+
+
+class FlightRecorder:
+    """A fixed-size ring of the most recent events: the run's black box.
+
+    Appending is O(1) with no allocation beyond the slot write. Slots hold
+    either full :class:`TraceEvent` records (the observe/replay path) or
+    plain dicts (the monitor-tier ``note_*`` fast path appends compact
+    pre-shaped records to avoid building events it would never retain). A
+    dump writes a ``repro.flight`` JSONL document — header line (reason,
+    virtual dump time, drop count) followed by the retained records in
+    arrival order with sorted keys and compact separators (the same
+    encoding as :func:`~repro.telemetry.export.jsonl_lines`), so a seeded
+    rerun produces a byte-identical dump.
+    """
+
+    def __init__(self, capacity: int = 512) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.total = 0
+        self._ring: list[TraceEvent | dict | tuple | None] = [None] * capacity
+        self._next = 0
+
+    def __len__(self) -> int:
+        return min(self.total, self.capacity)
+
+    def append(self, event: "TraceEvent | dict | tuple") -> None:
+        self._ring[self._next] = event
+        self._next = (self._next + 1) % self.capacity
+        self.total += 1
+
+    def snapshot(self) -> list["TraceEvent | dict | tuple"]:
+        """Retained records in arrival order (oldest first)."""
+        if self.total < self.capacity:
+            return [e for e in self._ring[: self._next] if e is not None]
+        tail = self._ring[self._next:] + self._ring[: self._next]
+        return [e for e in tail if e is not None]
+
+    def dump(self, fp: IO[str], *, reason: str, ts: float) -> int:
+        """Write the ring as a flight-record JSONL document; returns count."""
+        import json
+
+        events = self.snapshot()
+        header = {
+            "schema": "repro.flight",
+            "schema_version": FLIGHT_SCHEMA_VERSION,
+            "reason": reason,
+            "ts": ts,
+            "events": len(events),
+            "dropped": self.total - len(events),
+        }
+        fp.write(json.dumps(header, sort_keys=True, separators=(",", ":")))
+        fp.write("\n")
+        for entry in events:
+            if isinstance(entry, tuple):
+                doc = {"kind": entry[0], "ts": entry[1]}
+                doc.update(zip(_RING_FIELDS[entry[0]], entry[2:]))
+            elif isinstance(entry, dict):
+                doc = entry
+            else:
+                doc = entry.to_json()
+            fp.write(json.dumps(doc, sort_keys=True, separators=(",", ":")))
+            fp.write("\n")
+        return len(events)
+
+
+# Field names for the monitor tier's compact ring records: the note_* fast
+# path appends plain ``(kind, ts, *values)`` tuples (cheaper to build than
+# dicts on the hot path); dump() re-keys them here so the JSONL document is
+# indistinguishable from one built from kwargs.
+_RING_FIELDS: dict[str, tuple[str, ...]] = {
+    STALL: ("kernel", "seconds"),
+    COPY_START: ("src", "dst", "nbytes", "seconds"),
+    EVICT: ("obj", "nbytes"),
+    PREFETCH: ("obj", "nbytes"),
+    GC: ("seconds",),
+    OOM_RETRY: ("obj",),
+    COPY_RETRY: ("reason",),
+    FAULT: ("fault",),
+    RECOVERY_STEP: ("step",),
+    RECOVERY: ("step",),
+    POLICY_STRIKE: ("op",),
+    QUARANTINE: ("policy",),
+}
+
+
+# -- alert rules ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AlertRule:
+    """One declarative per-window health check with hysteresis.
+
+    ``metric`` names a selector the monitor computes per closed window (see
+    :data:`METRIC_SELECTORS`); selectors may yield several labelled values
+    (one per device or tenant), each tracked independently. The rule trips
+    after ``trip_windows`` *consecutive* breaching windows and clears after
+    ``clear_windows`` consecutive clean ones — a single noisy window never
+    flaps an alert.
+    """
+
+    name: str
+    metric: str
+    threshold: float
+    severity: str = "warning"
+    trip_windows: int = 2
+    clear_windows: int = 2
+    description: str = ""
+
+
+class AlertState:
+    """Hysteresis bookkeeping for one (rule, label) pair."""
+
+    __slots__ = ("rule", "label", "active", "breaches", "clears",
+                 "value", "since", "fired")
+
+    def __init__(self, rule: AlertRule, label: str) -> None:
+        self.rule = rule
+        self.label = label
+        self.active = False
+        self.breaches = 0
+        self.clears = 0
+        self.value = 0.0
+        self.since = 0.0
+        self.fired = 0
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "rule": self.rule.name,
+            "label": self.label,
+            "metric": self.rule.metric,
+            "threshold": self.rule.threshold,
+            "severity": self.rule.severity,
+            "value": self.value,
+            "since": self.since,
+            "fired": self.fired,
+        }
+
+
+# Selector registry: metric name -> callable(monitor, window) -> {label: value}.
+# Selectors that need bound context (capacities, quotas) yield nothing until
+# the context is attached, so the rules are safe to leave in the default set.
+
+def _sel_stall_fraction(monitor: "RuntimeMonitor", window: RollupWindow):
+    return {"": window.stall_fraction}
+
+
+def _sel_ping_pong_rate(monitor: "RuntimeMonitor", window: RollupWindow):
+    return {"": window.ping_pong_rate}
+
+
+def _sel_occupancy_fraction(monitor: "RuntimeMonitor", window: RollupWindow):
+    out = {}
+    for device, capacity in monitor.capacities.items():
+        if capacity > 0:
+            out[device] = monitor.occupancy.get(device, 0) / capacity
+    return out
+
+
+def _sel_quota_fraction(monitor: "RuntimeMonitor", window: RollupWindow):
+    out = {}
+    for (tenant, device), limit in monitor.quotas.items():
+        if limit > 0:
+            used = window.tenant_used.get(f"{tenant}/{device}", 0)
+            out[f"{tenant}/{device}"] = used / limit
+    return out
+
+
+def _sel_fault_rate(monitor: "RuntimeMonitor", window: RollupWindow):
+    return {"": window.faults / window.duration if window.duration else 0.0}
+
+
+METRIC_SELECTORS: dict[
+    str, Callable[["RuntimeMonitor", RollupWindow], Mapping[str, float]]
+] = {
+    "stall_fraction": _sel_stall_fraction,
+    "ping_pong_rate": _sel_ping_pong_rate,
+    "occupancy_fraction": _sel_occupancy_fraction,
+    "quota_fraction": _sel_quota_fraction,
+    "fault_rate": _sel_fault_rate,
+}
+
+DEFAULT_ALERT_RULES: tuple[AlertRule, ...] = (
+    AlertRule(
+        name="high-stall",
+        metric="stall_fraction",
+        threshold=0.5,
+        severity="warning",
+        description="over half the window spent stalled on data movement",
+    ),
+    AlertRule(
+        name="ping-pong",
+        metric="ping_pong_rate",
+        threshold=8.0,
+        severity="warning",
+        description="sustained evict+prefetch churn (thrash)",
+    ),
+    AlertRule(
+        name="near-capacity",
+        metric="occupancy_fraction",
+        threshold=0.95,
+        severity="critical",
+        trip_windows=3,
+        description="device heap above 95% occupancy",
+    ),
+    AlertRule(
+        name="quota-pressure",
+        metric="quota_fraction",
+        threshold=0.9,
+        severity="warning",
+        description="tenant within 10% of its device quota",
+    ),
+)
+
+_SEVERITY_RANK = {"info": 0, "warning": 1, "critical": 2}
+
+
+# -- health snapshot -----------------------------------------------------------
+
+
+@dataclass
+class HealthSnapshot:
+    """Point-in-time health: totals, occupancy, latency sketches, alerts."""
+
+    ts: float
+    events_seen: int
+    windows_closed: int
+    status: str
+    totals: dict[str, Any]
+    occupancy: dict[str, dict[str, int]]
+    tenants: dict[str, dict[str, int]]
+    latencies: dict[str, dict[str, float]]
+    active_alerts: list[dict[str, Any]]
+    alerts_fired: int
+    flight_dumps: list[str]
+    recent_windows: list[dict[str, Any]] = field(default_factory=list)
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "ts": self.ts,
+            "events_seen": self.events_seen,
+            "windows_closed": self.windows_closed,
+            "status": self.status,
+            "totals": self.totals,
+            "occupancy": self.occupancy,
+            "tenants": self.tenants,
+            "latencies": self.latencies,
+            "active_alerts": self.active_alerts,
+            "alerts_fired": self.alerts_fired,
+            "flight_dumps": self.flight_dumps,
+            "recent_windows": self.recent_windows,
+        }
+
+    def render(self) -> str:
+        """Human-readable dashboard block (the `repro monitor` body)."""
+        lines = [
+            f"health: {self.status.upper()}  t={self.ts:.3f}s  "
+            f"events={self.events_seen}  windows={self.windows_closed}  "
+            f"alerts_fired={self.alerts_fired}",
+        ]
+        totals = self.totals
+        lines.append(
+            f"  movement: {totals['copies']} copies / "
+            f"{_fmt_bytes(totals['copy_bytes'])}   "
+            f"stall {totals['stall_seconds']:.3f}s ({totals['stalls']}x)   "
+            f"evict {totals['evictions']} / prefetch {totals['prefetches']}"
+        )
+        lines.append(
+            f"  robustness: faults {totals['faults']}  "
+            f"recoveries {totals['recoveries']}  "
+            f"copy_retries {totals['copy_retries']}  "
+            f"strikes {totals['strikes']}  "
+            f"quarantines {totals['quarantines']}"
+        )
+        if self.occupancy:
+            parts = []
+            for device, occ in sorted(self.occupancy.items()):
+                used = _fmt_bytes(occ["used"])
+                cap = occ.get("capacity", 0)
+                if cap:
+                    parts.append(
+                        f"{device} {used}/{_fmt_bytes(cap)} "
+                        f"({occ['used'] / cap:.0%})"
+                    )
+                else:
+                    parts.append(f"{device} {used}")
+            lines.append("  occupancy: " + "   ".join(parts))
+        for tenant, usage in sorted(self.tenants.items()):
+            limit = usage.get("limit", 0)
+            suffix = f" / {_fmt_bytes(limit)}" if limit else ""
+            lines.append(
+                f"  tenant {tenant}: {_fmt_bytes(usage['used'])}{suffix}"
+            )
+        for name, summary in sorted(self.latencies.items()):
+            if not summary["count"]:
+                continue
+            lines.append(
+                f"  {name}: n={int(summary['count'])}  "
+                f"p50={summary['p50'] * 1e3:.3f}ms  "
+                f"p95={summary['p95'] * 1e3:.3f}ms  "
+                f"p99={summary['p99'] * 1e3:.3f}ms"
+            )
+        if self.active_alerts:
+            for alert in self.active_alerts:
+                label = f" [{alert['label']}]" if alert["label"] else ""
+                lines.append(
+                    f"  ALERT {alert['severity'].upper()} "
+                    f"{alert['rule']}{label}: "
+                    f"{alert['metric']}={alert['value']:.3f} "
+                    f"> {alert['threshold']} (since t={alert['since']:.3f}s)"
+                )
+        else:
+            lines.append("  alerts: none active")
+        for path in self.flight_dumps:
+            lines.append(f"  flight dump: {path}")
+        return "\n".join(lines)
+
+
+def _fmt_bytes(n: float) -> str:
+    n = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(n) < 1024.0 or unit == "GiB":
+            return f"{n:.1f}{unit}" if unit != "B" else f"{int(n)}B"
+        n /= 1024.0
+    return f"{n:.1f}GiB"  # pragma: no cover - loop always returns
+
+
+# -- the monitor ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MonitorConfig:
+    """Tuning for :class:`RuntimeMonitor`; the defaults suit the repo's
+    experiment scales (windows of 0.25 virtual seconds, a few hundred
+    retained) and bound memory regardless of run length."""
+
+    window_seconds: float = 0.25
+    max_windows: int = 240
+    ring_capacity: int = 512
+    sketch_relative_error: float = 0.005
+    dump_dir: str | None = None
+    max_dumps: int = 8
+    rules: tuple[AlertRule, ...] = DEFAULT_ALERT_RULES
+
+
+class RuntimeMonitor:
+    """Consumes trace events; maintains rollups, sketches, ring, alerts.
+
+    Pure observation with bounded memory: safe to leave attached to any
+    run. Feed it live through :class:`MonitorTracer` or offline by calling
+    :meth:`observe` over a replayed JSONL stream — both paths produce
+    identical state for the same event sequence.
+    """
+
+    def __init__(self, config: MonitorConfig | None = None) -> None:
+        self.config = config or MonitorConfig()
+        cfg = self.config
+        self.rollups = RollupAggregator(
+            cfg.window_seconds, cfg.max_windows, on_close=self._on_close
+        )
+        self.ring = FlightRecorder(cfg.ring_capacity)
+        self.kernel_latency = QuantileSketch(cfg.sketch_relative_error)
+        self.stall_latency = QuantileSketch(cfg.sketch_relative_error)
+        self.copy_latency = QuantileSketch(cfg.sketch_relative_error)
+        self.events_seen = 0
+        self.last_ts = 0.0
+        # Live aggregates (exact, maintained incrementally from events).
+        self.occupancy: dict[str, int] = {}
+        self.inflight_copy_bytes = 0
+        # The current copy-cause bucket for note_copy (monitor tier only):
+        # eviction sites set it to "evict" around evict_object() — the
+        # cheap stand-in for the full tier's attribution scopes.
+        self.copy_cause = "unattributed"
+        self._inflight: dict[int, tuple[float, int]] = {}  # seq -> (ts, nbytes)
+        self.totals: dict[str, Any] = {
+            "copies": 0, "copy_bytes": 0, "stalls": 0, "stall_seconds": 0.0,
+            "evictions": 0, "prefetches": 0, "allocs": 0, "frees": 0,
+            "kernels": 0, "kernel_seconds": 0.0, "gcs": 0, "oom_retries": 0,
+            "faults": 0, "recovery_steps": 0, "recoveries": 0,
+            "copy_retries": 0, "strikes": 0, "quarantines": 0,
+        }
+        self.recovery_steps_by_rung: dict[str, int] = {}
+        self.recoveries_by_step: dict[str, int] = {}
+        # Per-tenant usage, estimated from stream-tagged alloc/free (see
+        # bind_usage_probe for the exact live path). Keyed "tenant/device".
+        self._tenant_used: dict[str, int] = {}
+        self._region_tenant: dict[tuple[str, int], tuple[str, int]] = {}
+        # Bound context (optional): device capacities, tenant quotas, and an
+        # exact usage probe (the live DataManager's accounting).
+        self.capacities: dict[str, int] = {}
+        self.quotas: dict[tuple[str, str], int] = {}
+        self._usage_probe: Callable[[], Mapping[tuple[str, str], int]] | None
+        self._usage_probe = None
+        # Alerting.
+        self.rules: tuple[AlertRule, ...] = cfg.rules
+        self._alert_states: dict[tuple[str, str], AlertState] = {}
+        self.alerts_fired = 0
+        self.alert_events: list[TraceEvent] = []
+        self._alert_sink: Callable[[TraceEvent], None] | None = None
+        # Flight dumps.
+        self.dumps: list[str] = []
+        self._dump_reasons: set[str] = set()
+        self._dump_seq = 0
+
+    # -- context binding -----------------------------------------------------
+
+    def bind_capacities(self, capacities: Mapping[str, int]) -> None:
+        """Attach device capacities (enables occupancy-fraction alerts).
+
+        The mapping is held by reference and read at window close, so a
+        live table (or one updated later) stays current.
+        """
+        self.capacities = capacities  # type: ignore[assignment]
+
+    def bind_quotas(self, quotas: Mapping[tuple[str, str], int]) -> None:
+        """Attach (tenant, device) -> byte quotas (enables quota alerts).
+
+        Held by reference like :meth:`bind_capacities` — the runtime passes
+        the manager's own quota table, so quotas set *after* attachment
+        (tenants attach to a built runtime) are still seen.
+        """
+        self.quotas = quotas  # type: ignore[assignment]
+
+    def bind_usage_probe(
+        self, probe: Callable[[], Mapping[tuple[str, str], int]]
+    ) -> None:
+        """Attach an exact per-tenant usage source (the live manager).
+
+        Offline replay falls back to the stream-tag estimate, which is exact
+        until a defrag relocates regions (moves are not re-announced as
+        alloc/free); live runs should always bind the probe.
+        """
+        self._usage_probe = probe
+
+    def set_alert_sink(self, sink: Callable[[TraceEvent], None] | None) -> None:
+        """Where emitted alert events go besides :attr:`alert_events`."""
+        self._alert_sink = sink
+
+    # -- event intake --------------------------------------------------------
+
+    def observe(self, event: TraceEvent) -> None:
+        """Fold one event into every monitor structure. Hot path."""
+        self.events_seen += 1
+        ts = event.ts
+        if ts > self.last_ts:
+            self.last_ts = ts
+        self.ring.append(event)
+        window = self.rollups.window_for(ts)
+        window.events += 1
+        kind = event.kind
+        totals = self.totals
+        args = event.args
+        if kind == KERNEL_END:
+            seconds = float(args.get("seconds", 0.0))
+            window.kernels += 1
+            window.kernel_seconds += seconds
+            totals["kernels"] += 1
+            totals["kernel_seconds"] += seconds
+            self.kernel_latency.observe(seconds)
+        elif kind == ALLOC:
+            nbytes = int(args.get("nbytes", 0))
+            device = args.get("device", "?")
+            window.allocs += 1
+            window.alloc_bytes += nbytes
+            totals["allocs"] += 1
+            self.occupancy[device] = self.occupancy.get(device, 0) + nbytes
+            if event.stream:
+                offset = args.get("offset")
+                if offset is not None:
+                    self._region_tenant[(device, int(offset))] = (
+                        event.stream, nbytes,
+                    )
+                key = f"{event.stream}/{device}"
+                self._tenant_used[key] = self._tenant_used.get(key, 0) + nbytes
+        elif kind == FREE:
+            nbytes = int(args.get("nbytes", 0))
+            device = args.get("device", "?")
+            window.frees += 1
+            window.free_bytes += nbytes
+            totals["frees"] += 1
+            self.occupancy[device] = self.occupancy.get(device, 0) - nbytes
+            offset = args.get("offset")
+            owner = None
+            if offset is not None:
+                owner = self._region_tenant.pop((device, int(offset)), None)
+            tenant = owner[0] if owner else event.stream
+            if tenant:
+                key = f"{tenant}/{device}"
+                remaining = self._tenant_used.get(key, 0) - nbytes
+                if remaining > 0:
+                    self._tenant_used[key] = remaining
+                else:
+                    self._tenant_used.pop(key, None)
+        elif kind == COPY_START:
+            nbytes = int(args.get("nbytes", 0))
+            window.copies += 1
+            window.copy_bytes += nbytes
+            cause = cause_kind(event.root)
+            window.copy_bytes_by_cause[cause] = (
+                window.copy_bytes_by_cause.get(cause, 0) + nbytes
+            )
+            totals["copies"] += 1
+            totals["copy_bytes"] += nbytes
+            self.inflight_copy_bytes += nbytes
+            seq = args.get("seq")
+            if seq is not None:
+                self._inflight[int(seq)] = (ts, nbytes)
+        elif kind == COPY_END:
+            seq = args.get("seq")
+            started = None
+            if seq is not None:
+                started = self._inflight.pop(int(seq), None)
+            if started is not None:
+                start_ts, nbytes = started
+                self.inflight_copy_bytes -= nbytes
+                self.copy_latency.observe(ts - start_ts)
+        elif kind == STALL:
+            seconds = float(args.get("seconds", 0.0))
+            window.stalls += 1
+            window.stall_seconds += seconds
+            totals["stalls"] += 1
+            totals["stall_seconds"] += seconds
+            self.stall_latency.observe(seconds)
+        elif kind == EVICT:
+            window.evictions += 1
+            totals["evictions"] += 1
+        elif kind == PREFETCH:
+            window.prefetches += 1
+            totals["prefetches"] += 1
+        elif kind == GC:
+            window.gcs += 1
+            totals["gcs"] += 1
+        elif kind == OOM_RETRY:
+            window.oom_retries += 1
+            totals["oom_retries"] += 1
+        elif kind == FAULT:
+            window.faults += 1
+            totals["faults"] += 1
+            label = args.get("fault") or args.get("site") or "?"
+            self._maybe_dump(f"fault:{label}", ts)
+        elif kind == RECOVERY_STEP:
+            step = str(args.get("step", "?"))
+            window.recovery_steps += 1
+            totals["recovery_steps"] += 1
+            self.recovery_steps_by_rung[step] = (
+                self.recovery_steps_by_rung.get(step, 0) + 1
+            )
+            if step in _ESCALATION_STEPS:
+                self._maybe_dump(f"recovery:{step}", ts)
+        elif kind == RECOVERY:
+            window.recoveries += 1
+            totals["recoveries"] += 1
+            step = str(args.get("step", "?"))
+            self.recoveries_by_step[step] = (
+                self.recoveries_by_step.get(step, 0) + 1
+            )
+        elif kind == COPY_RETRY:
+            window.copy_retries += 1
+            totals["copy_retries"] += 1
+        elif kind == POLICY_STRIKE:
+            window.strikes += 1
+            totals["strikes"] += 1
+            self._maybe_dump("policy_strike", ts)
+        elif kind == QUARANTINE:
+            window.quarantines += 1
+            totals["quarantines"] += 1
+            self._maybe_dump("quarantine", ts)
+        # Other kinds (hint/place/decision/...) only count toward
+        # window.events and ride in the flight ring.
+
+    def observe_all(self, events: Iterable[TraceEvent]) -> "RuntimeMonitor":
+        """Replay a whole event stream (offline mode); returns self."""
+        for event in events:
+            self.observe(event)
+        return self
+
+    def finish(self) -> None:
+        """Close the trailing window so its stats and alerts are visible."""
+        self.rollups.finish()
+
+    # -- monitor-tier fast intake (note_*) -----------------------------------
+    #
+    # The inlined twins of observe()'s per-kind branches, called straight
+    # from instrumented sites through the ``elif tracer.monitoring:`` guard:
+    # positional arguments only, no kwargs dict, no TraceEvent. Each method
+    # must keep the same arithmetic as its observe() branch for totals,
+    # occupancy, and latency sketches, so offline replay of a recorded
+    # stream agrees with live monitoring on those (the CLI test suite holds
+    # the two paths equal there; per-window event counts and copy-cause
+    # attribution legitimately differ, because the cheap tier neither sees
+    # the skipped event kinds nor opens attribution scopes). Movement and
+    # robustness notes also drop a compact ``(kind, ts, *values)`` tuple
+    # into the flight ring (see ``_RING_FIELDS``) so the black box stays
+    # useful in the cheap tier; alloc/free and kernel notes skip the ring
+    # (pure volume, no forensic value).
+    #
+    # Every note opens with the same hand-inlined window lookup — two float
+    # comparisons against the aggregator's cached current window — because
+    # at ~50k notes per benchmark run even one extra call frame per note is
+    # measurable against the <=5% overhead budget (docs/observability.md).
+
+    def note_kernel(self, ts: float, seconds: float) -> None:
+        r = self.rollups
+        window = (
+            r._cache_window if r._cache_lo <= ts < r._cache_hi
+            else r.window_for(ts)
+        )
+        self.events_seen += 1
+        if ts > self.last_ts:
+            self.last_ts = ts
+        window.events += 1
+        window.kernels += 1
+        window.kernel_seconds += seconds
+        totals = self.totals
+        totals["kernels"] += 1
+        totals["kernel_seconds"] += seconds
+        self.kernel_latency.observe(seconds)
+
+    def note_stall(self, ts: float, seconds: float, kernel: str = "") -> None:
+        r = self.rollups
+        window = (
+            r._cache_window if r._cache_lo <= ts < r._cache_hi
+            else r.window_for(ts)
+        )
+        self.events_seen += 1
+        if ts > self.last_ts:
+            self.last_ts = ts
+        window.events += 1
+        window.stalls += 1
+        window.stall_seconds += seconds
+        totals = self.totals
+        totals["stalls"] += 1
+        totals["stall_seconds"] += seconds
+        self.stall_latency.observe(seconds)
+        self.ring.append((STALL, ts, kernel, seconds))
+
+    def note_copy(
+        self, start_ts: float, end_ts: float, nbytes: int, src: str, dst: str
+    ) -> None:
+        # Mirrors the observe() pairing order exactly: the start window is
+        # touched, the copy goes in flight, then the end window is touched
+        # (possibly closing the start window with this copy still counted
+        # in-flight), then the copy lands. The cause comes from
+        # ``copy_cause`` — a plain string the eviction sites set around
+        # evict_object() in place of the full tier's tracer scopes.
+        r = self.rollups
+        window = (
+            r._cache_window if r._cache_lo <= start_ts < r._cache_hi
+            else r.window_for(start_ts)
+        )
+        self.events_seen += 2
+        window.events += 1
+        window.copies += 1
+        window.copy_bytes += nbytes
+        cause = self.copy_cause
+        by_cause = window.copy_bytes_by_cause
+        by_cause[cause] = by_cause.get(cause, 0) + nbytes
+        totals = self.totals
+        totals["copies"] += 1
+        totals["copy_bytes"] += nbytes
+        self.inflight_copy_bytes += nbytes
+        end_window = (
+            r._cache_window if r._cache_lo <= end_ts < r._cache_hi
+            else r.window_for(end_ts)
+        )
+        end_window.events += 1
+        if end_ts > self.last_ts:
+            self.last_ts = end_ts
+        self.inflight_copy_bytes -= nbytes
+        self.copy_latency.observe(end_ts - start_ts)
+        self.ring.append(
+            (COPY_START, start_ts, src, dst, nbytes, end_ts - start_ts)
+        )
+
+    def note_alloc(
+        self, ts: float, device: str, nbytes: int, offset: int, stream: str
+    ) -> None:
+        r = self.rollups
+        window = (
+            r._cache_window if r._cache_lo <= ts < r._cache_hi
+            else r.window_for(ts)
+        )
+        self.events_seen += 1
+        if ts > self.last_ts:
+            self.last_ts = ts
+        window.events += 1
+        window.allocs += 1
+        window.alloc_bytes += nbytes
+        self.totals["allocs"] += 1
+        occupancy = self.occupancy
+        occupancy[device] = occupancy.get(device, 0) + nbytes
+        if stream:
+            self._region_tenant[(device, offset)] = (stream, nbytes)
+            key = f"{stream}/{device}"
+            self._tenant_used[key] = self._tenant_used.get(key, 0) + nbytes
+
+    def note_free(
+        self, ts: float, device: str, nbytes: int, offset: int, stream: str
+    ) -> None:
+        r = self.rollups
+        window = (
+            r._cache_window if r._cache_lo <= ts < r._cache_hi
+            else r.window_for(ts)
+        )
+        self.events_seen += 1
+        if ts > self.last_ts:
+            self.last_ts = ts
+        window.events += 1
+        window.frees += 1
+        window.free_bytes += nbytes
+        self.totals["frees"] += 1
+        occupancy = self.occupancy
+        occupancy[device] = occupancy.get(device, 0) - nbytes
+        if stream or self._region_tenant:
+            owner = self._region_tenant.pop((device, offset), None)
+            tenant = owner[0] if owner else stream
+            if tenant:
+                key = f"{tenant}/{device}"
+                remaining = self._tenant_used.get(key, 0) - nbytes
+                if remaining > 0:
+                    self._tenant_used[key] = remaining
+                else:
+                    self._tenant_used.pop(key, None)
+
+    def note_evict(self, ts: float, obj: str, nbytes: int) -> None:
+        r = self.rollups
+        window = (
+            r._cache_window if r._cache_lo <= ts < r._cache_hi
+            else r.window_for(ts)
+        )
+        self.events_seen += 1
+        if ts > self.last_ts:
+            self.last_ts = ts
+        window.events += 1
+        window.evictions += 1
+        self.totals["evictions"] += 1
+        self.ring.append((EVICT, ts, obj, nbytes))
+
+    def note_prefetch(self, ts: float, obj: str, nbytes: int) -> None:
+        r = self.rollups
+        window = (
+            r._cache_window if r._cache_lo <= ts < r._cache_hi
+            else r.window_for(ts)
+        )
+        self.events_seen += 1
+        if ts > self.last_ts:
+            self.last_ts = ts
+        window.events += 1
+        window.prefetches += 1
+        self.totals["prefetches"] += 1
+        self.ring.append((PREFETCH, ts, obj, nbytes))
+
+    def _note_slow(self, ts: float) -> RollupWindow:
+        """Shared intake for the rare robustness notes (not hot)."""
+        self.events_seen += 1
+        if ts > self.last_ts:
+            self.last_ts = ts
+        window = self.rollups.window_for(ts)
+        window.events += 1
+        return window
+
+    def note_gc(self, ts: float, seconds: float) -> None:
+        window = self._note_slow(ts)
+        window.gcs += 1
+        self.totals["gcs"] += 1
+        self.ring.append((GC, ts, seconds))
+
+    def note_oom_retry(self, ts: float, obj: str = "") -> None:
+        window = self._note_slow(ts)
+        window.oom_retries += 1
+        self.totals["oom_retries"] += 1
+        self.ring.append((OOM_RETRY, ts, obj))
+
+    def note_copy_retry(self, ts: float, reason: str = "") -> None:
+        window = self._note_slow(ts)
+        window.copy_retries += 1
+        self.totals["copy_retries"] += 1
+        self.ring.append((COPY_RETRY, ts, reason))
+
+    def note_fault(self, ts: float, label: str) -> None:
+        window = self._note_slow(ts)
+        window.faults += 1
+        self.totals["faults"] += 1
+        self.ring.append((FAULT, ts, label))
+        self._maybe_dump(f"fault:{label}", ts)
+
+    def note_recovery_step(self, ts: float, step: str) -> None:
+        window = self._note_slow(ts)
+        window.recovery_steps += 1
+        self.totals["recovery_steps"] += 1
+        self.recovery_steps_by_rung[step] = (
+            self.recovery_steps_by_rung.get(step, 0) + 1
+        )
+        self.ring.append((RECOVERY_STEP, ts, step))
+        if step in _ESCALATION_STEPS:
+            self._maybe_dump(f"recovery:{step}", ts)
+
+    def note_recovery(self, ts: float, step: str) -> None:
+        window = self._note_slow(ts)
+        window.recoveries += 1
+        self.totals["recoveries"] += 1
+        self.recoveries_by_step[step] = (
+            self.recoveries_by_step.get(step, 0) + 1
+        )
+        self.ring.append((RECOVERY, ts, step))
+
+    def note_strike(self, ts: float, op: str = "") -> None:
+        window = self._note_slow(ts)
+        window.strikes += 1
+        self.totals["strikes"] += 1
+        self.ring.append((POLICY_STRIKE, ts, op))
+        self._maybe_dump("policy_strike", ts)
+
+    def note_quarantine(self, ts: float, policy: str = "") -> None:
+        window = self._note_slow(ts)
+        window.quarantines += 1
+        self.totals["quarantines"] += 1
+        self.ring.append((QUARANTINE, ts, policy))
+        self._maybe_dump("quarantine", ts)
+
+    def _current_usage(self) -> Mapping[str, int]:
+        """Per-tenant usage, "tenant/device"-keyed: exact probe when bound
+        and populated (quota accounting only charges while quotas exist),
+        else the stream-tag estimate."""
+        if self._usage_probe is not None:
+            probed = self._usage_probe()
+            if probed:
+                return {
+                    f"{tenant}/{device}": used
+                    for (tenant, device), used in probed.items()
+                }
+        return self._tenant_used
+
+    # -- window close: snapshot live state + evaluate alerts -----------------
+
+    def _on_close(self, window: RollupWindow) -> None:
+        window.occupancy = dict(self.occupancy)
+        window.inflight_copy_bytes = self.inflight_copy_bytes
+        window.tenant_used = dict(self._current_usage())
+        for rule in self.rules:
+            selector = METRIC_SELECTORS.get(rule.metric)
+            if selector is None:
+                continue
+            for label, value in selector(self, window).items():
+                self._evaluate(rule, label, value, window)
+
+    def _evaluate(
+        self, rule: AlertRule, label: str, value: float, window: RollupWindow
+    ) -> None:
+        key = (rule.name, label)
+        state = self._alert_states.get(key)
+        if state is None:
+            state = self._alert_states[key] = AlertState(rule, label)
+        state.value = value
+        if value > rule.threshold:
+            state.breaches += 1
+            state.clears = 0
+            if not state.active and state.breaches >= rule.trip_windows:
+                state.active = True
+                state.since = window.end
+                state.fired += 1
+                self.alerts_fired += 1
+                self._record_alert(rule, label, value, window, "firing")
+        else:
+            state.clears += 1
+            state.breaches = 0
+            if state.active and state.clears >= rule.clear_windows:
+                state.active = False
+                self._record_alert(rule, label, value, window, "resolved")
+
+    def _record_alert(
+        self,
+        rule: AlertRule,
+        label: str,
+        value: float,
+        window: RollupWindow,
+        status: str,
+    ) -> None:
+        event = TraceEvent(
+            ts=window.end,
+            kind=ALERT,
+            args={
+                "rule": rule.name,
+                "label": label,
+                "metric": rule.metric,
+                "value": round(value, 6),
+                "threshold": rule.threshold,
+                "severity": rule.severity,
+                "status": status,
+                "window": window.index,
+            },
+        )
+        self.alert_events.append(event)
+        self.ring.append(event)
+        if self._alert_sink is not None:
+            self._alert_sink(event)
+
+    def active_alerts(self) -> list[AlertState]:
+        """Currently-firing alerts, stable order (rule name, label)."""
+        return sorted(
+            (s for s in self._alert_states.values() if s.active),
+            key=lambda s: (s.rule.name, s.label),
+        )
+
+    # -- flight dumps --------------------------------------------------------
+
+    def record_escalation(self, reason: str, ts: float | None = None) -> None:
+        """External dump trigger: something outside the event stream failed.
+
+        The scheduler calls this when a stream aborts and harnesses may call
+        it on contract violations — same dedupe/cap rules as the automatic
+        in-stream triggers, so it is safe to call unconditionally.
+        """
+        self._maybe_dump(reason, self.last_ts if ts is None else ts)
+
+    def _maybe_dump(self, reason: str, ts: float) -> None:
+        # One automatic dump per distinct reason, capped: deterministic and
+        # bounded even when a chaos plan fires the same fault repeatedly.
+        if self.config.dump_dir is None:
+            return
+        if reason in self._dump_reasons:
+            return
+        if len(self.dumps) >= self.config.max_dumps:
+            return
+        self._dump_reasons.add(reason)
+        self.dump_flight(reason=reason, ts=ts)
+
+    def dump_flight(
+        self, *, reason: str, ts: float | None = None, path: str | None = None
+    ) -> str | None:
+        """Write the flight ring to JSONL; returns the path (None if nowhere).
+
+        ``path=None`` derives ``flight-<seq>-<reason>.jsonl`` under the
+        configured ``dump_dir``; the sequence number and slug are functions
+        of the event stream alone, so seeded reruns dump identical files to
+        identical names.
+        """
+        import os
+
+        if ts is None:
+            ts = self.last_ts
+        if path is None:
+            if self.config.dump_dir is None:
+                return None
+            slug = "".join(
+                ch if ch.isalnum() or ch in "-_" else "-" for ch in reason
+            ).strip("-") or "dump"
+            path = os.path.join(
+                self.config.dump_dir,
+                f"flight-{self._dump_seq:03d}-{slug}.jsonl",
+            )
+        self._dump_seq += 1
+        os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+        with open(path, "w", encoding="utf-8") as fp:
+            self.ring.dump(fp, reason=reason, ts=ts)
+        self.dumps.append(path)
+        return path
+
+    # -- reporting -----------------------------------------------------------
+
+    def latency_summaries(self) -> dict[str, dict[str, float]]:
+        return {
+            "kernel_seconds": self.kernel_latency.summary(),
+            "stall_seconds": self.stall_latency.summary(),
+            "copy_seconds": self.copy_latency.summary(),
+        }
+
+    def snapshot(self, *, recent_windows: int = 0) -> HealthSnapshot:
+        """Current health; ``recent_windows`` > 0 inlines the latest rollups."""
+        active = self.active_alerts()
+        status = "ok"
+        rank = -1
+        for state in active:
+            severity_rank = _SEVERITY_RANK.get(state.rule.severity, 1)
+            if severity_rank > rank:
+                rank = severity_rank
+                status = state.rule.severity
+        occupancy = {
+            device: {
+                "used": used,
+                "capacity": self.capacities.get(device, 0),
+            }
+            for device, used in sorted(self.occupancy.items())
+        }
+        tenants: dict[str, dict[str, int]] = {}
+        for key, used in sorted(self._current_usage().items()):
+            tenant, _, device = key.partition("/")
+            tenants[key] = {
+                "used": used,
+                "limit": self.quotas.get((tenant, device), 0),
+            }
+        recent = (
+            [w.to_json() for w in self.rollups.recent(recent_windows)]
+            if recent_windows
+            else []
+        )
+        return HealthSnapshot(
+            ts=self.last_ts,
+            events_seen=self.events_seen,
+            windows_closed=self.rollups.windows_closed,
+            status=status,
+            totals=dict(self.totals),
+            occupancy=occupancy,
+            tenants=tenants,
+            latencies=self.latency_summaries(),
+            active_alerts=[s.to_json() for s in active],
+            alerts_fired=self.alerts_fired,
+            flight_dumps=list(self.dumps),
+            recent_windows=recent,
+        )
+
+    def counter_timelines(self) -> list[Timeline]:
+        """Per-device occupancy and in-flight copy bytes as counter series.
+
+        Sampled at window-close boundaries from the retained rollups — the
+        Chrome-trace exporter renders these as Perfetto counter tracks next
+        to the kernel lanes (the satellite-2 view).
+        """
+        windows = self.rollups.recent()
+        devices = sorted(
+            {device for w in windows for device in w.occupancy}
+        )
+        out: list[Timeline] = []
+        for device in devices:
+            series = Timeline(f"monitor.occupancy.{device}")
+            for window in windows:
+                if window.occupancy or window.events:
+                    series.record(
+                        window.end, float(window.occupancy.get(device, 0))
+                    )
+            if len(series):
+                out.append(series)
+        inflight = Timeline("monitor.copy_inflight")
+        for window in windows:
+            if window.events:
+                inflight.record(window.end, float(window.inflight_copy_bytes))
+        if len(inflight):
+            out.append(inflight)
+        return out
+
+
+# -- tracer adapter ------------------------------------------------------------
+
+
+class MonitorTracer(Tracer):
+    """A :class:`Tracer` that streams events into a :class:`RuntimeMonitor`.
+
+    Two tiers share this class:
+
+    * ``keep_events=True`` — full tracing *plus* live monitoring (the
+      profile/chaos configuration): ``enabled`` stays True, every emit site
+      runs, every event is retained *and* folded into the monitor.
+    * ``keep_events=False`` (the default, the "monitor tier") — the cheap
+      always-on configuration. The tracer reports ``enabled=False`` so
+      every full-trace emit site keeps its untraced fast path, and sets
+      ``monitoring=True`` so the sites the monitor cares about call the
+      ``RuntimeMonitor.note_*`` fast intake directly (no kwargs dict, no
+      :class:`TraceEvent`). Nothing is retained, and both ``hint()`` and
+      ``scope()`` degrade to a shared no-op scope — per-operand hint and
+      attribution scopes were the largest costs of the tier, and the only
+      attribution the monitor still wants (copy cause) travels through
+      :attr:`RuntimeMonitor.copy_cause` instead.
+
+    Either way the monitor is pure observation — it never advances the
+    clock — so results are bit-identical with monitoring on or off.
+    """
+
+    monitoring = True
+
+    def __init__(
+        self,
+        clock: "SimClock",
+        monitor: RuntimeMonitor | None = None,
+        *,
+        keep_events: bool = False,
+    ) -> None:
+        super().__init__(clock)
+        self.monitor = monitor if monitor is not None else RuntimeMonitor()
+        self.keep_events = keep_events
+        # Instance attribute (shadowing the class default) so the hot-site
+        # ``tracer.monitoring`` check hits the instance dict directly.
+        self.monitoring = True
+        if keep_events:
+            self.monitor.set_alert_sink(self.events.append)
+        else:
+            self.enabled = False
+
+    def hint(self, kind: str, subject: object):
+        if self.keep_events:
+            return super().hint(kind, subject)
+        return _NULL_SCOPE
+
+    def scope(self, kind: str, subject: object = ""):
+        if self.keep_events:
+            return super().scope(kind, subject)
+        return _NULL_SCOPE
+
+    def emit(self, kind: str, **args: Any) -> TraceEvent:
+        scopes = self._scopes
+        if scopes:
+            cause = scopes[-1][0]
+            root, root_ts = scopes[0]
+        else:
+            cause, root, root_ts = "", "", None
+        event = TraceEvent(
+            self.clock.now, kind, args, cause, root, root_ts, self.stream
+        )
+        if self.keep_events:
+            self.events.append(event)
+        self.monitor.observe(event)
+        return event
+
+    def emit_at(self, ts: float, kind: str, **args: Any) -> TraceEvent:
+        scopes = self._scopes
+        if scopes:
+            cause = scopes[-1][0]
+            root, root_ts = scopes[0]
+        else:
+            cause, root, root_ts = "", "", None
+        event = TraceEvent(ts, kind, args, cause, root, root_ts, self.stream)
+        if self.keep_events:
+            self.events.append(event)
+        self.monitor.observe(event)
+        return event

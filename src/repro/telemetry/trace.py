@@ -30,6 +30,16 @@ of its methods are no-ops, ``scope()``/``hint()`` return a shared singleton
 context manager (no per-call allocation), and hot paths guard event
 construction with ``if tracer.enabled:`` so no argument dicts are built.
 Tracing never advances the clock, so enabling it cannot change results.
+
+**The monitor tier.** Between off and full tracing sits a third tier, the
+always-on runtime monitor (``telemetry.monitor``). Its tracer reports
+``enabled=False`` — so every full-trace emit site keeps its untraced fast
+path — but sets ``monitoring=True``, and the handful of sites whose data
+the monitor folds (kernels, stalls, copies, evictions, allocations,
+faults) add an ``elif tracer.monitoring:`` branch that calls a
+``RuntimeMonitor.note_*`` method directly: positional arguments only, no
+kwargs dict, no :class:`TraceEvent`. That keeps the tier cheap enough to
+leave on for every run (see docs/observability.md for the measured cost).
 """
 
 from __future__ import annotations
@@ -79,6 +89,9 @@ RECOVERY = "recovery"              # the ladder recovered the allocation
 COPY_RETRY = "copy_retry"          # a failed/corrupted copy attempt, retried
 POLICY_STRIKE = "policy_strike"    # the watchdog caught a policy failure
 QUARANTINE = "quarantine"          # the watchdog switched to the fallback
+# Monitoring events (docs/observability.md, "Live monitoring"): an alert
+# rule tripped or cleared in the always-on runtime monitor.
+ALERT = "alert"
 
 EVENT_KINDS = frozenset(
     {
@@ -86,6 +99,7 @@ EVENT_KINDS = frozenset(
         PLACE, HINT, SETPRIMARY, DECISION, SETDIRTY, KERNEL_START,
         KERNEL_END, STALL, DEFRAG, GC, OOM_RETRY, INVARIANT_CHECK, FAULT,
         RECOVERY_STEP, RECOVERY, COPY_RETRY, POLICY_STRIKE, QUARANTINE,
+        ALERT,
     }
 )
 
@@ -214,6 +228,10 @@ class Tracer:
     """Collects :class:`TraceEvent` records against a virtual clock."""
 
     enabled = True
+    # True only on the monitor-tier tracer (telemetry.monitor.MonitorTracer):
+    # instrumented sites check it *after* `enabled`, so the flag costs the
+    # untraced path one extra class-attribute load on the miss branch only.
+    monitoring = False
 
     def __init__(self, clock: "SimClock") -> None:
         self.clock = clock
@@ -296,6 +314,7 @@ class NullTracer:
     """The zero-cost disabled tracer; see the module docstring contract."""
 
     enabled = False
+    monitoring = False
     events: tuple[TraceEvent, ...] = ()
     cause = ""
     root = ""

@@ -132,6 +132,100 @@ def test_colo_unknown_tenant_returns_2(capsys):
     assert "unknown workload" in capsys.readouterr().err
 
 
+@pytest.fixture()
+def tiny_trace_jsonl(tmp_path, capsys):
+    """A recorded tiny-model event stream (shared monitor-test input)."""
+    path = tmp_path / "run.jsonl"
+    assert main(
+        [
+            "profile", "--model", "tiny", "--scale", "256",
+            "--iterations", "1", "--jsonl", str(path),
+        ]
+    ) == 0
+    capsys.readouterr()  # drop the profile report
+    return path
+
+
+def test_monitor_replays_a_recorded_stream(tiny_trace_jsonl, capsys):
+    assert main(["monitor", str(tiny_trace_jsonl)]) == 0
+    out = capsys.readouterr().out
+    assert "runtime monitor:" in out
+    assert "health:" in out
+    assert "movement:" in out
+    assert "kernel_seconds:" in out
+
+
+def test_monitor_runs_a_model_live_with_json_snapshot(tmp_path, capsys):
+    import json
+
+    counters = tmp_path / "counters.json"
+    assert main(
+        [
+            "monitor", "--model", "tiny", "--scale", "256",
+            "--iterations", "1", "--json", "--out", str(counters),
+        ]
+    ) == 0
+    snapshot = json.loads(capsys.readouterr().out)
+    assert snapshot["events_seen"] > 0
+    assert snapshot["totals"]["copies"] > 0
+    assert "DRAM" in snapshot["occupancy"]
+    assert snapshot["occupancy"]["DRAM"]["capacity"] > 0
+    with open(counters, encoding="utf-8") as fp:
+        doc = json.load(fp)
+    names = {e["name"] for e in doc["traceEvents"] if e.get("ph") == "C"}
+    assert "monitor.copy_inflight" in names
+    assert any(name.startswith("monitor.occupancy.") for name in names)
+
+
+def test_monitor_replay_and_live_agree(tiny_trace_jsonl, capsys):
+    import json
+
+    assert main(["monitor", str(tiny_trace_jsonl), "--json"]) == 0
+    replayed = json.loads(capsys.readouterr().out)
+    assert main(
+        [
+            "monitor", "--model", "tiny", "--scale", "256",
+            "--iterations", "1", "--json",
+        ]
+    ) == 0
+    live = json.loads(capsys.readouterr().out)
+    assert replayed["totals"] == live["totals"]
+    for device, occ in replayed["occupancy"].items():
+        assert occ["used"] == live["occupancy"][device]["used"]
+
+
+def test_monitor_rejects_conflicting_or_missing_sources(tmp_path, capsys):
+    assert main(["monitor"]) == 2
+    assert "recorded trace path or --model" in capsys.readouterr().err
+    trace = tmp_path / "x.jsonl"
+    trace.write_text('{"schema":"repro.trace","schema_version":3}\n')
+    assert main(["monitor", str(trace), "--model", "tiny"]) == 2
+    assert "not both" in capsys.readouterr().err
+    assert main(["monitor", "--model", "tiny", "--interval", "0"]) == 2
+    assert "--interval" in capsys.readouterr().err
+
+
+def test_monitor_missing_file_returns_2(capsys):
+    assert main(["monitor", "/nonexistent/run.jsonl"]) == 2
+    assert "cannot read" in capsys.readouterr().err
+
+
+@pytest.mark.chaos
+def test_chaos_json_includes_flight_records(tmp_path, capsys):
+    import json
+
+    assert main(
+        [
+            "chaos", "--plan", "copy-exhaust", "--json",
+            "--dump-dir", str(tmp_path),
+        ]
+    ) == 0
+    payload = json.loads(capsys.readouterr().out)
+    scenarios = payload["copy-exhaust"]["scenarios"]
+    for name, scenario in scenarios.items():
+        assert scenario["flight_record"].startswith(str(tmp_path)), name
+
+
 def test_explain_renders_per_stream_reports(tmp_path, capsys):
     import io
     import json

@@ -99,3 +99,46 @@ def test_chaos_runs_are_deterministic():
 def test_unknown_scenario_is_rejected():
     with pytest.raises(ValueError):
         run_scenario(fault_plan("alloc-storm"), "nope")
+
+
+def test_failing_scenario_attaches_its_flight_record(tmp_path):
+    import json
+
+    outcome = run_scenario(
+        fault_plan("copy-exhaust"), "session-real", dump_dir=str(tmp_path)
+    )
+    assert not outcome.completed
+    assert outcome.flight_record
+    with open(outcome.flight_record, encoding="utf-8") as fp:
+        header = json.loads(fp.readline())
+    assert header["schema"] == "repro.flight"
+    assert header["events"] > 0
+    # The abort itself is one of the recorded dump reasons, and the path
+    # shows up in the human-readable report.
+    assert "abort-CopyError" in outcome.flight_record
+    assert outcome.flight_record in outcome.describe()
+
+
+def test_flight_dumps_are_byte_identical_across_seeded_runs(tmp_path):
+    import os
+
+    plan = fault_plan("copy-exhaust")
+    first = run_scenario(plan, "trace-virtual", dump_dir=str(tmp_path / "a"))
+    second = run_scenario(plan, "trace-virtual", dump_dir=str(tmp_path / "b"))
+    names_a = sorted(os.listdir(tmp_path / "a"))
+    names_b = sorted(os.listdir(tmp_path / "b"))
+    assert names_a == names_b and names_a
+    for name in names_a:
+        with open(tmp_path / "a" / name, "rb") as fa:
+            with open(tmp_path / "b" / name, "rb") as fb:
+                assert fa.read() == fb.read(), name
+    assert first.flight_record != second.flight_record  # different dirs
+    assert os.path.basename(first.flight_record) == os.path.basename(
+        second.flight_record
+    )
+
+
+def test_without_dump_dir_outcomes_carry_no_flight_record(reports):
+    for report in reports.values():
+        for outcome in report.outcomes:
+            assert outcome.flight_record == ""

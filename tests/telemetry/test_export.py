@@ -8,6 +8,8 @@ import pytest
 from repro.sim.clock import SimClock
 from repro.telemetry.export import (
     JSONL_SCHEMA_VERSION,
+    EventStream,
+    iter_jsonl,
     jsonl_lines,
     read_jsonl,
     to_chrome_trace,
@@ -166,3 +168,31 @@ def test_read_jsonl_rejects_garbage():
         read_jsonl(io.StringIO('{"no_kind": true}\n'))
     with pytest.raises(ValueError):
         read_jsonl(io.StringIO('{"kind": "gc"}\n'))
+
+
+def test_iter_jsonl_streams_lazily():
+    tracer = sample_tracer()
+    buffer = io.StringIO()
+    write_jsonl(tracer.events, buffer)
+    buffer.seek(0)
+    iterator = iter_jsonl(buffer)
+    first = next(iterator)
+    assert first.kind == tracer.events[0].kind
+    # The rest of the stream is still unread until consumed.
+    assert list(iterator) != []
+    buffer.seek(0)
+    assert len(list(iter_jsonl(buffer))) == len(tracer.events)
+
+
+def test_event_stream_is_reiterable(tmp_path):
+    """The analyzers make several full passes; every `iter()` must see the
+    whole file, not a half-consumed iterator."""
+    tracer = sample_tracer()
+    path = tmp_path / "run.jsonl"
+    with open(path, "w", encoding="utf-8") as fp:
+        write_jsonl(tracer.events, fp)
+    stream = EventStream(str(path))
+    first_pass = [e.kind for e in stream]
+    second_pass = [e.kind for e in stream]
+    assert first_pass == second_pass
+    assert first_pass == [e.kind for e in tracer.events]
