@@ -1,6 +1,6 @@
 """The pinned benchmark suite behind ``python -m repro bench``.
 
-Five benchmarks cover the layers the hot-path work touches (the suite is
+Six benchmarks cover the layers the hot-path work touches (the suite is
 *pinned*: names, workloads, and op counts only change with a schema bump so
 trajectory points stay comparable — see docs/benchmarking.md):
 
@@ -17,6 +17,10 @@ trajectory points stay comparable — see docs/benchmarking.md):
 * ``monitor-overhead`` — the fig2 single-model run untraced vs with the
   always-on runtime monitor attached: pins the monitor tier's cost and its
   bit-identical-results contract (see docs/observability.md).
+* ``elastic-snapshot`` — pause the fig2 single-model run mid-trace,
+  round-trip the runtime snapshot through pickle, resume to completion:
+  snapshot serialization throughput plus the bit-identical restore
+  contract (see docs/robustness.md, "Elastic operations").
 
 ``BENCH_SCALE`` (environment variable) divides workload and device sizes,
 default 256; ``--quick`` shrinks the suite for CI smoke runs (one model,
@@ -56,6 +60,7 @@ QUICK_SCALE = 1024
 ALLOCATOR_OPS = (40_000, 4_000)
 COPY_OPS = (20_000, 2_000)
 TRACER_OPS = (100_000, 10_000)
+SNAPSHOT_REPS = (6, 3)
 
 
 def _rss_kib() -> int:
@@ -272,6 +277,58 @@ def _bench_monitor_overhead(scale: int, quick: bool) -> _Measured:
     return _Measured(events=events, simulated_seconds=monitored_seconds)
 
 
+def _bench_elastic(scale: int, quick: bool) -> _Measured:
+    """Snapshot/restore overhead: pause mid-run, round-trip, resume.
+
+    Measures the full elastic cycle — pause the fig2 single-model run at
+    its halfway kernel, serialize/deserialize the runtime snapshot
+    ``SNAPSHOT_REPS`` times (``events`` counts bytes moved through pickle,
+    so ``events_per_second`` is snapshot bytes/s), then resume the last
+    restored copy to completion. The bit-identical contract rides along:
+    the resumed run's digest must match an uninterrupted run's.
+    """
+    import pickle
+
+    from repro.experiments.common import ExperimentConfig, run_trace_mode
+    from repro.nn.models import MODEL_REGISTRY
+    from repro.runtime.elastic import (
+        RuntimeSnapshot,
+        checkpoint_trace_mode,
+        digest_mode_result,
+        resume_snapshot,
+    )
+    from repro.workloads.trace import Kernel
+
+    config = ExperimentConfig(scale=scale, iterations=2)
+    trace = (
+        MODEL_REGISTRY["resnet200-large"].builder().training_trace().scaled(scale)
+    )
+    kernels = sum(1 for event in trace.events if isinstance(event, Kernel))
+    pause = max(1, kernels * config.iterations // 2)
+    expected = digest_mode_result(run_trace_mode(trace, "CA:LM", config))
+    snapshot = checkpoint_trace_mode(trace, "CA:LM", config, pause_after=pause)
+    if not isinstance(snapshot, RuntimeSnapshot):  # pragma: no cover - a bug
+        raise RuntimeError(f"run finished before kernel {pause}")
+    nbytes = 0
+    restored = snapshot
+    reps = SNAPSHOT_REPS[1 if quick else 0]
+    for _ in range(reps):
+        blob = pickle.dumps(snapshot, protocol=pickle.HIGHEST_PROTOCOL)
+        restored = pickle.loads(blob)
+        nbytes += 2 * len(blob)
+    result = resume_snapshot(restored)
+    digest = digest_mode_result(result)
+    if digest != expected:  # pragma: no cover - would indicate a real bug
+        raise RuntimeError(
+            f"snapshot round-trip changed the result digest: "
+            f"{expected} vs {digest}"
+        )
+    return _Measured(
+        events=nbytes,
+        simulated_seconds=result.run.iterations[-1].end_time,
+    )
+
+
 def _bench_chaos_off(scale: int, quick: bool) -> _Measured:
     from repro.faults.chaos import run_scenario
     from repro.faults.plan import FaultPlan
@@ -295,6 +352,7 @@ SUITE = {
     "micro-substrate": _bench_micro,
     "chaos-off": _bench_chaos_off,
     "monitor-overhead": _bench_monitor_overhead,
+    "elastic-snapshot": _bench_elastic,
 }
 
 

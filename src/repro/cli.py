@@ -12,8 +12,11 @@ Usage::
     python -m repro diff a.jsonl b.jsonl [--window K] [--out report.json]
     python -m repro monitor [run.jsonl | --model tiny] [--interval S] [--json]
     python -m repro chaos [--plan copy-flaky | --plan all] [--dump-dir D] [--json]
+    python -m repro chaos --bisect --plan bisect-demo [--json]
     python -m repro bench [--quick] [--baseline FILE] [--threshold 0.2]
     python -m repro colo [--tenants cnn,dlrm] [--check] [--json]
+    python -m repro snapshot --model tiny [--mode CA:LM] [--pause-after K] --out s.bin
+    python -m repro restore s.bin [--pause-after K --out s2.bin]
 
 Times are reported rescaled to paper magnitudes (see
 :class:`~repro.experiments.common.ExperimentConfig`). ``--json`` emits a
@@ -42,6 +45,12 @@ under the multi-stream scheduler and reports per-tenant slowdown vs solo,
 fairness, aggregate traffic, and cross-tenant stall attribution
 (``--check`` additionally enforces determinism and the >=90% attribution
 contract) — see ``docs/architecture.md``, "Multi-tenant runtime".
+``snapshot`` pauses a run at a kernel boundary and serializes the complete
+runtime state; ``restore`` resumes it — in the same or a fresh process — to
+a bit-identical final digest, and ``chaos --bisect`` uses the same
+checkpoints to binary-search a failing plan's fired faults down to the
+narrowest window that still reproduces the failure — see
+``docs/robustness.md``, "Elastic operations".
 """
 
 from __future__ import annotations
@@ -497,6 +506,132 @@ def _monitor(
     return 0
 
 
+def _snapshot_cmd(
+    model: str,
+    mode: str,
+    out_path: str | None,
+    config: ExperimentConfig,
+    *,
+    pause_after: int,
+) -> int:
+    """Run a model, pause at a kernel boundary, and save the runtime snapshot.
+
+    When the run finishes before ``pause_after`` kernels there is nothing to
+    snapshot; the final digest is printed instead (the same digest `restore`
+    prints on completion, so the pair scripts a round-trip check).
+    """
+    from repro.runtime.elastic import (
+        RuntimeSnapshot,
+        checkpoint_model_mode,
+        digest_mode_result,
+        save_snapshot,
+    )
+
+    try:
+        result = checkpoint_model_mode(
+            model, mode, config, pause_after=pause_after
+        )
+    except ConfigurationError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if isinstance(result, RuntimeSnapshot):
+        if not out_path:
+            print("snapshot requires --out to name the snapshot file",
+                  file=sys.stderr)
+            return 2
+        save_snapshot(result, out_path)
+        print(
+            f"paused {result.label} at t={result.virtual_time:.6f} "
+            f"after {result.kernels_done} kernels -> {out_path}"
+        )
+        return 0
+    print(
+        f"run completed before kernel {pause_after}; "
+        f"digest {digest_mode_result(result)}"
+    )
+    return 0
+
+
+def _restore_cmd(
+    paths: list[str], out_path: str | None, *, pause_after: int | None
+) -> int:
+    """Resume a saved snapshot; print the final digest (or re-pause)."""
+    from repro.runtime.elastic import (
+        RuntimeSnapshot,
+        digest_mode_result,
+        load_snapshot,
+        resume_snapshot,
+    )
+
+    if len(paths) != 1:
+        print(
+            "restore takes exactly one snapshot path (written by 'snapshot "
+            "--out')",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        snapshot = load_snapshot(paths[0])
+        result = resume_snapshot(snapshot, pause_after=pause_after)
+    except (ConfigurationError, OSError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if isinstance(result, RuntimeSnapshot):
+        if not out_path:
+            print(
+                "re-pausing (--pause-after) requires --out for the chained "
+                "snapshot",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.runtime.elastic import save_snapshot
+
+        save_snapshot(result, out_path)
+        print(
+            f"paused {result.label} at t={result.virtual_time:.6f} "
+            f"after {result.kernels_done} kernels -> {out_path}"
+        )
+        return 0
+    print(
+        f"resumed {snapshot.label} from kernel {snapshot.kernels_done}; "
+        f"digest {digest_mode_result(result)}"
+    )
+    return 0
+
+
+def _bisect(plan_name: str, *, as_json: bool) -> int:
+    from repro.faults.chaos import bisect_plan
+    from repro.faults.plan import FAULT_PLANS
+
+    if plan_name not in FAULT_PLANS:
+        print(
+            f"--bisect needs a specific fault plan, not {plan_name!r}; "
+            f"known: {', '.join(FAULT_PLANS)}",
+            file=sys.stderr,
+        )
+        return 2
+    result = bisect_plan(plan_name)
+    if as_json:
+        print(
+            json.dumps(
+                {
+                    "plan": result.plan.name,
+                    "error": result.error,
+                    "failing_step": result.failing_step,
+                    "fired_total": result.fired_total,
+                    "probes": result.probes,
+                    "window": [fault.to_json() for fault in result.window],
+                },
+                indent=2,
+            )
+        )
+    else:
+        print(result.render())
+    # Exit 0 when the plan passed (nothing to narrow) or the window was
+    # isolated; 1 only when a failure resisted narrowing.
+    return 0 if (not result.error or result.ok) else 1
+
+
 def _chaos(
     plan_name: str, *, as_json: bool, dump_dir: str | None = None
 ) -> int:
@@ -662,7 +797,7 @@ def main(argv: list[str] | None = None) -> int:
         "experiment",
         choices=EXPERIMENTS
         + ("all", "trace", "profile", "explain", "diff", "monitor", "chaos",
-           "bench", "colo"),
+           "bench", "colo", "snapshot", "restore"),
         help="which table/figure to regenerate, 'trace' to export a model's "
         "kernel trace, 'profile' to run one with event tracing on, "
         "'explain' to report on a recorded event stream, 'diff' to "
@@ -670,15 +805,17 @@ def main(argv: list[str] | None = None) -> int:
         "fold a run (recorded or live) into the runtime-monitor health "
         "dashboard, 'chaos' to run "
         "the fault-injection suite, 'bench' to run the pinned "
-        "performance suite, or 'colo' to co-run tenant workloads on one "
-        "shared memory system",
+        "performance suite, 'colo' to co-run tenant workloads on one "
+        "shared memory system, 'snapshot' to pause a run at a kernel "
+        "boundary and save it, or 'restore' to resume a saved snapshot",
     )
     parser.add_argument(
         "paths",
         nargs="*",
         help="JSONL event streams for 'explain' (one), 'diff' (two, "
         "baseline first), and 'monitor' (one, optional); written by "
-        "'profile --jsonl'",
+        "'profile --jsonl'. For 'restore': one snapshot file written by "
+        "'snapshot --out'",
     )
     parser.add_argument(
         "--scale",
@@ -726,6 +863,19 @@ def main(argv: list[str] | None = None) -> int:
         help="fault plan for 'chaos': a plan name or 'all' (default all)",
     )
     parser.add_argument(
+        "--bisect",
+        action="store_true",
+        help="chaos: binary-search the named --plan's fired faults down to "
+        "the narrowest window that still reproduces the failure",
+    )
+    parser.add_argument(
+        "--pause-after",
+        type=int,
+        default=None,
+        help="snapshot/restore: pause after this many completed kernels "
+        "(snapshot default 8; restore default runs to completion)",
+    )
+    parser.add_argument(
         "--interval",
         type=float,
         default=0.25,
@@ -767,10 +917,16 @@ def main(argv: list[str] | None = None) -> int:
         "attribution (exit status 1 on failure)",
     )
     args = parser.parse_args(argv)
-    if args.paths and args.experiment not in ("explain", "diff", "monitor"):
+    if args.paths and args.experiment not in (
+        "explain", "diff", "monitor", "restore"
+    ):
         parser.error(
-            f"positional trace paths only apply to 'explain', 'diff', and "
-            f"'monitor', not {args.experiment!r}"
+            f"positional paths only apply to 'explain', 'diff', 'monitor', "
+            f"and 'restore', not {args.experiment!r}"
+        )
+    if args.experiment == "restore":
+        return _restore_cmd(
+            args.paths, args.out, pause_after=args.pause_after
         )
     if args.experiment == "explain":
         return _explain(
@@ -789,12 +945,24 @@ def main(argv: list[str] | None = None) -> int:
             as_json=args.json,
         )
     if args.experiment == "chaos":
+        if args.bisect:
+            return _bisect(args.plan, as_json=args.json)
         return _chaos(args.plan, as_json=args.json, dump_dir=args.dump_dir)
     if args.experiment == "trace":
         if not args.model:
             parser.error("trace requires --model")
         return _export_trace(args.model, args.out, args.scale)
     config = ExperimentConfig(scale=args.scale, iterations=args.iterations)
+    if args.experiment == "snapshot":
+        if not args.model:
+            parser.error("snapshot requires --model")
+        return _snapshot_cmd(
+            args.model,
+            args.mode,
+            args.out,
+            config,
+            pause_after=args.pause_after or 8,
+        )
     if args.experiment == "monitor":
         return _monitor(
             args.paths,

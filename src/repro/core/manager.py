@@ -106,6 +106,79 @@ class DataManager:
         """The live (tenant, device) -> byte-limit table (read-only)."""
         return self._quota
 
+    def tenant_objects(self, tenant: str) -> list[MemObject]:
+        """Live objects in ``tenant``'s namespace (``tenant/...`` names)."""
+        prefix = f"{tenant}/"
+        return [
+            obj for obj in self.objects.values() if obj.name.startswith(prefix)
+        ]
+
+    def _reattribute_regions(self, tenant: str) -> None:
+        """Hand ``tenant``'s charges on *other* tenants' data back to them.
+
+        A region is charged to whoever was active when it was allocated —
+        which, for eviction copies, can be a different tenant than the one
+        whose object it backs. When the charged tenant departs, those
+        regions stay live (the data belongs to a survivor), so the charge
+        moves to the backing object's namespace owner (or to the unquota'd
+        ``""`` account for orphans). Without this, a departing tenant either
+        leaks charged bytes or strands a row that can go negative later.
+        """
+        for key, owner in list(self._region_tenant.items()):
+            if owner != tenant:
+                continue
+            region = self._regions.get(key)
+            if region is None:  # pragma: no cover - defensive
+                del self._region_tenant[key]
+                continue
+            parent = region.parent
+            name = parent.name if parent is not None else ""
+            new_owner = name.split("/", 1)[0] if "/" in name else ""
+            device = key[0]
+            self._region_tenant[key] = new_owner
+            old_key = (tenant, device)
+            self._tenant_used[old_key] = (
+                self._tenant_used.get(old_key, 0) - region.size
+            )
+            new_key = (new_owner, device)
+            self._tenant_used[new_key] = (
+                self._tenant_used.get(new_key, 0) + region.size
+            )
+
+    def drop_tenant(self, tenant: str) -> dict[str, int]:
+        """Remove ``tenant``'s quota rows after its objects are gone.
+
+        Charges the tenant carries for *other* tenants' regions (eviction
+        copies it paid for) are first re-attributed to the data's owners.
+        Returns the refunded (device -> quota bytes) mapping. Raises
+        :class:`ObjectStateError` if the tenant still owns live bytes —
+        callers must reclaim objects through the normal free path first
+        (:meth:`destroy_object`), which is what refunds the usage; dropping
+        the rows while bytes are charged would silently leak accounting.
+        """
+        self._reattribute_regions(tenant)
+        leftover = {
+            device: used
+            for (owner, device), used in self._tenant_used.items()
+            if owner == tenant and used
+        }
+        if leftover:
+            raise ObjectStateError(
+                f"tenant {tenant!r} still owns live bytes: {leftover}"
+            )
+        refunded = {
+            device: limit
+            for (owner, device), limit in self._quota.items()
+            if owner == tenant
+        }
+        for device in refunded:
+            del self._quota[(tenant, device)]
+        for key in [k for k in self._tenant_used if k[0] == tenant]:
+            del self._tenant_used[key]
+        if self.active_tenant == tenant:
+            self.active_tenant = ""
+        return refunded
+
     # -- device helpers -----------------------------------------------------
 
     def heap(self, device: str) -> Heap:

@@ -21,7 +21,6 @@ Invariants enforced here and in the manager:
 
 from __future__ import annotations
 
-import itertools
 from typing import TYPE_CHECKING, Iterator
 
 from repro.errors import LinkError, ObjectStateError, RegionStateError
@@ -29,10 +28,51 @@ from repro.errors import LinkError, ObjectStateError, RegionStateError
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.memory.heap import Heap
 
-__all__ = ["Region", "MemObject"]
+__all__ = ["Region", "MemObject", "id_watermarks", "restore_id_floor"]
 
-_region_ids = itertools.count()
-_object_ids = itertools.count()
+
+class _IdSource:
+    """A restorable monotonic id counter.
+
+    ``itertools.count`` would do for a single process, but snapshot/restore
+    (:mod:`repro.runtime.elastic`) needs to export the high-water mark and
+    re-seed a fresh process so auto-generated names like ``obj{id}`` stay
+    deterministic across the restore boundary.
+    """
+
+    __slots__ = ("next_id",)
+
+    def __init__(self, start: int = 0) -> None:
+        self.next_id = start
+
+    def __call__(self) -> int:
+        value = self.next_id
+        self.next_id = value + 1
+        return value
+
+    def floor(self, minimum: int) -> None:
+        """Never hand out an id below ``minimum`` (restore-time re-seed)."""
+        if minimum > self.next_id:
+            self.next_id = minimum
+
+
+_region_ids = _IdSource()
+_object_ids = _IdSource()
+
+
+def id_watermarks() -> dict[str, int]:
+    """The next region/object ids this process would assign (snapshot)."""
+    return {"region": _region_ids.next_id, "object": _object_ids.next_id}
+
+
+def restore_id_floor(watermarks: dict[str, int]) -> None:
+    """Raise the id counters to at least a snapshot's watermarks.
+
+    Floors (never lowers) so restoring an old snapshot into a long-lived
+    process cannot recycle ids that are already in use here.
+    """
+    _region_ids.floor(int(watermarks.get("region", 0)))
+    _object_ids.floor(int(watermarks.get("object", 0)))
 
 
 class Region:
@@ -41,7 +81,7 @@ class Region:
     __slots__ = ("id", "heap", "offset", "size", "parent", "dirty", "freed", "ready_at")
 
     def __init__(self, heap: "Heap", offset: int, size: int) -> None:
-        self.id = next(_region_ids)
+        self.id = _region_ids()
         self.heap = heap
         self.offset = offset
         self.size = size
@@ -81,7 +121,7 @@ class MemObject:
     def __init__(self, size: int, name: str = "") -> None:
         if size <= 0:
             raise ObjectStateError(f"object size must be positive, got {size}")
-        self.id = next(_object_ids)
+        self.id = _object_ids()
         self.size = size
         self.name = name or f"obj{self.id}"
         self.retired = False

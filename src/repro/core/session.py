@@ -27,7 +27,7 @@ from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import AllocationError, ConfigurationError, OutOfMemoryError
 from repro.core.cachedarray import CachedArray
 from repro.core.manager import DataManager
 from repro.core.object import MemObject
@@ -235,12 +235,21 @@ class SharedRuntime:
         self.monitor: RuntimeMonitor | None = getattr(
             self.tracer, "monitor", None
         )
+        # Held by reference by the monitor: resize() mutates it in place so
+        # occupancy-fraction alerts track the *current* capacity.
+        self._monitor_capacities = {
+            name: heap.capacity for name, heap in self.heaps.items()
+        }
         if self.monitor is not None:
-            self.monitor.bind_capacities(
-                {name: heap.capacity for name, heap in self.heaps.items()}
-            )
+            self.monitor.bind_capacities(self._monitor_capacities)
             self.monitor.bind_usage_probe(self.manager.tenant_usage)
             self.monitor.bind_quotas(self.manager.tenant_quotas())
+        # Elastic operations (docs/robustness.md): attached tenant views by
+        # tenant id, an optional stream scheduler to cancel on detach, and
+        # the idempotent-close latch.
+        self._sessions: dict[str, "Session"] = {}
+        self._scheduler: object | None = None
+        self.closed = False
 
     # -- tenant attachment ----------------------------------------------------
 
@@ -298,7 +307,181 @@ class SharedRuntime:
         """Compact every heap (the paper's between-iteration housekeeping)."""
         return {name: self.manager.defragment(name) for name in self.heaps}
 
+    # -- elastic operations (docs/robustness.md, "Elastic operations") --------
+
+    def attach_scheduler(self, scheduler: object | None) -> None:
+        """Register the stream scheduler so :meth:`detach` can cancel the
+        departing tenant's stream (duck-typed: anything with ``cancel``)."""
+        self._scheduler = scheduler
+
+    def detach(self, tenant: str) -> dict[str, int]:
+        """A tenant departs: cancel its stream, reclaim its objects through
+        the normal free path, refund its quotas, drop its hint state.
+
+        Returns ``{"objects": n, "bytes": freed, "quota": refunded}``.
+        Raises :class:`ConfigurationError` for an unknown tenant (a second
+        detach of the same tenant is unknown — refunds never double), and
+        :class:`~repro.errors.ObjectStateError` if the tenant still pins an
+        object (a kernel is mid-flight; cancel its stream first).
+        """
+        if not tenant:
+            raise ConfigurationError("detach needs a non-empty tenant id")
+        session = self._sessions.pop(tenant, None)
+        known = session is not None or any(
+            owner == tenant for owner, _ in self.manager.tenant_quotas()
+        ) or self.manager.tenant_objects(tenant)
+        if not known:
+            raise ConfigurationError(f"unknown tenant {tenant!r}")
+        if self._scheduler is not None:
+            # Closing the generator unwinds kernel scopes (unpins operands),
+            # so reclamation below goes through the normal free path.
+            self._scheduler.cancel(tenant)  # type: ignore[attr-defined]
+        objs = self.manager.tenant_objects(tenant)
+        freed = 0
+        for obj in objs:
+            freed += sum(region.size for region in obj.regions())
+            self.manager.destroy_object(obj)
+        self.engine.drop_pending(f"{tenant}/")
+        refunded = self.manager.drop_tenant(tenant)
+        if session is not None:
+            session._arrays.clear()
+            session.closed = True
+        quota_total = sum(refunded.values())
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.emit(
+                tracing.DETACH,
+                tenant=tenant,
+                objects=len(objs),
+                nbytes=freed,
+                quota=quota_total,
+            )
+        elif getattr(tracer, "monitoring", False):
+            tracer.monitor.note_elastic("detach", self.clock.now, tenant)
+        return {"objects": len(objs), "bytes": freed, "quota": quota_total}
+
+    def resize(self, device: str, new_bytes: int | str) -> dict[str, object]:
+        """Reconfigure ``device``'s capacity online.
+
+        Growing is immediate. Shrinking below the current tail occupancy
+        drives the recovery ladder — evict (each attached tenant's policy),
+        defrag (compaction slides survivors out of the truncated tail), and
+        finally a mechanism-level cross-tier migration of whatever still
+        overlaps the tail — then retries the shrink. Raises
+        :class:`~repro.errors.RecoveryExhaustedError` when the survivors
+        cannot be placed anywhere. Ends with an invariant sweep.
+        """
+        from repro.runtime.recovery import LadderHooks, recover_allocation
+
+        new = parse_size(new_bytes)
+        heap = self.heap(device)
+        old = heap.capacity
+        steps = ""
+        if new <= 0:
+            raise ConfigurationError(f"resize target must be positive: {new}")
+        if new > old:
+            heap.grow(new)
+        elif new < old:
+
+            def attempt() -> bool:
+                try:
+                    heap.shrink(new)
+                except AllocationError:
+                    # Convert to the ladder's native currency: the tail that
+                    # must be vacated, with the heap's honest free count
+                    # (free >= requested steers the ladder toward defrag).
+                    raise OutOfMemoryError(
+                        device, old - new, heap.free_bytes
+                    ) from None
+                return True
+
+            try:
+                attempt()
+            except OutOfMemoryError as err:
+                hooks = LadderHooks(
+                    collect=None,
+                    evict=self._resize_evict,
+                    defrag=lambda dev: self.manager.defragment(dev) > 0,
+                    fallback=lambda: self._migrate_tail(device, new),
+                )
+                result = recover_allocation(
+                    attempt, err, hooks, tracer=self.tracer, metrics=self.metrics
+                )
+                steps = "ladder" if result else ""
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.emit(
+                tracing.RESIZE,
+                device=device,
+                old=old,
+                new=new,
+                via=steps,
+            )
+        elif getattr(tracer, "monitoring", False):
+            tracer.monitor.note_elastic("resize", self.clock.now, device)
+        self._monitor_capacities[device] = heap.capacity
+        self.manager.check_invariants()
+        return {"device": device, "old": old, "new": heap.capacity, "via": steps}
+
+    def _resize_evict(self, device: str, requested: int) -> bool:
+        """Eviction rung for :meth:`resize`: each attached tenant's policy
+        gets a chance to relieve pressure on ``device``."""
+        acted = False
+        for session in list(self._sessions.values()):
+            try:
+                if session.policy.handle_pressure(device, requested):
+                    acted = True
+            except OutOfMemoryError:
+                continue
+        return acted
+
+    def _migrate_tail(self, device: str, new_capacity: int) -> bool:
+        """Cross-tier fallback for :meth:`resize`: move every region still
+        overlapping the truncated tail to another device, via the normal
+        allocate/copy/re-point/free path. Returns whether the tail is clear."""
+        heap = self.heap(device)
+        manager = self.manager
+        others = [name for name in self.heaps if name != device]
+        for offset in heap.tail_live_offsets(new_capacity):
+            region = manager.region_at(device, offset)
+            obj = region.parent
+            if obj is None:
+                return False  # unowned allocation: nobody can re-point it
+            if not region.is_primary:
+                # A secondary copy: the primary holds the data, just drop it.
+                manager.free(region)
+                continue
+            if obj.pinned:
+                return False  # a kernel holds the primary; cannot move it
+            moved = False
+            for other in others:
+                existing = obj.region_on(other)
+                if existing is not None:
+                    manager.copyto(existing, region)
+                    manager.setprimary(obj, existing)
+                    manager.setdirty(existing, False)
+                    manager.free(region)
+                    moved = True
+                    break
+                target = manager.try_allocate(other, region.size)
+                if target is None:
+                    continue
+                manager.copyto(target, region)
+                was_dirty = region.dirty
+                manager.setprimary(obj, target)
+                manager.setdirty(target, was_dirty)
+                manager.free(region)
+                moved = True
+                break
+            if not moved:
+                return False
+        return True
+
     def close(self) -> None:
+        """Shut the runtime down (idempotent, safe after mid-run faults)."""
+        if self.closed:
+            return
+        self.closed = True
         self.engine.shutdown()
 
     def __enter__(self) -> "SharedRuntime":
@@ -347,6 +530,10 @@ class Session:
         self.policy = policy
         self.policy.bind(runtime.manager)
         self._arrays: dict[int, CachedArray] = {}
+        self.closed = False
+        # Register with the runtime so elastic operations (detach, resize's
+        # eviction rung) can find every attached tenant view.
+        runtime._sessions[tenant] = self
 
     # -- delegation to the shared runtime ------------------------------------
 
@@ -538,7 +725,18 @@ class Session:
         return "\n".join(lines)
 
     def close(self) -> None:
-        """Shut the runtime down — only when this session owns it."""
+        """Detach this view; shut the runtime down when this session owns it.
+
+        Idempotent and safe after mid-run faults: a second close (chaos
+        teardown closes both the session and its runtime) is a no-op, so
+        quotas are never refunded twice and no error masks the original
+        failure.
+        """
+        if self.closed:
+            return
+        self.closed = True
+        if self.runtime._sessions.get(self.tenant) is self:
+            del self.runtime._sessions[self.tenant]
         if self._owns_runtime:
             self.runtime.close()
 

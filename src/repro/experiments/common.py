@@ -33,7 +33,14 @@ from repro.units import GB
 from repro.workloads.annotate import annotate
 from repro.workloads.trace import KernelTrace
 
-__all__ = ["ExperimentConfig", "ModeResult", "run_mode", "run_modes"]
+__all__ = [
+    "ExperimentConfig",
+    "ModeResult",
+    "PreparedRun",
+    "prepare_trace_mode",
+    "run_mode",
+    "run_modes",
+]
 
 
 @dataclass(frozen=True)
@@ -152,14 +159,55 @@ def _gc_config(footprint: int, config: ExperimentConfig) -> GcConfig:
     )
 
 
-def run_trace_mode(
+@dataclass
+class PreparedRun:
+    """A fully-built (adapter, executor, annotated-trace) ready to run.
+
+    ``run_trace_mode`` and the elastic snapshot runner
+    (:mod:`repro.runtime.elastic`) both construct through
+    :func:`prepare_trace_mode`, so a run paused at a kernel boundary and
+    restored in a fresh process is built bit-identically to an
+    uninterrupted one — the golden virtual-time digests pin this. The whole
+    object is picklable (it is the root of a runtime snapshot).
+    """
+
+    model: str
+    mode: ModeConfig
+    config: ExperimentConfig
+    footprint_bytes: int
+    annotated: KernelTrace
+    adapter: "CachedArraysAdapter | TwoLMAdapter"
+    executor: Executor
+
+    def execute(self) -> RunResult | None:
+        """Run (or resume) the trace; ``None`` when paused mid-run."""
+        run = self.executor.run(
+            self.annotated, iterations=self.config.iterations
+        )
+        return None if self.executor.paused else run
+
+    def finish(self, run: RunResult) -> ModeResult:
+        monitor = getattr(self.adapter.tracer, "monitor", None)
+        if monitor is not None:
+            monitor.finish()
+        return ModeResult(
+            model=self.model,
+            mode=self.mode,
+            run=run,
+            footprint_bytes=self.footprint_bytes,
+            config=self.config,
+            monitor=monitor,
+        )
+
+
+def prepare_trace_mode(
     trace: KernelTrace,
     mode_name: str | ModeConfig,
     config: ExperimentConfig,
     *,
     model_label: str = "",
-) -> ModeResult:
-    """Run an already-scaled trace under one operating mode."""
+) -> PreparedRun:
+    """Build the system + executor for one mode without running it."""
     mode_cfg = (
         mode_name if isinstance(mode_name, ModeConfig) else resolve_mode(mode_name)
     )
@@ -173,7 +221,9 @@ def run_trace_mode(
             config.build_nvram(),
             line_size=config.line_size,
         )
-        adapter = TwoLMAdapter(system, params)
+        adapter: CachedArraysAdapter | TwoLMAdapter = TwoLMAdapter(
+            system, params
+        )
         if config.monitor:
             adapter.tracer = MonitorTracer(
                 adapter.clock,
@@ -214,18 +264,32 @@ def run_trace_mode(
     executor = Executor(
         adapter, gc_config=gc_cfg, sample_timeline=config.sample_timeline
     )
-    run = executor.run(annotated, iterations=config.iterations)
-    monitor = getattr(adapter.tracer, "monitor", None)
-    if monitor is not None:
-        monitor.finish()
-    return ModeResult(
+    return PreparedRun(
         model=model_label or trace.name,
         mode=mode_cfg,
-        run=run,
-        footprint_bytes=footprint,
         config=config,
-        monitor=monitor,
+        footprint_bytes=footprint,
+        annotated=annotated,
+        adapter=adapter,
+        executor=executor,
     )
+
+
+def run_trace_mode(
+    trace: KernelTrace,
+    mode_name: str | ModeConfig,
+    config: ExperimentConfig,
+    *,
+    model_label: str = "",
+) -> ModeResult:
+    """Run an already-scaled trace under one operating mode."""
+    prepared = prepare_trace_mode(
+        trace, mode_name, config, model_label=model_label
+    )
+    run = prepared.executor.run(
+        prepared.annotated, iterations=config.iterations
+    )
+    return prepared.finish(run)
 
 
 def run_mode(

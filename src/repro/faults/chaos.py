@@ -29,14 +29,22 @@ from __future__ import annotations
 
 import hashlib
 import os
+import pickle
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.session import Session, SessionConfig
+from repro.core.session import Session, SessionConfig, SharedRuntime
 from repro.errors import CachedArraysError, OutOfMemoryError
 from repro.faults.injector import FaultInjector
-from repro.faults.plan import FaultPlan, fault_plan
+from repro.faults.plan import (
+    CHURN,
+    RESIZE,
+    FaultPlan,
+    FiredFault,
+    fault_plan,
+    replay_plan,
+)
 from repro.faults.policy import FaultyPolicy
 from repro.policies.optimizing import OptimizingPolicy
 from repro.policies.watchdog import PolicyWatchdog
@@ -49,7 +57,15 @@ from repro.units import KiB, MiB
 from repro.workloads.annotate import annotate
 from repro.workloads.synthetic import streaming_trace
 
-__all__ = ["ScenarioOutcome", "ChaosReport", "run_chaos", "run_scenario"]
+__all__ = [
+    "ScenarioOutcome",
+    "ChaosReport",
+    "BisectResult",
+    "ScriptedWorkload",
+    "bisect_plan",
+    "run_chaos",
+    "run_scenario",
+]
 
 # Scripted-workload geometry: DRAM far below the live working set.
 REAL_DRAM = 256 * KiB
@@ -75,6 +91,12 @@ class ScenarioOutcome:
     copy_retries: int = 0
     strikes: int = 0
     quarantined: bool = False
+    # Elastic-scenario extras: tenants detached mid-run, resizes applied,
+    # and whether every departed tenant's quota refunded exactly (None when
+    # the scenario has no churn).
+    detached: int = 0
+    resized: int = 0
+    refund_ok: bool | None = None
     # Flight-recorder dump written by the runtime monitor during this run
     # (empty when nothing escalated or no dump directory was configured):
     # a failing scenario ships its last-N-events black box.
@@ -84,7 +106,11 @@ class ScenarioOutcome:
     def ok(self) -> bool:
         """The robustness contract for one run (see module docstring)."""
         if self.completed:
-            return self.invariants_clean and self.digests_match is not False
+            return (
+                self.invariants_clean
+                and self.digests_match is not False
+                and self.refund_ok is not False
+            )
         return self.typed_abort
 
     def describe(self) -> str:
@@ -115,6 +141,12 @@ class ScenarioOutcome:
                 f"{self.strikes} policy strikes"
                 + (" -> quarantined" if self.quarantined else "")
             )
+        if self.detached or self.resized:
+            parts.append(
+                f"{self.detached} detaches / {self.resized} resizes"
+            )
+            if self.refund_ok is False:
+                parts.append("QUOTA REFUND MISMATCH")
         status = "ok " if self.ok else "FAIL"
         line = (
             f"  [{status}] {self.scenario}: {verdict} "
@@ -200,34 +232,57 @@ def _payload(step: int, elements: int) -> np.ndarray:
     return rng.random(elements, dtype=np.float32)
 
 
-def _scripted_workload(session: Session) -> dict[str, str]:
-    """Run the scripted allocate/write/read/archive/retire sequence.
+class ScriptedWorkload:
+    """The scripted allocate/write/read/archive/retire sequence, stepwise.
 
     Control flow depends only on the step index — never on placement, timing,
     or recovery — so any two runs produce the same logical array set and the
-    final digests are comparable bit-for-bit. Returns ``{name: sha256}`` of
-    every array still live at the end.
+    final digests are comparable bit-for-bit.
+
+    Position (``step``) and the live set are plain data, which makes the
+    workload **picklable mid-run**: the chaos bisector snapshots
+    ``(session, workload)`` at every step boundary and restores the pair to
+    re-run the tail under a different fault schedule.
     """
-    live: dict[int, object] = {}
-    for step in range(WORKLOAD_STEPS):
+
+    def __init__(self) -> None:
+        self.step = 0
+        self.live: dict[int, object] = {}
+
+    def run_step(self, session: Session) -> None:
+        step = self.step
         elements = SHAPE_CYCLE[step % len(SHAPE_CYCLE)]
         array = _guarded_empty(session, elements, f"a{step}")
         array.write(_payload(step, elements))
-        live[step] = array
+        self.live[step] = array
         if step >= 2 and step % 3 == 0:
             # Revisit two recent arrays: forces promote/evict churn.
             for back in (1, 2):
-                if step - back in live:
-                    live[step - back].read()
-        if step % 4 == 1 and step - 4 in live:
-            live[step - 4].archive()
-        if step % 5 == 4 and step - 5 in live:
-            live.pop(step - 5).retire()
-    digests: dict[str, str] = {}
-    for step in sorted(live):
-        data = live[step].read()
-        digests[f"a{step}"] = hashlib.sha256(data.tobytes()).hexdigest()
-    return digests
+                if step - back in self.live:
+                    self.live[step - back].read()
+        if step % 4 == 1 and step - 4 in self.live:
+            self.live[step - 4].archive()
+        if step % 5 == 4 and step - 5 in self.live:
+            self.live.pop(step - 5).retire()
+        self.step = step + 1
+
+    def digests(self) -> dict[str, str]:
+        """``{name: sha256}`` of every array still live."""
+        out: dict[str, str] = {}
+        for step in sorted(self.live):
+            data = self.live[step].read()
+            out[f"a{step}"] = hashlib.sha256(data.tobytes()).hexdigest()
+        return out
+
+    def run(self, session: Session) -> dict[str, str]:
+        """Run (or resume) to the end; returns the final digests."""
+        while self.step < WORKLOAD_STEPS:
+            self.run_step(session)
+        return self.digests()
+
+
+def _scripted_workload(session: Session) -> dict[str, str]:
+    return ScriptedWorkload().run(session)
 
 
 def _collect_stats(session: Session, outcome: ScenarioOutcome) -> None:
@@ -336,6 +391,298 @@ def _run_virtual_scenario(
     return outcome
 
 
+# -- scenario C: multi-tenant shared runtime under churn + resize --------------
+
+ELASTIC_TENANTS = ("t0", "t1")
+
+
+def _expected_digests(workload: ScriptedWorkload) -> dict[str, str]:
+    """What the live arrays must contain: the seeded payloads, unchanged by
+    any amount of eviction, migration, or resize traffic."""
+    out: dict[str, str] = {}
+    for step in sorted(workload.live):
+        elements = SHAPE_CYCLE[step % len(SHAPE_CYCLE)]
+        out[f"a{step}"] = hashlib.sha256(
+            _payload(step, elements).tobytes()
+        ).hexdigest()
+    return out
+
+
+def _run_elastic_scenario(
+    plan: FaultPlan, *, dump_dir: str | None = None
+) -> ScenarioOutcome:
+    """Two tenants on one shared runtime; the plan's churn/resize events
+    fire at step boundaries. Checks: surviving payloads bit-identical to
+    their seeded contents, detached quotas refunded exactly once (no rows,
+    no owned blocks left), clean invariant sweep after every resize."""
+    outcome = ScenarioOutcome(scenario="session-elastic", completed=False)
+    injector = FaultInjector(plan)
+    runtime = SharedRuntime(
+        SessionConfig(
+            dram=REAL_DRAM,
+            nvram=REAL_NVRAM,
+            real=True,
+            tracing=True,
+            monitor=True,
+            monitor_config=MonitorConfig(dump_dir=dump_dir),
+        ),
+        injector=injector,
+    )
+    sessions: dict[str, Session] = {}
+    workloads: dict[str, ScriptedWorkload] = {}
+    for tenant in ELASTIC_TENANTS:
+        policy = PolicyWatchdog(
+            OptimizingPolicy(fast="DRAM", slow="NVRAM", local_alloc=True)
+        )
+        sessions[tenant] = runtime.session(
+            policy, tenant=tenant, dram_quota=REAL_DRAM // 2
+        )
+        workloads[tenant] = ScriptedWorkload()
+    detach_stats: dict[str, dict[str, int]] = {}
+    try:
+        for step in range(WORKLOAD_STEPS):
+            for kind, subject, factor in injector.elastic_events(step):
+                if kind == "churn":
+                    tenant = subject if subject != "*" else ELASTIC_TENANTS[-1]
+                    if tenant in workloads:
+                        detach_stats[tenant] = runtime.detach(tenant)
+                        workloads.pop(tenant)
+                        outcome.detached += 1
+                else:
+                    heap = runtime.heap(subject)
+                    new_bytes = max(64 * KiB, int(heap.capacity * factor))
+                    runtime.resize(subject, new_bytes)
+                    outcome.resized += 1
+            for tenant in list(workloads):
+                runtime.activate(tenant)
+                workloads[tenant].run_step(sessions[tenant])
+        digests_ok = True
+        for tenant, workload in workloads.items():
+            runtime.activate(tenant)
+            digests_ok &= workload.digests() == _expected_digests(workload)
+    except CachedArraysError as error:
+        outcome.error = type(error).__name__
+        outcome.error_detail = str(error)
+        outcome.typed_abort = True
+    except Exception as error:  # noqa: BLE001 - the contract check itself
+        outcome.error = type(error).__name__
+        outcome.error_detail = str(error)
+    else:
+        outcome.completed = True
+        outcome.digests_match = digests_ok
+    if outcome.detached:
+        refund_ok = True
+        for tenant, stats in detach_stats.items():
+            refund_ok &= stats["quota"] > 0
+            refund_ok &= not any(
+                owner == tenant for owner, _ in runtime.manager.tenant_quotas()
+            )
+            refund_ok &= not runtime.manager.tenant_objects(tenant)
+        outcome.refund_ok = refund_ok
+    monitor = runtime.monitor
+    if outcome.error and monitor is not None:
+        monitor.record_escalation(f"abort:{outcome.error}")
+    if monitor is not None:
+        monitor.finish()
+    try:
+        runtime.manager.check()
+        for session in sessions.values():
+            if not session.closed:
+                check = getattr(session.policy, "check_invariant", None)
+                if check is not None:
+                    check()
+    except Exception:
+        outcome.invariants_clean = False
+    else:
+        outcome.invariants_clean = True
+    outcome.faults_fired = len(injector.fired)
+    if monitor is not None:
+        outcome.recoveries = dict(monitor.recoveries_by_step)
+        outcome.copy_retries = monitor.totals["copy_retries"]
+        outcome.strikes = monitor.totals["strikes"]
+        outcome.quarantined |= monitor.totals["quarantines"] > 0
+        if monitor.dumps:
+            outcome.flight_record = monitor.dumps[-1]
+    runtime.close()
+    return outcome
+
+
+# -- bisection: narrow a failing plan to the smallest event window -------------
+
+
+@dataclass
+class BisectResult:
+    """Outcome of ``repro chaos --bisect``: the narrowed fault window."""
+
+    plan: FaultPlan
+    error: str                 # exception type of the reproduced failure
+    failing_step: int          # scripted-workload step the failure hit
+    fired_total: int           # faults fired in the full failing run
+    window: list[FiredFault] = field(default_factory=list)
+    probes: int = 0            # probe runs spent narrowing
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.error) and bool(self.window)
+
+    def render(self) -> str:
+        if not self.error:
+            return (
+                f"bisect: plan {self.plan.name!r} completed cleanly — "
+                "nothing to narrow"
+            )
+        lines = [
+            f"bisect: plan {self.plan.name!r} fails at step "
+            f"{self.failing_step} with {self.error}",
+            f"  {self.fired_total} faults fired; window narrowed to "
+            f"{len(self.window)} event(s) in {self.probes} probe runs",
+        ]
+        if self.window:
+            lines.append(f"  first event: {_describe_fault(self.window[0])}")
+            lines.append(f"  last event:  {_describe_fault(self.window[-1])}")
+        else:
+            lines.append(
+                "  no fault window: the workload fails without any faults"
+            )
+        return "\n".join(lines)
+
+
+def _describe_fault(fault: FiredFault) -> str:
+    bits = [f"{fault.site}[{fault.index}]"]
+    if fault.device != "*":
+        bits.append(f"device={fault.device}")
+    if fault.op != "*":
+        bits.append(f"op={fault.op}")
+    bits.append(f"t={fault.ts:.6g}")
+    magnitude = fault.detail.get("magnitude")
+    if magnitude is not None:
+        bits.append(f"magnitude={magnitude:g}")
+    return " ".join(bits)
+
+
+def bisect_plan(plan_or_name: FaultPlan | str) -> BisectResult:
+    """Binary-search a failing plan down to the narrowest fault window.
+
+    Three phases over the ``session-real`` scripted workload:
+
+    1. **Record** — run the plan once, snapshotting ``(session, workload)``
+       at every step boundary (the elastic snapshot machinery: pickle
+       preserves heaps, object table, clock, injector cursors).
+    2. **Tail search** — binary-search the *latest* snapshot that still
+       fails when restored with the injector disarmed: faults fired after
+       it are unnecessary, so the window's end is the last fault before it.
+    3. **Head search** — binary-search the *largest* prefix of the
+       remaining faults that can be dropped while a fresh replay
+       (:func:`~repro.faults.plan.replay_plan`) of the rest still fails.
+
+    What survives is the minimal contiguous window of fired faults; the
+    result names its first and last event.
+    """
+    plan = (
+        fault_plan(plan_or_name)
+        if isinstance(plan_or_name, str)
+        else plan_or_name
+    )
+    session, injector = _build_session(
+        plan, real=True, dram=REAL_DRAM, nvram=REAL_NVRAM
+    )
+    assert injector is not None
+    snapshots: list[tuple[bytes, int]] = []
+    error = ""
+    with session:
+        workload = ScriptedWorkload()
+        try:
+            while workload.step < WORKLOAD_STEPS:
+                snapshots.append((
+                    pickle.dumps(
+                        (session, workload), pickle.HIGHEST_PROTOCOL
+                    ),
+                    len(injector.fired),
+                ))
+                workload.run_step(session)
+            snapshots.append((
+                pickle.dumps((session, workload), pickle.HIGHEST_PROTOCOL),
+                len(injector.fired),
+            ))
+            workload.digests()
+        except CachedArraysError as err:
+            error = type(err).__name__
+        fired_full = list(injector.fired)
+        failing_step = workload.step
+    if not error:
+        return BisectResult(
+            plan=plan, error="", failing_step=-1,
+            fired_total=len(fired_full),
+        )
+    result = BisectResult(
+        plan=plan, error=error, failing_step=failing_step,
+        fired_total=len(fired_full),
+    )
+
+    def tail_fails(blob: bytes) -> bool:
+        """Restore a snapshot, disarm the injector, run to completion."""
+        result.probes += 1
+        restored_session, restored_workload = pickle.loads(blob)
+        restored_session.injector.disarm()
+        try:
+            restored_workload.run(restored_session)
+        except CachedArraysError:
+            return True
+        finally:
+            restored_session.close()
+        return False
+
+    # Tail: find the earliest snapshot that fails with no further faults.
+    # Everything the injector fired after it is noise.
+    if snapshots and tail_fails(snapshots[-1][0]):
+        lo, hi = 0, len(snapshots) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if tail_fails(snapshots[mid][0]):
+                hi = mid
+            else:
+                lo = mid + 1
+        end_count = snapshots[lo][1]
+    else:
+        # The failure needs the faults of the failing step itself.
+        end_count = len(fired_full)
+    candidates = fired_full[:end_count]
+    if not candidates:
+        return result  # fails with zero faults: the plan is not the cause
+
+    def head_fails(drop: int) -> bool:
+        """Replay only ``candidates[drop:]`` against a fresh run."""
+        result.probes += 1
+        subset = candidates[drop:]
+        replay = replay_plan(
+            f"{plan.name}-bisect", subset, seed=plan.seed
+        )
+        probe_session, _ = _build_session(
+            replay, real=True, dram=REAL_DRAM, nvram=REAL_NVRAM
+        )
+        with probe_session:
+            try:
+                ScriptedWorkload().run(probe_session)
+            except CachedArraysError:
+                return True
+        return False
+
+    # Head: drop the longest benign prefix that still reproduces.
+    if head_fails(0):
+        lo, hi = 0, len(candidates) - 1
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if head_fails(mid):
+                lo = mid
+            else:
+                hi = mid - 1
+        drop = lo
+    else:  # pragma: no cover - replay nondeterminism safety net
+        drop = 0
+    result.window = candidates[drop:]
+    return result
+
+
 # -- entry points --------------------------------------------------------------
 
 
@@ -352,6 +699,8 @@ def run_scenario(
         return _run_real_scenario(plan, dump_dir=dump_dir)
     if scenario == "trace-virtual":
         return _run_virtual_scenario(plan, dump_dir=dump_dir)
+    if scenario == "session-elastic":
+        return _run_elastic_scenario(plan, dump_dir=dump_dir)
     raise ValueError(f"unknown chaos scenario {scenario!r}")
 
 
@@ -375,10 +724,24 @@ def run_chaos(
         return os.path.join(dump_dir, plan.name, scenario)
 
     report = ChaosReport(plan=plan)
-    report.outcomes.append(
-        _run_real_scenario(plan, dump_dir=scenario_dir("session-real"))
-    )
-    report.outcomes.append(
-        _run_virtual_scenario(plan, dump_dir=scenario_dir("trace-virtual"))
-    )
+    elastic_specs = plan.for_site(CHURN) + plan.for_site(RESIZE)
+    if len(elastic_specs) < len(plan.specs):
+        # Mechanism-fault specs exist: run the classic scenarios. A purely
+        # elastic plan skips them — churn/resize events only fire at the
+        # elastic scenario's step boundaries, and a scenario that can fire
+        # nothing proves nothing.
+        report.outcomes.append(
+            _run_real_scenario(plan, dump_dir=scenario_dir("session-real"))
+        )
+        report.outcomes.append(
+            _run_virtual_scenario(plan, dump_dir=scenario_dir("trace-virtual"))
+        )
+    if elastic_specs:
+        # Elastic plans get the multi-tenant scenario: churn and resize
+        # only mean something with tenants to detach and heaps to migrate.
+        report.outcomes.append(
+            _run_elastic_scenario(
+                plan, dump_dir=scenario_dir("session-elastic")
+            )
+        )
     return report

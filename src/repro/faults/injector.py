@@ -89,6 +89,10 @@ class FaultInjector:
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.rng = random.Random(plan.seed)
         self.fired: list[FiredFault] = []
+        # Disarmed injectors count eligible operations but never fire —
+        # the chaos bisector restores a snapshot with the injector disarmed
+        # to test whether already-fired faults alone reproduce a failure.
+        self.armed = True
         # Per-site eligible-operation counters.
         self._counts: dict[str, int] = {}
         self._states: dict[str, list[_SpecState]] = {}
@@ -132,17 +136,31 @@ class FaultInjector:
             self.tracer.monitor.note_fault(self._now, site)
         return fault
 
-    def _matching(self, site: str, index: int, device: str = "*",
-                  op: str = "*") -> list[_SpecState]:
-        """Spec states at ``site`` that fire on this eligible operation."""
+    def disarm(self) -> None:
+        """Stop firing new faults (already-applied damage stays applied)."""
+        self.armed = False
+
+    def rearm(self) -> None:
+        self.armed = True
+
+    def _matching(self, site: str, index: int, device: str | None = "*",
+                  op: str | None = "*") -> list[_SpecState]:
+        """Spec states at ``site`` that fire on this eligible operation.
+
+        ``op=None`` / ``device=None`` skip that filter entirely (elastic
+        specs carry the target tenant in ``op`` and the target device in
+        ``device`` as payload, not as match conditions).
+        """
+        if not self.armed:
+            return []
         out = []
         for state in self._states.get(site, ()):
             spec = state.spec
             if state.exhausted():
                 continue
-            if not _device_matches(spec, device):
+            if device is not None and not _device_matches(spec, device):
                 continue
-            if not _op_matches(spec, op):
+            if op is not None and not _op_matches(spec, op):
                 continue
             if not spec.matches_index(index):
                 continue
@@ -216,6 +234,33 @@ class FaultInjector:
         if failures == 0 and corrupt == 0 and slowdown == 1.0:
             return NO_COPY_FAULT
         return CopyFault(failures=failures, slowdown=slowdown, corrupt=corrupt)
+
+    # -- elastic-event site --------------------------------------------------
+
+    def elastic_events(self, step: int) -> list[tuple[str, str, float]]:
+        """Consulted once per workload step boundary.
+
+        Returns the elastic actions scheduled for this boundary as
+        ``(kind, subject, magnitude)`` tuples: ``("churn", tenant, _)``
+        detaches a tenant (the spec's ``op`` field names it), and
+        ``("resize", device, factor)`` rescales a device's capacity by
+        ``factor``. Both sites count one eligible operation per call, so
+        indices line up with the step sequence.
+        """
+        actions: list[tuple[str, str, float]] = []
+        index = self._next_index(_plan.CHURN)
+        for state in self._matching(_plan.CHURN, index, op=None):
+            self._fire(state, _plan.CHURN, "*", state.spec.op, index,
+                       step=step)
+            actions.append(("churn", state.spec.op, state.spec.magnitude))
+        index = self._next_index(_plan.RESIZE)
+        for state in self._matching(_plan.RESIZE, index, device=None):
+            self._fire(state, _plan.RESIZE, state.spec.device, "*", index,
+                       step=step, factor=state.spec.magnitude)
+            actions.append(
+                ("resize", state.spec.device, state.spec.magnitude)
+            )
+        return actions
 
     # -- policy-boundary site ------------------------------------------------
 

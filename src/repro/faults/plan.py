@@ -41,9 +41,14 @@ COPY = "copy"                    # copy engine: attempts fail, engine retries
 COPY_CORRUPT = "copy_corrupt"    # copy engine: silent corruption (real mode)
 BANDWIDTH = "bandwidth"          # copy engine: transfers slowed by magnitude
 POLICY = "policy"                # policy boundary: PolicyError at the hint
+# Elastic events, consulted at workload step boundaries rather than inside
+# the mechanism (they model operator actions, not component failures):
+CHURN = "churn"                  # a tenant detaches mid-run (spec.op names it)
+RESIZE = "resize"                # a device resizes; magnitude = capacity factor
 
 SITES = frozenset(
-    {ALLOC, FRAGMENTATION, COPY, COPY_CORRUPT, BANDWIDTH, POLICY}
+    {ALLOC, FRAGMENTATION, COPY, COPY_CORRUPT, BANDWIDTH, POLICY,
+     CHURN, RESIZE}
 )
 
 
@@ -280,6 +285,39 @@ FAULT_PLANS: dict[str, FaultPlan] = {
             ),
             description="one copy fails past the retry budget; the run "
                         "must abort with a typed CopyError, never corrupt",
+        ),
+        FaultPlan(
+            "elastic-ops",
+            specs=(
+                # Step boundaries count as eligible operations: detach the
+                # second tenant a third of the way through, squeeze DRAM to
+                # half capacity shortly after, and restore it near the end.
+                FaultSpec(site=CHURN, op="t1", start=6, count=1),
+                FaultSpec(site=RESIZE, device="DRAM", start=8, count=1,
+                          magnitude=0.5),
+                FaultSpec(site=RESIZE, device="DRAM", start=14, count=1,
+                          magnitude=2.0),
+            ),
+            description="tenant churn plus online DRAM shrink/grow; the "
+                        "recovery ladder must migrate survivors and every "
+                        "quota must refund exactly once",
+        ),
+        FaultPlan(
+            "bisect-demo",
+            specs=(
+                # Benign noise: retried copies and failed DRAM allocations
+                # the ladder absorbs...
+                FaultSpec(site=COPY, device="*", start=1, every=4, count=4),
+                FaultSpec(site=ALLOC, device="DRAM", start=3, every=6,
+                          count=3),
+                # ...and one fatal copy that exhausts the retry budget. The
+                # bisector must isolate a window containing this event.
+                FaultSpec(site=COPY, device="*", start=10, every=1, count=1,
+                          magnitude=99),
+            ),
+            description="benign fault noise plus one fatal copy; "
+                        "`repro chaos --bisect` narrows the failure to a "
+                        "handful of events",
         ),
         FaultPlan(
             "kitchen-sink",

@@ -418,6 +418,23 @@ class CopyEngine:
         """
         self._inflight.append((completes_at, label))
 
+    def drop_pending(self, prefix: str) -> int:
+        """Forget in-flight stall-attribution labels starting with ``prefix``.
+
+        Tenant detach calls this with the tenant's ``name/`` namespace so a
+        departed tenant's queued copies can no longer be blamed for stalls.
+        The DMA-channel occupancy itself is *not* rewound: the modelled bus
+        time was really spent. Returns the number of labels dropped.
+        """
+        if not prefix:
+            return 0
+        before = len(self._inflight)
+        self._inflight = [
+            (t, label) for t, label in self._inflight
+            if not label.startswith(prefix)
+        ]
+        return before - len(self._inflight)
+
     def pending_labels(self, now: float) -> list[tuple[str, float]]:
         """``(label, remaining_seconds)`` per copy still in flight at ``now``.
 
@@ -433,6 +450,22 @@ class CopyEngine:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+
+    # -- snapshot/restore ---------------------------------------------------
+    # Two members cannot cross a process boundary: the lazily-created
+    # ThreadPoolExecutor (rebuilt on demand by ``_memcpy``) and the thread
+    # tuning cache, whose keys are ``id()``s of bandwidth-model objects —
+    # meaningless in another process. Both are derived state; dropping them
+    # changes no simulated result.
+
+    def __getstate__(self) -> dict[str, object]:
+        state = dict(self.__dict__)
+        state["_pool"] = None
+        state["_thread_cache"] = {}
+        return state
+
+    def __setstate__(self, state: dict[str, object]) -> None:
+        self.__dict__.update(state)
 
     def __enter__(self) -> "CopyEngine":
         return self

@@ -100,6 +100,21 @@ class MemoryDevice:
     def is_real(self) -> bool:
         return self._arena is not None
 
+    def resize_arena(self, new_capacity: int) -> None:
+        """Rebuild the real backing buffer at ``new_capacity`` bytes.
+
+        The common prefix is preserved (a real deployment would
+        mremap/munmap the tail); the caller — :meth:`Heap.grow`/``shrink``
+        — is responsible for having made the truncated tail free first.
+        Virtual devices have nothing to do.
+        """
+        if self._arena is None:
+            return
+        arena = np.zeros(new_capacity, dtype=np.uint8)
+        keep = min(new_capacity, self.capacity, len(self._arena))
+        arena[:keep] = self._arena[:keep]
+        self._arena = arena
+
     def view(self, offset: int, size: int) -> np.ndarray:
         """A zero-copy byte view of ``[offset, offset+size)`` (real mode only)."""
         if self._arena is None:

@@ -103,26 +103,33 @@ class Heap:
         return self.allocator.stats()
 
     def grow(self, new_capacity: int) -> None:
-        """Extend the heap (virtual devices only; a real arena is fixed)."""
-        if self.device.is_real:
-            from repro.errors import ConfigurationError
-
-            raise ConfigurationError(
-                f"cannot grow real-backed device {self.name!r}"
-            )
+        """Extend the heap; real arenas are reallocated preserving contents."""
         self.allocator.grow(new_capacity)
+        self.device.resize_arena(new_capacity)
         self.device.capacity = new_capacity
 
     def shrink(self, new_capacity: int) -> None:
-        """Give back the heap tail; compact first if the tail is occupied."""
-        if self.device.is_real:
-            from repro.errors import ConfigurationError
+        """Give back the heap tail; compact first if the tail is occupied.
 
-            raise ConfigurationError(
-                f"cannot shrink real-backed device {self.name!r}"
-            )
+        The allocator refuses (``AllocationError``) while live data sits in
+        the truncated tail — :meth:`SharedRuntime.resize` drives the recovery
+        ladder to migrate survivors out before retrying. Real arenas are
+        reallocated preserving the surviving prefix.
+        """
         self.allocator.shrink(new_capacity)
+        self.device.resize_arena(new_capacity)
         self.device.capacity = new_capacity
+
+    def tail_live_offsets(self, new_capacity: int) -> list[int]:
+        """Offsets of live blocks overlapping ``[new_capacity, capacity)``.
+
+        The survivors a shrink must migrate, in address order.
+        """
+        return [
+            block.offset
+            for block in self.allocator.live_blocks()
+            if block.offset + block.size > new_capacity
+        ]
 
     def defragment(
         self, on_move: Callable[[int, int, int], None] | None = None

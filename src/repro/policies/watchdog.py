@@ -66,15 +66,19 @@ class PolicyWatchdog(DelegatingPolicy):
         self.strikes += 1
         self.failures.append(f"{op}: {error}")
         tracer = self.tracer
+        # Attribute the strike to the tenant whose operation tripped it, so
+        # multi-tenant escalations separate in `repro explain`/flight dumps.
+        tenant = getattr(self.manager, "active_tenant", "")
         if tracer.enabled:
             tracer.emit(
                 tracing.POLICY_STRIKE,
                 op=op,
                 strikes=self.strikes,
                 error=str(error),
+                tenant=tenant,
             )
         elif tracer.monitoring:
-            tracer.monitor.note_strike(tracer.clock.now, op)
+            tracer.monitor.note_strike(tracer.clock.now, op, tenant)
         self.manager.metrics.counter("watchdog.strikes").inc()
         if self.strikes >= self.max_strikes and not self.quarantined:
             self.quarantined = True

@@ -71,6 +71,9 @@ class SystemAdapter(abc.ABC):
     # Structured event tracer; adapters that support tracing override this
     # per instance. The executor emits kernel-boundary spans through it.
     tracer: "tracing.Tracer | tracing.NullTracer" = tracing.NULL_TRACER
+    # Tenant owning this adapter's allocations (recovery-ladder attribution);
+    # single-tenant baselines leave it empty.
+    tenant: str = ""
 
     @abc.abstractmethod
     def alloc(self, spec: TensorSpec) -> None: ...
@@ -139,6 +142,7 @@ class CachedArraysAdapter(SystemAdapter):
         self.params = params
         self.clock = session.clock
         self.tracer = session.tracer
+        self.tenant = session.tenant
         self.objects: dict[str, MemObject] = {}
         self._kernel_count = 0
 
@@ -521,6 +525,29 @@ class RunResult:
         return variance**0.5 / mean
 
 
+@dataclass
+class _ExecCursor:
+    """Where a paused run stopped, picklable (part of a runtime snapshot).
+
+    Captures the mid-iteration partials the ``stream`` loop keeps in locals,
+    so a resumed generator re-enters the event loop at ``event_index`` with
+    arithmetic identical to the uninterrupted run — no extra clock advances,
+    samples, or yields.
+    """
+
+    iteration: int
+    event_index: int  # next trace event to process
+    results: list[IterationResult]
+    compute: float
+    kernel_memory: float
+    peak: dict[str, int]
+    saw_iter_end: bool
+    checkpoint: object
+    start_traffic: dict[str, TrafficSnapshot]
+    start_cache: CacheStats | None
+    start_collections: int
+
+
 class Executor:
     """Walks annotated traces over a system adapter, collecting telemetry."""
 
@@ -546,6 +573,14 @@ class Executor:
         self.stream_name = stream_name
         self._track_prefix = f"{stream_name}/" if stream_name else ""
         self._timelines: dict[str, Timeline] = {}
+        # Elastic checkpointing: when ``pause_after`` is set, the stream
+        # returns (result ``None``) once that many kernels have executed,
+        # leaving a picklable cursor behind; a later ``stream`` call resumes
+        # from it (typically in a fresh process, after snapshot restore).
+        self.pause_after: int | None = None
+        self.kernels_done = 0
+        self.paused = False
+        self._cursor: _ExecCursor | None = None
 
     # -- event handlers -------------------------------------------------------
 
@@ -579,6 +614,7 @@ class Executor:
                 ),
                 tracer=tracer,
                 metrics=self.adapter.metrics,
+                tenant=self.adapter.tenant,
             )
         self.gc.on_alloc(spec.nbytes)
 
@@ -655,19 +691,41 @@ class Executor:
         """
         if iterations < 1:
             raise TraceError(f"need at least one iteration, got {iterations}")
-        results: list[IterationResult] = []
         clock = self.adapter.clock
         tracer = self.adapter.tracer
-        for index in range(iterations):
-            checkpoint = clock.checkpoint()
-            start_traffic = self.adapter.traffic()
-            start_cache = self.adapter.cache_stats()
-            start_collections = self.gc.collections
-            compute = 0.0
-            kernel_memory = 0.0
-            peak: dict[str, int] = {}
-            saw_iter_end = False
-            self._sample("iteration-start")
+        cursor = self._cursor
+        self._cursor = None
+        self.paused = False
+        results: list[IterationResult] = (
+            cursor.results if cursor is not None else []
+        )
+        first_iteration = cursor.iteration if cursor is not None else 0
+        for index in range(first_iteration, iterations):
+            if cursor is not None and cursor.iteration == index:
+                # Resuming a paused run: restore the mid-iteration partials
+                # and re-enter the event loop where the pause left off. No
+                # iteration-start sample — it already ran before the pause.
+                checkpoint = cursor.checkpoint
+                start_traffic = cursor.start_traffic
+                start_cache = cursor.start_cache
+                start_collections = cursor.start_collections
+                compute = cursor.compute
+                kernel_memory = cursor.kernel_memory
+                peak = cursor.peak
+                saw_iter_end = cursor.saw_iter_end
+                first_event = cursor.event_index
+                cursor = None
+            else:
+                checkpoint = clock.checkpoint()
+                start_traffic = self.adapter.traffic()
+                start_cache = self.adapter.cache_stats()
+                start_collections = self.gc.collections
+                compute = 0.0
+                kernel_memory = 0.0
+                peak = {}
+                saw_iter_end = False
+                first_event = 0
+                self._sample("iteration-start")
             # Dispatch ordered by event frequency (kernels dominate every
             # model trace, then allocs/retires); the branches are mutually
             # exclusive classes so ordering cannot change which one fires.
@@ -677,8 +735,11 @@ class Executor:
             traced = tracer.enabled
             monitoring = tracer.monitoring
             peak_get = peak.get
-            for event in trace.events:
-                if isinstance(event, Kernel):
+            events = trace.events
+            for pos in range(first_event, len(events)):
+                event = events[pos]
+                is_kernel = isinstance(event, Kernel)
+                if is_kernel:
                     if traced:
                         tracer.emit(tracing.KERNEL_START, kernel=event.name)
                     timing = adapter_kernel(event, trace)
@@ -716,6 +777,31 @@ class Executor:
                 for device, used in adapter_occupancy().items():
                     if used > peak_get(device, 0):
                         peak[device] = used
+                if is_kernel:
+                    self.kernels_done += 1
+                    if (
+                        self.pause_after is not None
+                        and self.kernels_done >= self.pause_after
+                    ):
+                        # Kernel-boundary checkpoint: park the mid-iteration
+                        # state in a picklable cursor and end the stream.
+                        # Everything up to and including this kernel's
+                        # bookkeeping has run; nothing past it has.
+                        self._cursor = _ExecCursor(
+                            iteration=index,
+                            event_index=pos + 1,
+                            results=results,
+                            compute=compute,
+                            kernel_memory=kernel_memory,
+                            peak=peak,
+                            saw_iter_end=saw_iter_end,
+                            checkpoint=checkpoint,
+                            start_traffic=start_traffic,
+                            start_cache=start_cache,
+                            start_collections=start_collections,
+                        )
+                        self.paused = True
+                        return None
             if not saw_iter_end:
                 raise TraceError(f"trace {trace.name!r} lacks an IterEnd event")
             # Paper: "After each training iteration ... the GC was invoked";

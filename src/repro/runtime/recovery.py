@@ -76,15 +76,18 @@ def recover_allocation(
     *,
     tracer: Any = NULL_TRACER,
     metrics: Any = None,
+    tenant: str = "",
 ) -> T | Any:
     """Climb the ladder until ``attempt()`` succeeds or rungs run out.
 
     ``attempt`` re-runs the failed allocation; ``error`` is the
     :class:`OutOfMemoryError` that triggered recovery (its ``device`` and
     ``requested`` parameterise the rungs; it is re-read from each failed
-    retry so the ladder always targets the *current* failure). Raises
-    :class:`RecoveryExhaustedError` chained to the original error when
-    nothing worked.
+    retry so the ladder always targets the *current* failure). ``tenant``
+    attributes every ladder event to the tenant whose allocation is being
+    recovered, so multi-tenant escalations are separable in ``repro
+    explain`` and flight dumps. Raises :class:`RecoveryExhaustedError`
+    chained to the original error when nothing worked.
     """
     first_error = error
     steps_taken: list[str] = []
@@ -98,9 +101,10 @@ def recover_allocation(
                 requested=error.requested,
                 free=error.free,
                 acted=acted,
+                tenant=tenant,
             )
         elif tracer.monitoring:
-            tracer.monitor.note_recovery_step(tracer.clock.now, step)
+            tracer.monitor.note_recovery_step(tracer.clock.now, step, tenant)
 
     def _succeed(step: str, result: T) -> T:
         if tracer.enabled:
@@ -110,6 +114,7 @@ def recover_allocation(
                 device=error.device,
                 requested=error.requested,
                 steps=",".join(steps_taken),
+                tenant=tenant,
             )
         elif tracer.monitoring:
             tracer.monitor.note_recovery(tracer.clock.now, step)

@@ -117,6 +117,31 @@ class StreamScheduler:
         """Stream name -> generator return value (after :meth:`run`)."""
         return {s.name: s.result for s in self.streams}
 
+    def find(self, name: str) -> Stream | None:
+        """The stream registered under ``name``, if any."""
+        for stream in self.streams:
+            if stream.name == name:
+                return stream
+        return None
+
+    def cancel(self, name: str) -> bool:
+        """Cancel a stream: close its generator and retire it from scheduling.
+
+        Safe to call before, during (from another stream's step), or after
+        the run; a cancelled stream is skipped when the event queue next pops
+        it. Returns ``True`` when a live stream was cancelled, ``False`` when
+        the name is unknown or the stream already finished. Closing the
+        generator runs its ``finally`` blocks (unpins, scope pops), so tenant
+        teardown goes through the normal unwind path.
+        """
+        stream = self.find(name)
+        if stream is None or stream.done:
+            return False
+        stream.done = True
+        stream.gen.close()
+        stream.local_time = max(stream.local_time, self.clock.now)
+        return True
+
     # -- driving ------------------------------------------------------------
 
     def run(self) -> None:
@@ -178,6 +203,8 @@ class StreamScheduler:
             while queue:
                 event = queue.pop()
                 stream = event.payload
+                if stream.done:  # cancelled while queued (tenant detach)
+                    continue
                 active = stream
                 # Activate: the clock becomes this stream's local timeline.
                 clock.seek(event.time)

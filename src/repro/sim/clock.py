@@ -124,6 +124,21 @@ class SimClock:
         if self._stream_busy is not None:
             self._stream_busy.clear()
 
+    # -- snapshot/restore ---------------------------------------------------
+    # ``_stream_busy`` is a transient alias into the *running* stream's busy
+    # map, bound by the scheduler for the duration of one step. A snapshot is
+    # only taken between steps, and a restored clock is always re-bound by
+    # whatever scheduler drives the resumed run, so the alias is dropped
+    # rather than serialized (pickling it would duplicate the stream's map).
+
+    def __getstate__(self) -> dict[str, object]:
+        return {"now": self.now, "_busy": self._busy}
+
+    def __setstate__(self, state: dict[str, object]) -> None:
+        self.now = state["now"]  # type: ignore[assignment]
+        self._busy = state["_busy"]  # type: ignore[assignment]
+        self._stream_busy = None
+
 
 @dataclass(frozen=True)
 class ClockCheckpoint:

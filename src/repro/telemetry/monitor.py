@@ -49,6 +49,7 @@ from repro.telemetry.trace import (
     COPY_END,
     COPY_RETRY,
     COPY_START,
+    DETACH,
     EVICT,
     FAULT,
     FREE,
@@ -60,6 +61,9 @@ from repro.telemetry.trace import (
     QUARANTINE,
     RECOVERY,
     RECOVERY_STEP,
+    RESIZE,
+    RESTORE,
+    SNAPSHOT,
     STALL,
     TraceEvent,
     Tracer,
@@ -536,10 +540,22 @@ _RING_FIELDS: dict[str, tuple[str, ...]] = {
     OOM_RETRY: ("obj",),
     COPY_RETRY: ("reason",),
     FAULT: ("fault",),
-    RECOVERY_STEP: ("step",),
+    RECOVERY_STEP: ("step", "tenant"),
     RECOVERY: ("step",),
-    POLICY_STRIKE: ("op",),
+    POLICY_STRIKE: ("op", "tenant"),
     QUARANTINE: ("policy",),
+    DETACH: ("subject",),
+    RESIZE: ("subject",),
+    SNAPSHOT: ("subject",),
+    RESTORE: ("subject",),
+}
+
+# Elastic-event kind -> totals key (note_elastic / observe intake).
+_ELASTIC_TOTALS = {
+    DETACH: "detaches",
+    RESIZE: "resizes",
+    SNAPSHOT: "snapshots",
+    RESTORE: "restores",
 }
 
 
@@ -837,6 +853,7 @@ class RuntimeMonitor:
             "kernels": 0, "kernel_seconds": 0.0, "gcs": 0, "oom_retries": 0,
             "faults": 0, "recovery_steps": 0, "recoveries": 0,
             "copy_retries": 0, "strikes": 0, "quarantines": 0,
+            "detaches": 0, "resizes": 0, "snapshots": 0, "restores": 0,
         }
         self.recovery_steps_by_rung: dict[str, int] = {}
         self.recoveries_by_step: dict[str, int] = {}
@@ -1024,6 +1041,16 @@ class RuntimeMonitor:
             window.quarantines += 1
             totals["quarantines"] += 1
             self._maybe_dump("quarantine", ts)
+        elif kind == DETACH:
+            totals["detaches"] += 1
+            self._maybe_dump(f"detach:{args.get('tenant', '?')}", ts)
+        elif kind == RESIZE:
+            totals["resizes"] += 1
+            self._maybe_dump(f"resize:{args.get('device', '?')}", ts)
+        elif kind == SNAPSHOT:
+            totals["snapshots"] += 1
+        elif kind == RESTORE:
+            totals["restores"] += 1
         # Other kinds (hint/place/decision/...) only count toward
         # window.events and ride in the flight ring.
 
@@ -1243,14 +1270,14 @@ class RuntimeMonitor:
         self.ring.append((FAULT, ts, label))
         self._maybe_dump(f"fault:{label}", ts)
 
-    def note_recovery_step(self, ts: float, step: str) -> None:
+    def note_recovery_step(self, ts: float, step: str, tenant: str = "") -> None:
         window = self._note_slow(ts)
         window.recovery_steps += 1
         self.totals["recovery_steps"] += 1
         self.recovery_steps_by_rung[step] = (
             self.recovery_steps_by_rung.get(step, 0) + 1
         )
-        self.ring.append((RECOVERY_STEP, ts, step))
+        self.ring.append((RECOVERY_STEP, ts, step, tenant))
         if step in _ESCALATION_STEPS:
             self._maybe_dump(f"recovery:{step}", ts)
 
@@ -1263,11 +1290,11 @@ class RuntimeMonitor:
         )
         self.ring.append((RECOVERY, ts, step))
 
-    def note_strike(self, ts: float, op: str = "") -> None:
+    def note_strike(self, ts: float, op: str = "", tenant: str = "") -> None:
         window = self._note_slow(ts)
         window.strikes += 1
         self.totals["strikes"] += 1
-        self.ring.append((POLICY_STRIKE, ts, op))
+        self.ring.append((POLICY_STRIKE, ts, op, tenant))
         self._maybe_dump("policy_strike", ts)
 
     def note_quarantine(self, ts: float, policy: str = "") -> None:
@@ -1276,6 +1303,20 @@ class RuntimeMonitor:
         self.totals["quarantines"] += 1
         self.ring.append((QUARANTINE, ts, policy))
         self._maybe_dump("quarantine", ts)
+
+    def note_elastic(self, kind: str, ts: float, subject: str) -> None:
+        """Monitor-tier intake for rare elastic events (detach/resize).
+
+        ``kind`` is ``"detach"``, ``"resize"``, ``"snapshot"`` or
+        ``"restore"``; ``subject`` is the tenant, device, or checkpoint
+        label. Counted in totals and dropped into the flight ring —
+        elastic reconfiguration is exactly the context a post-mortem needs.
+        """
+        self._note_slow(ts)
+        key = _ELASTIC_TOTALS[kind]
+        self.totals[key] = self.totals.get(key, 0) + 1
+        self.ring.append((kind, ts, subject))
+        self._maybe_dump(f"{kind}:{subject}", ts)
 
     def _current_usage(self) -> Mapping[str, int]:
         """Per-tenant usage, "tenant/device"-keyed: exact probe when bound

@@ -92,6 +92,12 @@ QUARANTINE = "quarantine"          # the watchdog switched to the fallback
 # Monitoring events (docs/observability.md, "Live monitoring"): an alert
 # rule tripped or cleared in the always-on runtime monitor.
 ALERT = "alert"
+# Elastic operations (docs/robustness.md, "Elastic operations"): tenant
+# churn, online capacity reconfiguration, and snapshot/restore boundaries.
+DETACH = "detach"          # a tenant departed; its objects were reclaimed
+RESIZE = "resize"          # a heap's capacity changed mid-run
+SNAPSHOT = "snapshot"      # the runtime was checkpointed at this point
+RESTORE = "restore"        # execution resumed from a checkpoint
 
 EVENT_KINDS = frozenset(
     {
@@ -99,7 +105,7 @@ EVENT_KINDS = frozenset(
         PLACE, HINT, SETPRIMARY, DECISION, SETDIRTY, KERNEL_START,
         KERNEL_END, STALL, DEFRAG, GC, OOM_RETRY, INVARIANT_CHECK, FAULT,
         RECOVERY_STEP, RECOVERY, COPY_RETRY, POLICY_STRIKE, QUARANTINE,
-        ALERT,
+        ALERT, DETACH, RESIZE, SNAPSHOT, RESTORE,
     }
 )
 

@@ -1,0 +1,228 @@
+"""SharedRuntime elastic operations: detach, resize, idempotent close.
+
+Unit-level counterparts of the chaos harness's ``session-elastic``
+scenario (docs/robustness.md, "Elastic operations"): a departing tenant
+refunds exactly, an online shrink migrates survivors through the recovery
+ladder, and close is safe to call twice — even after mid-run faults.
+"""
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.core.session import SessionConfig, SharedRuntime
+from repro.errors import (
+    ConfigurationError,
+    RecoveryExhaustedError,
+)
+from repro.memory.device import MemoryDevice
+from repro.policies.optimizing import OptimizingPolicy
+from repro.units import KiB, MiB
+
+
+def policy():
+    return OptimizingPolicy(fast="DRAM", slow="NVRAM", local_alloc=True)
+
+
+def virtual_runtime(dram=8 * MiB, nvram=64 * MiB, **overrides):
+    cfg = SessionConfig(
+        devices=[MemoryDevice.dram(dram), MemoryDevice.nvram(nvram)],
+        **overrides,
+    )
+    return SharedRuntime(cfg)
+
+
+def real_runtime(dram=256 * KiB, nvram=2 * MiB):
+    return SharedRuntime(SessionConfig(dram=dram, nvram=nvram, real=True))
+
+
+def _digest(array) -> str:
+    return hashlib.sha256(np.ascontiguousarray(array.read())).hexdigest()
+
+
+class TestDetach:
+    def test_detach_refunds_quota_and_frees_every_block(self):
+        runtime = virtual_runtime()
+        a = runtime.session(policy(), tenant="a", dram_quota=2 * MiB)
+        runtime.session(policy(), tenant="b", dram_quota=2 * MiB)
+        runtime.activate("a")
+        for i in range(3):
+            a.empty(MiB // 4, name=f"x{i}")
+        stats = runtime.detach("a")
+        assert stats["objects"] == 3
+        assert stats["quota"] == 2 * MiB
+        assert runtime.manager.tenant_objects("a") == []
+        assert not any(
+            owner == "a" for owner, _ in runtime.manager.tenant_quotas()
+        )
+        assert not any(
+            owner == "a" and used
+            for (owner, _), used in runtime.manager.tenant_usage().items()
+        )
+        runtime.manager.check()
+
+    def test_second_detach_never_double_refunds(self):
+        runtime = virtual_runtime()
+        runtime.session(policy(), tenant="a", dram_quota=MiB)
+        runtime.detach("a")
+        with pytest.raises(ConfigurationError):
+            runtime.detach("a")
+
+    def test_detach_unknown_tenant_is_rejected(self):
+        runtime = virtual_runtime()
+        with pytest.raises(ConfigurationError):
+            runtime.detach("ghost")
+        with pytest.raises(ConfigurationError):
+            runtime.detach("")
+
+    def test_detached_session_view_is_closed(self):
+        runtime = virtual_runtime()
+        session = runtime.session(policy(), tenant="a", dram_quota=MiB)
+        runtime.detach("a")
+        assert session.closed
+
+    def test_survivors_keep_their_payloads(self):
+        runtime = real_runtime()
+        a = runtime.session(policy(), tenant="a")
+        b = runtime.session(policy(), tenant="b")
+        runtime.activate("a")
+        keep = a.from_numpy(np.arange(4096, dtype=np.uint8), name="keep")
+        before = _digest(keep)
+        runtime.activate("b")
+        b.from_numpy(np.full(4096, 7, dtype=np.uint8), name="doomed")
+        runtime.detach("b")
+        assert _digest(keep) == before
+        runtime.manager.check()
+
+    def test_cross_tenant_charges_reattribute_on_detach(self):
+        """A region allocated while tenant b was active can back tenant a's
+        object (an eviction copy). Detaching b must transfer that charge to
+        a, not refuse to depart or leak it."""
+        runtime = virtual_runtime()
+        a = runtime.session(policy(), tenant="a", dram_quota=4 * MiB)
+        runtime.session(policy(), tenant="b", dram_quota=4 * MiB)
+        manager = runtime.manager
+        runtime.activate("a")
+        arr = a.empty(MiB // 2, name="x")
+        # Simulate the eviction path: while b is active, give a's object a
+        # second region (charged to b, backing a/x).
+        runtime.activate("b")
+        primary = manager.getprimary(arr.obj)
+        copy = manager.allocate("NVRAM", primary.size)
+        manager.link(primary, copy)
+        assert manager.tenant_used("b", "NVRAM") == primary.size
+        runtime.detach("b")
+        # The charge followed the backing object's owner.
+        assert manager.tenant_used("b", "NVRAM") == 0
+        assert manager.tenant_used("a", "NVRAM") == primary.size
+        manager.check()
+
+
+class TestResize:
+    def test_grow_is_immediate(self):
+        runtime = virtual_runtime(dram=4 * MiB)
+        report = runtime.resize("DRAM", 8 * MiB)
+        assert report["old"] == 4 * MiB
+        assert report["new"] == 8 * MiB
+        assert runtime.heap("DRAM").capacity == 8 * MiB
+
+    def test_shrink_migrates_survivors_through_the_ladder(self):
+        """Shrinking DRAM below occupancy must climb the ladder, migrate
+        live data out of the doomed tail, preserve payloads, and leave a
+        clean invariant sweep."""
+        runtime = real_runtime(dram=256 * KiB, nvram=4 * MiB)
+        session = runtime.session(policy(), tenant="t")
+        runtime.activate("t")
+        arrays = [
+            session.from_numpy(
+                np.full(48 * KiB, i, dtype=np.uint8), name=f"a{i}"
+            )
+            for i in range(5)
+        ]
+        before = [_digest(arr) for arr in arrays]
+        report = runtime.resize("DRAM", 128 * KiB)
+        assert report["new"] == 128 * KiB
+        assert runtime.heap("DRAM").capacity == 128 * KiB
+        assert [_digest(arr) for arr in arrays] == before
+        runtime.manager.check()
+
+    def test_shrink_and_grow_back_round_trip(self):
+        runtime = real_runtime(dram=256 * KiB, nvram=4 * MiB)
+        session = runtime.session(policy(), tenant="t")
+        runtime.activate("t")
+        arr = session.from_numpy(np.arange(64 * KiB, dtype=np.uint8), name="a")
+        before = _digest(arr)
+        runtime.resize("DRAM", 128 * KiB)
+        runtime.resize("DRAM", 256 * KiB)
+        assert runtime.heap("DRAM").capacity == 256 * KiB
+        assert _digest(arr) == before
+        runtime.manager.check()
+
+    def test_impossible_shrink_raises_exhausted_and_leaves_heap_intact(self):
+        """When the survivors fit nowhere, resize must fail typed with the
+        heap untouched — never half-shrunk, never corrupted."""
+        runtime = real_runtime(dram=256 * KiB, nvram=256 * KiB)
+        session = runtime.session(policy(), tenant="t")
+        runtime.activate("t")
+        # Fill both tiers so no rung can clear the tail.
+        arrays = [
+            session.from_numpy(
+                np.full(100 * KiB, i, dtype=np.uint8), name=f"a{i}"
+            )
+            for i in range(4)
+        ]
+        before = [_digest(arr) for arr in arrays]
+        with pytest.raises(RecoveryExhaustedError):
+            runtime.resize("DRAM", 64 * KiB)
+        assert runtime.heap("DRAM").capacity == 256 * KiB
+        assert [_digest(arr) for arr in arrays] == before
+        runtime.manager.check()
+
+    def test_resize_rejects_nonpositive_and_unknown_device(self):
+        runtime = virtual_runtime()
+        with pytest.raises(ConfigurationError):
+            runtime.resize("DRAM", 0)
+        with pytest.raises(ConfigurationError):
+            runtime.resize("HBM3", MiB)
+
+
+class TestIdempotentClose:
+    def test_runtime_close_twice_is_safe(self):
+        runtime = virtual_runtime()
+        runtime.session(policy(), tenant="a", dram_quota=MiB)
+        runtime.close()
+        runtime.close()
+        assert runtime.closed
+
+    def test_session_close_twice_is_safe(self):
+        runtime = virtual_runtime()
+        session = runtime.session(policy(), tenant="a", dram_quota=MiB)
+        session.close()
+        session.close()
+        assert session.closed
+
+    def test_close_after_detach_does_not_double_refund(self):
+        runtime = virtual_runtime()
+        session = runtime.session(policy(), tenant="a", dram_quota=MiB)
+        stats = runtime.detach("a")
+        assert stats["quota"] == MiB
+        session.close()  # already closed by detach; must be a no-op
+        runtime.close()
+        assert not any(
+            owner == "a" for owner, _ in runtime.manager.tenant_quotas()
+        )
+
+    def test_close_after_midrun_fault_is_safe(self):
+        """A failed workload step must not poison teardown."""
+        runtime = real_runtime(dram=64 * KiB, nvram=64 * KiB)
+        session = runtime.session(policy(), tenant="t")
+        runtime.activate("t")
+        session.from_numpy(np.zeros(40 * KiB, dtype=np.uint8), name="a")
+        with pytest.raises(Exception):
+            # Overcommit both tiers: the ladder exhausts mid-allocation.
+            session.from_numpy(np.zeros(120 * KiB, dtype=np.uint8), name="b")
+        session.close()
+        session.close()
+        runtime.close()
+        runtime.close()

@@ -102,13 +102,25 @@ def test_heap_grow_and_shrink_track_device_capacity():
     assert heap.capacity == 8 * KiB
 
 
-def test_real_heap_cannot_resize():
-    from repro.errors import ConfigurationError
+def test_real_heap_resize_preserves_contents():
+    heap = make(8 * KiB, real=True)
+    offset = heap.allocate(KiB)
+    heap.view(offset, KiB)[:] = 0xAB
+    heap.grow(16 * KiB)
+    assert heap.capacity == 16 * KiB
+    assert bytes(heap.view(offset, KiB)) == b"\xab" * KiB
+    heap.shrink(2 * KiB)
+    assert heap.capacity == 2 * KiB
+    assert heap.device.capacity == 2 * KiB
+    assert bytes(heap.view(offset, KiB)) == b"\xab" * KiB
+
+
+def test_real_heap_shrink_refuses_occupied_tail():
+    from repro.errors import AllocationError
 
     heap = make(8 * KiB, real=True)
-    with pytest.raises(ConfigurationError):
-        heap.grow(16 * KiB)
-    with pytest.raises(ConfigurationError):
+    heap.allocate(6 * KiB)
+    with pytest.raises(AllocationError):
         heap.shrink(4 * KiB)
 
 

@@ -1,0 +1,202 @@
+"""Elastic snapshot/restore: pause, serialize, resume — bit-identical.
+
+The contract (docs/robustness.md, "Elastic operations"): a run paused at a
+kernel boundary and restored — in this process or a fresh one — continues
+to the same full-precision digest as an uninterrupted run, in both the
+virtual executor path and the real-backed session path.
+"""
+
+import os
+import pickle
+import subprocess
+import sys
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.common import ExperimentConfig, run_trace_mode
+from repro.nn.models import MODEL_REGISTRY
+from repro.runtime.elastic import (
+    SNAPSHOT_FORMAT,
+    SNAPSHOT_VERSION,
+    RuntimeSnapshot,
+    checkpoint_trace_mode,
+    digest_mode_result,
+    load_snapshot,
+    resume_snapshot,
+    save_snapshot,
+)
+
+SCALE = 4096
+MODEL = "resnet200-small"
+MODE = "CA:LM"
+
+
+def _config() -> ExperimentConfig:
+    return ExperimentConfig(scale=SCALE, iterations=2)
+
+
+def _trace():
+    return MODEL_REGISTRY[MODEL].builder().training_trace().scaled(SCALE)
+
+
+@pytest.fixture(scope="module")
+def uninterrupted_digest() -> str:
+    return digest_mode_result(run_trace_mode(_trace(), MODE, _config()))
+
+
+class TestPauseResume:
+    def test_resumed_run_matches_uninterrupted_digest(
+        self, uninterrupted_digest
+    ):
+        snap = checkpoint_trace_mode(_trace(), MODE, _config(), pause_after=7)
+        assert isinstance(snap, RuntimeSnapshot)
+        assert snap.kernels_done == 7
+        result = resume_snapshot(snap)
+        assert digest_mode_result(result) == uninterrupted_digest
+
+    def test_every_pause_point_is_digest_safe(self, uninterrupted_digest):
+        """The boundary cases: first kernel, iteration boundary, last few."""
+        for pause in (1, 3, 11, 23):
+            snap = checkpoint_trace_mode(
+                _trace(), MODE, _config(), pause_after=pause
+            )
+            if isinstance(snap, RuntimeSnapshot):
+                result = resume_snapshot(snap)
+            else:
+                result = snap  # run shorter than the pause point
+            assert digest_mode_result(result) == uninterrupted_digest, (
+                f"digest diverged for pause_after={pause}"
+            )
+
+    def test_chained_checkpoints(self, uninterrupted_digest):
+        snap = checkpoint_trace_mode(_trace(), MODE, _config(), pause_after=5)
+        assert isinstance(snap, RuntimeSnapshot)
+        again = resume_snapshot(snap, pause_after=12)
+        assert isinstance(again, RuntimeSnapshot)
+        assert again.kernels_done == 12
+        result = resume_snapshot(again)
+        assert digest_mode_result(result) == uninterrupted_digest
+
+    def test_completion_before_pause_returns_result(self, uninterrupted_digest):
+        result = checkpoint_trace_mode(
+            _trace(), MODE, _config(), pause_after=10_000
+        )
+        assert not isinstance(result, RuntimeSnapshot)
+        assert digest_mode_result(result) == uninterrupted_digest
+
+    def test_pause_after_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            checkpoint_trace_mode(_trace(), MODE, _config(), pause_after=0)
+
+    def test_re_pause_must_be_past_the_snapshot(self):
+        snap = checkpoint_trace_mode(_trace(), MODE, _config(), pause_after=5)
+        assert isinstance(snap, RuntimeSnapshot)
+        with pytest.raises(ConfigurationError):
+            resume_snapshot(snap, pause_after=5)
+
+
+class TestEnvelope:
+    def test_round_trip_through_a_file(self, tmp_path, uninterrupted_digest):
+        snap = checkpoint_trace_mode(_trace(), MODE, _config(), pause_after=9)
+        path = save_snapshot(snap, str(tmp_path / "run.snap"))
+        loaded = load_snapshot(path)
+        assert loaded.kind == "mode-run"
+        assert loaded.kernels_done == 9
+        assert loaded.label == snap.label
+        result = resume_snapshot(loaded)
+        assert digest_mode_result(result) == uninterrupted_digest
+
+    def test_garbage_file_is_rejected(self, tmp_path):
+        path = tmp_path / "garbage.snap"
+        path.write_bytes(b"not a snapshot at all")
+        with pytest.raises(ConfigurationError):
+            load_snapshot(str(path))
+
+    def test_foreign_pickle_is_rejected(self, tmp_path):
+        path = tmp_path / "foreign.snap"
+        path.write_bytes(pickle.dumps({"something": "else"}))
+        with pytest.raises(ConfigurationError):
+            load_snapshot(str(path))
+
+    def test_version_mismatch_is_rejected(self, tmp_path):
+        snap = checkpoint_trace_mode(_trace(), MODE, _config(), pause_after=3)
+        envelope = {
+            "format": SNAPSHOT_FORMAT,
+            "version": SNAPSHOT_VERSION + 1,
+            "snapshot": snap,
+        }
+        path = tmp_path / "future.snap"
+        path.write_bytes(pickle.dumps(envelope))
+        with pytest.raises(ConfigurationError):
+            load_snapshot(str(path))
+
+    def test_wrong_kind_cannot_resume(self):
+        snap = RuntimeSnapshot(
+            kind="chaos", payload=None, watermarks={}, virtual_time=0.0,
+            kernels_done=0,
+        )
+        with pytest.raises(ConfigurationError):
+            resume_snapshot(snap)
+
+
+class TestCrossProcess:
+    def test_fresh_process_restore_is_bit_identical(
+        self, tmp_path, uninterrupted_digest
+    ):
+        """The acceptance check: snapshot here, restore in a new process."""
+        snap = checkpoint_trace_mode(_trace(), MODE, _config(), pause_after=13)
+        assert isinstance(snap, RuntimeSnapshot)
+        path = save_snapshot(snap, str(tmp_path / "xproc.snap"))
+        src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.abspath(src)
+        code = (
+            "import sys\n"
+            "from repro.runtime.elastic import ("
+            "load_snapshot, resume_snapshot, digest_mode_result)\n"
+            f"snap = load_snapshot({path!r})\n"
+            "result = resume_snapshot(snap)\n"
+            "print(digest_mode_result(result))\n"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True, text=True, env=env, timeout=300,
+        )
+        assert out.returncode == 0, out.stderr
+        assert out.stdout.strip() == uninterrupted_digest
+
+
+class TestRealBackedRoundTrip:
+    def test_real_session_pickle_round_trip_matches_digests(self):
+        """Real-backed runs snapshot too (the bisector's foundation): pickle
+        a mid-workload session + scripted workload, finish both copies, and
+        every surviving array's payload digest must match."""
+        from repro.faults.chaos import (
+            REAL_DRAM,
+            REAL_NVRAM,
+            ScriptedWorkload,
+            _build_session,
+        )
+        from repro.faults.plan import FaultPlan
+
+        plan = FaultPlan("rt-clean", specs=())
+        session, _ = _build_session(
+            plan, real=True, dram=REAL_DRAM, nvram=REAL_NVRAM
+        )
+        workload = ScriptedWorkload()
+        with session:
+            for _ in range(9):
+                workload.run_step(session)
+            blob = pickle.dumps(
+                (session, workload), pickle.HIGHEST_PROTOCOL
+            )
+            while workload.step < 18:
+                workload.run_step(session)
+            original = workload.digests()
+        restored_session, restored_workload = pickle.loads(blob)
+        with restored_session:
+            while restored_workload.step < 18:
+                restored_workload.run_step(restored_session)
+            assert restored_workload.digests() == original
+            restored_session.manager.check()
