@@ -1,6 +1,6 @@
 """The pinned benchmark suite behind ``python -m repro bench``.
 
-Six benchmarks cover the layers the hot-path work touches (the suite is
+Seven benchmarks cover the layers the hot-path work touches (the suite is
 *pinned*: names, workloads, and op counts only change with a schema bump so
 trajectory points stay comparable — see docs/benchmarking.md):
 
@@ -21,6 +21,10 @@ trajectory points stay comparable — see docs/benchmarking.md):
   round-trip the runtime snapshot through pickle, resume to completion:
   snapshot serialization throughput plus the bit-identical restore
   contract (see docs/robustness.md, "Elastic operations").
+* ``serving`` — the 3-point serving load sweep (dynamic stream spawn and
+  cancel, admission control, per-request sessions): the request-churn
+  layers no training-trace benchmark touches, with the sweep-shape
+  contract riding along (see docs/serving.md).
 
 ``BENCH_SCALE`` (environment variable) divides workload and device sizes,
 default 256; ``--quick`` shrinks the suite for CI smoke runs (one model,
@@ -61,6 +65,11 @@ ALLOCATOR_OPS = (40_000, 4_000)
 COPY_OPS = (20_000, 2_000)
 TRACER_OPS = (100_000, 10_000)
 SNAPSHOT_REPS = (6, 3)
+# Quick mode keeps MORE requests than full: at QUICK_SCALE each request is
+# cheap, and a longer sweep damps the first-call warmup that dominates
+# short serving runs (the gate compares normalized wall, so jitter on a
+# 0.1 s sample would dwarf real regressions).
+SERVING_REQUESTS = (60, 80)
 
 
 def _rss_kib() -> int:
@@ -329,6 +338,40 @@ def _bench_elastic(scale: int, quick: bool) -> _Measured:
     )
 
 
+def _bench_serving(scale: int, quick: bool) -> _Measured:
+    """The serving sweep: request churn over the dynamic scheduler.
+
+    Every other benchmark replays a fixed training trace; this one spawns,
+    cancels, and retires hundreds of short-lived request sessions — the
+    admission-control and stream-churn paths. The sweep-shape contract
+    rides along: a gate violation (see :func:`check_serving`) fails the
+    benchmark rather than producing a silently-wrong timing sample.
+    ``events`` counts per-request final outcomes across the sweep.
+    """
+    from repro.experiments.common import ExperimentConfig
+    from repro.experiments.serving import (
+        CHECK_MULTIPLIERS,
+        ServingConfig,
+        check_serving,
+        run_serving,
+    )
+
+    requests = SERVING_REQUESTS[1 if quick else 0]
+    result = run_serving(
+        ExperimentConfig(scale=scale),
+        ServingConfig(requests=requests, rate_multipliers=CHECK_MULTIPLIERS),
+    )
+    problems = check_serving(result)
+    if problems:  # pragma: no cover - would indicate a real bug
+        raise RuntimeError(
+            f"serving sweep violated its shape contract: {problems}"
+        )
+    return _Measured(
+        events=sum(point.arrivals for point in result.points),
+        simulated_seconds=sum(point.makespan for point in result.points),
+    )
+
+
 def _bench_chaos_off(scale: int, quick: bool) -> _Measured:
     from repro.faults.chaos import run_scenario
     from repro.faults.plan import FaultPlan
@@ -353,6 +396,7 @@ SUITE = {
     "chaos-off": _bench_chaos_off,
     "monitor-overhead": _bench_monitor_overhead,
     "elastic-snapshot": _bench_elastic,
+    "serving": _bench_serving,
 }
 
 

@@ -17,6 +17,7 @@ Usage::
     python -m repro colo [--tenants cnn,dlrm] [--check] [--json]
     python -m repro snapshot --model tiny [--mode CA:LM] [--pause-after K] --out s.bin
     python -m repro restore s.bin [--pause-after K --out s2.bin]
+    python -m repro serve [--rates R1,R2,..] [--requests N] [--slots N] [--check] [--json]
 
 Times are reported rescaled to paper magnitudes (see
 :class:`~repro.experiments.common.ExperimentConfig`). ``--json`` emits a
@@ -51,6 +52,12 @@ a bit-identical final digest, and ``chaos --bisect`` uses the same
 checkpoints to binary-search a failing plan's fired faults down to the
 narrowest window that still reproduces the failure — see
 ``docs/robustness.md``, "Elastic operations".
+``serve`` drives the shared runtime with a seeded open-loop arrival process
+of short-lived request sessions (KV-cache-like lifetimes) under admission
+control, sweeping offered load and reporting latency percentiles, goodput,
+rejection rate, and fairness per rate point; ``--check`` additionally
+enforces determinism across two runs and the sweep-shape monotonicity
+gates — see ``docs/serving.md``.
 """
 
 from __future__ import annotations
@@ -65,6 +72,13 @@ from repro.experiments.common import ExperimentConfig
 __all__ = ["main"]
 
 EXPERIMENTS = ("table3", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "ext")
+
+# Every valid first positional argument. ``tools/check_docs.py`` imports this
+# to verify that docs never reference a subcommand that does not exist.
+SUBCOMMANDS = EXPERIMENTS + (
+    "all", "trace", "profile", "explain", "diff", "monitor", "chaos",
+    "bench", "colo", "snapshot", "restore", "serve",
+)
 
 
 def _module_for(name: str):
@@ -383,6 +397,87 @@ def _colo(
         ok = False
     else:
         print(f"attribution: {fraction:.1%} of stall time attributed", file=info)
+    return 0 if ok else 1
+
+
+def _serve(
+    config: ExperimentConfig,
+    *,
+    mode: str,
+    rates: str | None,
+    requests: int,
+    slots: int,
+    seed: int,
+    check: bool,
+    as_json: bool,
+) -> int:
+    from repro.experiments import serving as serving_mod
+
+    explicit_rates: tuple[float, ...] | None = None
+    if rates:
+        try:
+            explicit_rates = tuple(
+                float(r.strip()) for r in rates.split(",") if r.strip()
+            )
+        except ValueError:
+            print(
+                f"--rates must be comma-separated numbers, got {rates!r}",
+                file=sys.stderr,
+            )
+            return 2
+    # --check pins the documented 3-point sweep (unless --rates overrides
+    # it): one point below saturation and two past it, so the monotonicity
+    # gates have load points on both sides of the knee.
+    multipliers = (
+        serving_mod.CHECK_MULTIPLIERS
+        if check and explicit_rates is None
+        else serving_mod.ServingConfig.rate_multipliers
+    )
+    try:
+        serving_cfg = serving_mod.ServingConfig(
+            slots=slots,
+            requests=requests,
+            seed=seed,
+            rates=explicit_rates,
+            rate_multipliers=multipliers,
+        )
+        result = serving_mod.run_serving(config, serving_cfg, mode_name=mode)
+    except ConfigurationError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if as_json:
+        print(json.dumps(result.to_json(), indent=2, sort_keys=True))
+    else:
+        print(serving_mod.render(result))
+    if not check:
+        return 0
+    # --check: the CI contract. The sweep must be (a) deterministic — a
+    # second identical run produces the same digest — and (b) shaped like a
+    # saturating system: normalized p99 never falls as load rises, goodput
+    # never rises past saturation (see check_serving).
+    info = sys.stderr if as_json else sys.stdout
+    repeat = serving_mod.run_serving(config, serving_cfg, mode_name=mode)
+    ok = True
+    if repeat.digest() != result.digest():
+        print(
+            f"DETERMINISM FAIL: digests differ across identical runs "
+            f"({result.digest()} vs {repeat.digest()})",
+            file=info,
+        )
+        ok = False
+    else:
+        print("determinism: digests match across repeated runs", file=info)
+    problems = serving_mod.check_serving(result)
+    if problems:
+        for problem in problems:
+            print(f"SWEEP-SHAPE FAIL: {problem}", file=info)
+        ok = False
+    else:
+        print(
+            "sweep shape: normalized p99 non-decreasing, goodput "
+            "non-increasing past saturation",
+            file=info,
+        )
     return 0 if ok else 1
 
 
@@ -795,9 +890,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=EXPERIMENTS
-        + ("all", "trace", "profile", "explain", "diff", "monitor", "chaos",
-           "bench", "colo", "snapshot", "restore"),
+        choices=SUBCOMMANDS,
         help="which table/figure to regenerate, 'trace' to export a model's "
         "kernel trace, 'profile' to run one with event tracing on, "
         "'explain' to report on a recorded event stream, 'diff' to "
@@ -807,7 +900,8 @@ def main(argv: list[str] | None = None) -> int:
         "the fault-injection suite, 'bench' to run the pinned "
         "performance suite, 'colo' to co-run tenant workloads on one "
         "shared memory system, 'snapshot' to pause a run at a kernel "
-        "boundary and save it, or 'restore' to resume a saved snapshot",
+        "boundary and save it, 'restore' to resume a saved snapshot, or "
+        "'serve' to sweep open-loop request load over the shared runtime",
     )
     parser.add_argument(
         "paths",
@@ -913,8 +1007,32 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--check",
         action="store_true",
-        help="colo: verify determinism across two runs and >=90%% stall "
-        "attribution (exit status 1 on failure)",
+        help="colo/serve: verify determinism across two runs plus the "
+        "command's result contract (exit status 1 on failure)",
+    )
+    parser.add_argument(
+        "--rates",
+        help="serve: comma-separated offered loads in requests/s (default: "
+        "multiples of the measured saturation rate)",
+    )
+    parser.add_argument(
+        "--requests",
+        type=int,
+        default=60,
+        help="serve: arrivals per rate point (default 60)",
+    )
+    parser.add_argument(
+        "--slots",
+        type=int,
+        default=4,
+        help="serve: concurrent request slots, as in llama.cpp's parallel "
+        "example (default 4)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=7,
+        help="serve: arrival-process seed (default 7)",
     )
     args = parser.parse_args(argv)
     if args.paths and args.experiment not in (
@@ -972,6 +1090,17 @@ def main(argv: list[str] | None = None) -> int:
             interval=args.interval,
             out=args.out,
             dump_dir=args.dump_dir,
+            as_json=args.json,
+        )
+    if args.experiment == "serve":
+        return _serve(
+            config,
+            mode=args.mode,
+            rates=args.rates,
+            requests=args.requests,
+            slots=args.slots,
+            seed=args.seed,
+            check=args.check,
             as_json=args.json,
         )
     if args.experiment == "colo":

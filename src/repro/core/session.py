@@ -169,6 +169,12 @@ class SharedRuntime:
     and tracer. Tenants attach through :meth:`session`, each bringing its
     own policy; they contend for the same heaps and DMA channels, so one
     tenant's pressure is visible to every other tenant's policy.
+
+    The tenant population is *elastic*: :meth:`detach` removes a tenant
+    mid-run (stream cancelled, objects reclaimed through the normal free
+    path, DRAM quota refunded exactly) and :meth:`resize` changes a
+    device's capacity online — the attach/detach churn path is exercised
+    at serving rates by ``repro serve`` (docs/serving.md).
     """
 
     def __init__(

@@ -31,6 +31,16 @@ yielded advance immediately, and never seeks the clock (a stream's resume
 time always equals ``clock.now``) nor binds a private busy map. The
 resulting sequence of clock operations is exactly the pre-scheduler
 ``Executor.run`` loop — the golden virtual-time digests pin this.
+
+**Dynamic schedules.** A scheduler built with ``dynamic=True`` additionally
+accepts :meth:`~StreamScheduler.spawn` calls *during* :meth:`run` — from
+inside another stream's step — so open-loop workloads (``repro serve``) can
+admit request streams as they arrive and retire them as they depart. A
+mid-run spawn becomes runnable no earlier than the spawning stream's current
+local time, which keeps the event queue causal: the new stream can never be
+scheduled into the past. Dynamic mode always takes the multi-stream path,
+even with a single initial stream, so it is opt-in and leaves the
+single-stream reduction above bit-identical.
 """
 
 from __future__ import annotations
@@ -84,13 +94,19 @@ class Stream:
 class StreamScheduler:
     """Drives one or more streams over a shared clock in virtual-time order."""
 
-    def __init__(self, clock: SimClock, *, tracer: Any = None) -> None:
+    def __init__(
+        self, clock: SimClock, *, tracer: Any = None, dynamic: bool = False
+    ) -> None:
         self.clock = clock
         # The tracer to tag with the active stream id; ``None`` or a
         # disabled tracer is never touched.
         self.tracer = tracer
+        # Dynamic schedules accept spawn() mid-run (open-loop arrivals) and
+        # always take the multi-stream path so the event queue exists.
+        self.dynamic = dynamic
         self.streams: list[Stream] = []
         self._started = False
+        self._queue: EventQueue | None = None
 
     def spawn(
         self,
@@ -101,16 +117,29 @@ class StreamScheduler:
         start_time: float | None = None,
     ) -> Stream:
         """Register a stream; it becomes runnable at ``start_time``
-        (default: the clock's current time)."""
-        if self._started:
-            raise ConfigurationError("cannot spawn streams mid-run")
+        (default: the clock's current time).
+
+        Before :meth:`run` this only registers the stream. During a run it
+        is allowed only on a ``dynamic=True`` scheduler: the stream joins
+        the live event queue, runnable no earlier than the current virtual
+        time (mid-run arrivals cannot be scheduled into the past).
+        """
+        if self._started and not (self.dynamic and self._queue is not None):
+            raise ConfigurationError(
+                "cannot spawn streams mid-run (build the scheduler with "
+                "dynamic=True for open-loop arrivals)"
+            )
         if any(s.name == name for s in self.streams):
             raise ConfigurationError(f"duplicate stream name {name!r}")
         stream = Stream(name, gen, activate=activate)
         stream.local_time = (
             self.clock.now if start_time is None else start_time
         )
+        if self._started:
+            stream.local_time = max(stream.local_time, self.clock.now)
         self.streams.append(stream)
+        if self._started and self._queue is not None:
+            self._queue.push(stream.local_time, stream)
         return stream
 
     def results(self) -> dict[str, Any]:
@@ -157,7 +186,7 @@ class StreamScheduler:
         self._started = True
         if not self.streams:
             return
-        if len(self.streams) == 1:
+        if len(self.streams) == 1 and not self.dynamic:
             self._run_single(self.streams[0])
             return
         self._run_many()
@@ -198,6 +227,8 @@ class StreamScheduler:
         queue = EventQueue()
         for stream in self.streams:
             queue.push(stream.local_time, stream)
+        # Expose the live queue so dynamic spawn() can join mid-run.
+        self._queue = queue
         active: Stream | None = None
         try:
             while queue:
@@ -229,6 +260,7 @@ class StreamScheduler:
                 self._flight_dump(active.name)
             raise
         finally:
+            self._queue = None
             clock.bind_stream(None)
             self._tag("")
             # Leave the clock at the frontier: the latest local time any

@@ -98,6 +98,10 @@ DETACH = "detach"          # a tenant departed; its objects were reclaimed
 RESIZE = "resize"          # a heap's capacity changed mid-run
 SNAPSHOT = "snapshot"      # the runtime was checkpointed at this point
 RESTORE = "restore"        # execution resumed from a checkpoint
+# Serving events (docs/serving.md): one record per client request emitted
+# when it reaches a final outcome, carrying the end-to-end latency — the
+# per-request attribution `repro serve` reports percentiles over.
+REQUEST = "request"        # a serving request reached a final outcome
 
 EVENT_KINDS = frozenset(
     {
@@ -105,7 +109,7 @@ EVENT_KINDS = frozenset(
         PLACE, HINT, SETPRIMARY, DECISION, SETDIRTY, KERNEL_START,
         KERNEL_END, STALL, DEFRAG, GC, OOM_RETRY, INVARIANT_CHECK, FAULT,
         RECOVERY_STEP, RECOVERY, COPY_RETRY, POLICY_STRIKE, QUARANTINE,
-        ALERT, DETACH, RESIZE, SNAPSHOT, RESTORE,
+        ALERT, DETACH, RESIZE, SNAPSHOT, RESTORE, REQUEST,
     }
 )
 

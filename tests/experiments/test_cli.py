@@ -265,3 +265,61 @@ def test_explain_renders_per_stream_reports(tmp_path, capsys):
     assert attribution["attributed_fraction"] == 1.0
     assert attribution["pairs"][0]["stream"] == "a"
     assert attribution["pairs"][0]["object"] == "b/x"
+
+
+def test_serve_text_report(capsys):
+    assert main(["serve", "--scale", "1024", "--requests", "30"]) == 0
+    out = capsys.readouterr().out
+    assert "Serving load sweep" in out
+    assert "saturation" in out
+    assert "goodput" in out
+    assert "digest" in out
+
+
+def test_serve_check_passes_and_pins_the_documented_sweep(capsys):
+    assert main(["serve", "--scale", "1024", "--check"]) == 0
+    out = capsys.readouterr().out
+    assert "digests match" in out
+    assert "sweep shape" in out
+    # --check swept the documented 3-point multipliers, not the default 4.
+    assert out.count("\n") > 0
+    table_rows = [
+        line for line in out.splitlines()
+        if line.strip() and line.lstrip()[0].isdigit()
+    ]
+    assert len(table_rows) == 3
+
+
+def test_serve_json_report(capsys):
+    import json
+
+    assert main(
+        ["serve", "--scale", "1024", "--requests", "30", "--json"]
+    ) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert len(payload["digest"]) == 64
+    assert len(payload["points"]) == 4  # default rate_multipliers
+    assert payload["points"][0]["rate"] < payload["points"][-1]["rate"]
+
+
+def test_serve_explicit_rates(capsys):
+    import json
+
+    assert main(
+        [
+            "serve", "--scale", "1024", "--requests", "20",
+            "--rates", "0.5,2.0", "--json",
+        ]
+    ) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert [p["rate"] for p in payload["points"]] == [0.5, 2.0]
+
+
+def test_serve_bad_rates_returns_2(capsys):
+    assert main(["serve", "--rates", "fast,faster"]) == 2
+    assert "comma-separated numbers" in capsys.readouterr().err
+
+
+def test_serve_bad_config_returns_2(capsys):
+    assert main(["serve", "--scale", "1024", "--slots", "0"]) == 2
+    assert "slot" in capsys.readouterr().err

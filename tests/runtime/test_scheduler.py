@@ -197,6 +197,117 @@ class TestSpawnRules:
         assert clock.now == 0.0
 
 
+class TestDynamicSchedules:
+    def test_mid_run_spawn_rejected_without_dynamic(self):
+        clock = SimClock()
+        scheduler = StreamScheduler(clock)
+        failures = []
+
+        def driver():
+            yield 1.0, "kernel"
+            try:
+                scheduler.spawn("late", make_stream([], "late", [1.0])(clock))
+            except ConfigurationError as exc:
+                failures.append(exc)
+            yield 1.0, "kernel"
+
+        def other():
+            yield 5.0, "kernel"
+
+        scheduler.spawn("driver", driver())
+        scheduler.spawn("other", other())
+        scheduler.run()
+        assert len(failures) == 1
+
+    def test_mid_run_spawn_joins_live_queue(self):
+        clock = SimClock()
+        scheduler = StreamScheduler(clock, dynamic=True)
+        log: list = []
+
+        def driver():
+            yield 2.0, "wait"
+            scheduler.spawn("child", make_stream(log, "child", [1.0])(clock))
+            yield 2.0, "wait"
+
+        scheduler.spawn("driver", driver())
+        scheduler.run()
+        # The child ran: spawned at t=2, resumed at t=2, done at t=3.
+        assert log == [("child", 0, 2.0)]
+        assert scheduler.find("child").done
+        assert clock.now == 4.0
+
+    def test_mid_run_spawn_cannot_start_in_the_past(self):
+        clock = SimClock()
+        scheduler = StreamScheduler(clock, dynamic=True)
+        log: list = []
+
+        def driver():
+            yield 3.0, "wait"
+            # An arrival stamped before "now" is clamped to now: the event
+            # queue stays causal.
+            scheduler.spawn(
+                "child",
+                make_stream(log, "child", [1.0])(clock),
+                start_time=1.0,
+            )
+            yield 1.0, "wait"
+
+        scheduler.spawn("driver", driver())
+        scheduler.run()
+        assert log == [("child", 0, 3.0)]
+
+    def test_dynamic_single_stream_takes_multi_path(self):
+        # dynamic=True must skip the single-stream reduction even with one
+        # initial stream (the queue must exist for mid-run spawns). The
+        # multi-stream path is observable through the per-stream busy map,
+        # which the fast path never populates.
+        clock = SimClock()
+        scheduler = StreamScheduler(clock, dynamic=True)
+        stream = scheduler.spawn("solo", make_stream([], "solo", [1.0])(clock))
+        scheduler.run()
+        assert stream.busy == {"kernel": 1.0}
+
+    def test_spawned_stream_can_be_cancelled_before_running(self):
+        clock = SimClock()
+        scheduler = StreamScheduler(clock, dynamic=True)
+        log: list = []
+        unwound = []
+
+        def child():
+            try:
+                log.append("ran")
+                yield 1.0, "kernel"
+            finally:
+                unwound.append(True)
+
+        def driver():
+            yield 1.0, "wait"
+            scheduler.spawn("child", child())
+            scheduler.cancel("child")
+            yield 1.0, "wait"
+
+        scheduler.spawn("driver", driver())
+        scheduler.run()
+        # Never resumed: the body never started, so there is nothing to
+        # unwind, and the queued entry is skipped when popped.
+        assert log == []
+        assert unwound == []
+        assert scheduler.find("child").done
+        assert clock.now == 2.0
+
+    def test_spawn_after_dynamic_run_finished_rejected(self):
+        scheduler = StreamScheduler(SimClock(), dynamic=True)
+
+        def gen():
+            yield 1.0, "kernel"
+
+        scheduler.spawn("x", gen())
+        scheduler.run()
+        # The live queue is gone; late spawns fail even in dynamic mode.
+        with pytest.raises(ConfigurationError):
+            scheduler.spawn("y", gen())
+
+
 class TestTracerTagging:
     def test_events_tagged_with_stream_id(self):
         from repro.telemetry.trace import Tracer
