@@ -1,6 +1,6 @@
 """The pinned benchmark suite behind ``python -m repro bench``.
 
-Seven benchmarks cover the layers the hot-path work touches (the suite is
+Eight benchmarks cover the layers the hot-path work touches (the suite is
 *pinned*: names, workloads, and op counts only change with a schema bump so
 trajectory points stay comparable — see docs/benchmarking.md):
 
@@ -25,6 +25,10 @@ trajectory points stay comparable — see docs/benchmarking.md):
   cancel, admission control, per-request sessions): the request-churn
   layers no training-trace benchmark touches, with the sweep-shape
   contract riding along (see docs/serving.md).
+* ``taxonomy`` — the bottleneck-taxonomy matrix (movement-signature
+  workloads x modes) with full tracing and classification, with the
+  check_taxonomy contract riding along (see docs/observability.md,
+  "Bottleneck attribution").
 
 ``BENCH_SCALE`` (environment variable) divides workload and device sizes,
 default 256; ``--quick`` shrinks the suite for CI smoke runs (one model,
@@ -70,6 +74,13 @@ SNAPSHOT_REPS = (6, 3)
 # short serving runs (the gate compares normalized wall, so jitter on a
 # 0.1 s sample would dwarf real regressions).
 SERVING_REQUESTS = (60, 80)
+# Taxonomy matrix shape (full, quick): quick keeps the eviction-pressure
+# workload (the event-dense one) against its reference mode plus one
+# contrast mode; full sweeps all four signatures across all six modes.
+TAXONOMY_MATRIX = (
+    (("pointer-chase", "scan", "tiny-objects", "stream-compute"), None),
+    (("tiny-objects",), ("CA:0", "CA:LM")),
+)
 
 
 def _rss_kib() -> int:
@@ -372,6 +383,44 @@ def _bench_serving(scale: int, quick: bool) -> _Measured:
     )
 
 
+def _bench_taxonomy(scale: int, quick: bool) -> _Measured:
+    """The bottleneck-taxonomy matrix: tracer-heavy runs + classification.
+
+    Every cell runs fully traced (the most event-dense configuration the
+    runtime has) and then folds its event stream through the classifier,
+    so this pins both full-tracing throughput and the taxonomy's own cost.
+    The classification contract rides along: a :func:`check_taxonomy`
+    violation fails the benchmark rather than producing a silently-wrong
+    timing sample. ``events`` counts retained trace events across the
+    reference column; ``simulated_seconds`` sums the matrix's virtual time.
+    Quick mode drops to one signature workload and two modes.
+    """
+    from repro.experiments.common import ExperimentConfig
+    from repro.experiments.taxonomy import (
+        REFERENCE_MODE,
+        check_taxonomy,
+        run_taxonomy,
+    )
+
+    workloads, modes = TAXONOMY_MATRIX[1 if quick else 0]
+    result = run_taxonomy(
+        ExperimentConfig(scale=scale), workloads=workloads, modes=modes
+    )
+    problems = check_taxonomy(result)
+    if problems:  # pragma: no cover - would indicate a real bug
+        raise RuntimeError(
+            f"taxonomy matrix violated its classification contract: "
+            f"{problems}"
+        )
+    events = sum(
+        result.reference_cell(w).taxonomy.kernels
+        + 2 * result.reference_cell(w).taxonomy.copies
+        for w in result.workloads
+    )
+    simulated = sum(cell.taxonomy.wall_seconds for cell in result.cells)
+    return _Measured(events=events, simulated_seconds=simulated)
+
+
 def _bench_chaos_off(scale: int, quick: bool) -> _Measured:
     from repro.faults.chaos import run_scenario
     from repro.faults.plan import FaultPlan
@@ -397,6 +446,7 @@ SUITE = {
     "monitor-overhead": _bench_monitor_overhead,
     "elastic-snapshot": _bench_elastic,
     "serving": _bench_serving,
+    "taxonomy": _bench_taxonomy,
 }
 
 

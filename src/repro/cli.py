@@ -18,6 +18,7 @@ Usage::
     python -m repro snapshot --model tiny [--mode CA:LM] [--pause-after K] --out s.bin
     python -m repro restore s.bin [--pause-after K --out s2.bin]
     python -m repro serve [--rates R1,R2,..] [--requests N] [--slots N] [--check] [--json]
+    python -m repro taxonomy [--workloads W1,W2,..] [--modes M1,..] [--check] [--json]
 
 Times are reported rescaled to paper magnitudes (see
 :class:`~repro.experiments.common.ExperimentConfig`). ``--json`` emits a
@@ -58,6 +59,14 @@ control, sweeping offered load and reporting latency percentiles, goodput,
 rejection rate, and fairness per rate point; ``--check`` additionally
 enforces determinism across two runs and the sweep-shape monotonicity
 gates — see ``docs/serving.md``.
+``taxonomy`` runs the movement-signature workloads under every operating
+mode, classifies each run into DAMOV-style bottleneck classes
+(compute/bandwidth/latency/capacity), and prints the workload x policy
+matrix with per-class verdicts, the winning mode per workload, and ledger
+evidence; ``--check`` additionally enforces determinism across two runs
+plus the classification contract (pinned reference verdicts, exact class
+fractions, monitor-tier agreement) — see ``docs/observability.md``,
+"Bottleneck attribution".
 """
 
 from __future__ import annotations
@@ -77,7 +86,7 @@ EXPERIMENTS = ("table3", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "ext")
 # to verify that docs never reference a subcommand that does not exist.
 SUBCOMMANDS = EXPERIMENTS + (
     "all", "trace", "profile", "explain", "diff", "monitor", "chaos",
-    "bench", "colo", "snapshot", "restore", "serve",
+    "bench", "colo", "snapshot", "restore", "serve", "taxonomy",
 )
 
 
@@ -476,6 +485,72 @@ def _serve(
         print(
             "sweep shape: normalized p99 non-decreasing, goodput "
             "non-increasing past saturation",
+            file=info,
+        )
+    return 0 if ok else 1
+
+
+def _taxonomy(
+    config: ExperimentConfig,
+    *,
+    workloads: str | None,
+    modes: str | None,
+    check: bool,
+    as_json: bool,
+) -> int:
+    from repro.experiments import taxonomy as taxonomy_mod
+
+    names = (
+        tuple(w.strip() for w in workloads.split(",") if w.strip())
+        if workloads
+        else taxonomy_mod.DEFAULT_WORKLOADS
+    )
+    mode_names = (
+        tuple(m.strip() for m in modes.split(",") if m.strip())
+        if modes
+        else None
+    )
+    try:
+        result = taxonomy_mod.run_taxonomy(
+            config, workloads=names, modes=mode_names
+        )
+    except ConfigurationError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if as_json:
+        print(json.dumps(result.to_json(), indent=2, sort_keys=True))
+    else:
+        print(taxonomy_mod.render(result))
+    if not check:
+        return 0
+    # --check: the CI contract. The matrix must be (a) deterministic — a
+    # second identical run produces the same digest — and (b) correctly
+    # classified: fractions sum to 1, >=95% of reference-cell time is
+    # attributed, pinned verdicts hold, and the cheap monitor tier agrees
+    # with the full trace (see check_taxonomy).
+    info = sys.stderr if as_json else sys.stdout
+    repeat = taxonomy_mod.run_taxonomy(
+        config, workloads=names, modes=mode_names
+    )
+    ok = True
+    if repeat.digest() != result.digest():
+        print(
+            f"DETERMINISM FAIL: digests differ across identical runs "
+            f"({result.digest()} vs {repeat.digest()})",
+            file=info,
+        )
+        ok = False
+    else:
+        print("determinism: digests match across repeated runs", file=info)
+    problems = taxonomy_mod.check_taxonomy(result)
+    if problems:
+        for problem in problems:
+            print(f"CLASSIFICATION FAIL: {problem}", file=info)
+        ok = False
+    else:
+        print(
+            "classification: fractions exact, verdicts pinned, "
+            "monitor tier agrees with full trace",
             file=info,
         )
     return 0 if ok else 1
@@ -900,8 +975,10 @@ def main(argv: list[str] | None = None) -> int:
         "the fault-injection suite, 'bench' to run the pinned "
         "performance suite, 'colo' to co-run tenant workloads on one "
         "shared memory system, 'snapshot' to pause a run at a kernel "
-        "boundary and save it, 'restore' to resume a saved snapshot, or "
-        "'serve' to sweep open-loop request load over the shared runtime",
+        "boundary and save it, 'restore' to resume a saved snapshot, "
+        "'serve' to sweep open-loop request load over the shared runtime, "
+        "or 'taxonomy' to classify the movement-signature workloads into "
+        "bottleneck classes across every operating mode",
     )
     parser.add_argument(
         "paths",
@@ -1007,8 +1084,18 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--check",
         action="store_true",
-        help="colo/serve: verify determinism across two runs plus the "
-        "command's result contract (exit status 1 on failure)",
+        help="colo/serve/taxonomy: verify determinism across two runs plus "
+        "the command's result contract (exit status 1 on failure)",
+    )
+    parser.add_argument(
+        "--workloads",
+        help="taxonomy: comma-separated movement-signature workloads "
+        "(default pointer-chase,scan,tiny-objects,stream-compute)",
+    )
+    parser.add_argument(
+        "--modes",
+        help="taxonomy: comma-separated operating modes to sweep "
+        "(default: all six; must include the CA:LM reference mode)",
     )
     parser.add_argument(
         "--rates",
@@ -1100,6 +1187,14 @@ def main(argv: list[str] | None = None) -> int:
             requests=args.requests,
             slots=args.slots,
             seed=args.seed,
+            check=args.check,
+            as_json=args.json,
+        )
+    if args.experiment == "taxonomy":
+        return _taxonomy(
+            config,
+            workloads=args.workloads,
+            modes=args.modes,
             check=args.check,
             as_json=args.json,
         )

@@ -307,6 +307,7 @@ class CopyEngine:
                 nbytes,
                 source.name,
                 dest.name,
+                seconds=seconds,
             )
         return record
 

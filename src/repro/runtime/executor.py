@@ -753,9 +753,17 @@ class Executor:
                             seconds=timing.total,
                             compute=timing.compute,
                             memory=timing.memory,
+                            fixed=timing.fixed,
+                            phase=event.phase,
                         )
                     elif monitoring:
-                        tracer.monitor.note_kernel(clock.now, timing.total)
+                        tracer.monitor.note_kernel(
+                            clock.now,
+                            timing.total,
+                            timing.compute,
+                            timing.memory,
+                            timing.fixed,
+                        )
                     compute += timing.compute
                     kernel_memory += timing.memory
                     self._sample()

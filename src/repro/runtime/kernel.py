@@ -52,11 +52,19 @@ class ExecutionParams:
 
 @dataclass(frozen=True)
 class KernelTiming:
-    """Decomposed kernel time; the executor advances the clock by `total`."""
+    """Decomposed kernel time; the executor advances the clock by `total`.
+
+    ``fixed`` is the per-operand setup-latency share of the memory service
+    time (one ``setup_latency`` term per touched operand). It is carried for
+    attribution only — ``total`` never reads it — so the bottleneck taxonomy
+    can split exposed memory time into a size-proportional (bandwidth) part
+    and a count-proportional (latency) part.
+    """
 
     compute: float
     dram: float
     nvram: float
+    fixed: float = 0.0
 
     @property
     def memory(self) -> float:
@@ -95,12 +103,14 @@ def kernel_timing(
     )
     dram = 0.0
     nvram = 0.0
+    fixed = 0.0
     for device, nbytes in reads:
         if nbytes <= 0:
             continue
         seconds = device.bandwidth.transfer_time(
             TransferKind.READ, nbytes, params.kernel_threads
         )
+        fixed += device.bandwidth.setup_latency
         if device.kind is MemoryKind.NVRAM:
             nvram += seconds * read_sensitivity
             dram += seconds * (1.0 - read_sensitivity)
@@ -109,6 +119,7 @@ def kernel_timing(
     for device, nbytes in writes:
         if nbytes <= 0:
             continue
+        fixed += device.bandwidth.setup_latency
         if device.kind is MemoryKind.NVRAM:
             nvram += device.bandwidth.transfer_time(
                 TransferKind.WRITE_NT, nbytes, params.nvram_write_threads
@@ -117,4 +128,4 @@ def kernel_timing(
             dram += device.bandwidth.transfer_time(
                 TransferKind.WRITE, nbytes, params.kernel_threads
             )
-    return KernelTiming(compute=compute, dram=dram, nvram=nvram)
+    return KernelTiming(compute=compute, dram=dram, nvram=nvram, fixed=fixed)

@@ -7,8 +7,9 @@ the equivalent instrumentation for the simulated memory system, plus the
 structured event-tracing layer (:mod:`repro.telemetry.trace`), the metrics
 registry (:mod:`repro.telemetry.metrics`), the Perfetto/Chrome-trace and
 JSONL exporters (:mod:`repro.telemetry.export`), the object-lifetime ledger
-(:mod:`repro.telemetry.ledger`), and the cross-run differential analyzer
-(:mod:`repro.telemetry.diff`) — see ``docs/observability.md``.
+(:mod:`repro.telemetry.ledger`), the cross-run differential analyzer
+(:mod:`repro.telemetry.diff`), and the DAMOV-style movement-bottleneck
+classifier (:mod:`repro.telemetry.taxonomy`) — see ``docs/observability.md``.
 """
 
 from repro.telemetry.counters import TrafficCounters, TrafficSnapshot
@@ -63,6 +64,16 @@ from repro.telemetry.metrics import (
     derive_metrics,
 )
 from repro.telemetry.stats import BusUtilization, summarize_series
+from repro.telemetry.taxonomy import (
+    CauseRollup,
+    CostModel,
+    Decomposition,
+    Taxonomy,
+    WindowSlice,
+    classify_monitor,
+    classify_trace,
+    movement_intensity,
+)
 from repro.telemetry.timeline import Timeline, TimelineSample
 from repro.telemetry.trace import (
     NULL_TRACER,
@@ -124,4 +135,12 @@ __all__ = [
     "parse_run",
     "stall_attribution",
     "streams_in",
+    "CauseRollup",
+    "CostModel",
+    "Decomposition",
+    "Taxonomy",
+    "WindowSlice",
+    "classify_monitor",
+    "classify_trace",
+    "movement_intensity",
 ]

@@ -228,9 +228,12 @@ class RollupWindow:
     __slots__ = (
         "index", "start", "duration", "events",
         "copies", "copy_bytes", "copy_bytes_by_cause",
+        "copy_seconds", "copy_seconds_by_cause", "copies_by_cause",
         "stalls", "stall_seconds", "evictions", "prefetches",
         "allocs", "alloc_bytes", "frees", "free_bytes",
-        "kernels", "kernel_seconds", "gcs", "oom_retries",
+        "kernels", "kernel_seconds", "kernel_compute_seconds",
+        "kernel_memory_seconds", "kernel_fixed_seconds",
+        "gcs", "gc_seconds", "oom_retries",
         "faults", "recovery_steps", "recoveries", "copy_retries",
         "strikes", "quarantines",
         "occupancy", "inflight_copy_bytes", "tenant_used",
@@ -244,6 +247,9 @@ class RollupWindow:
         self.copies = 0
         self.copy_bytes = 0
         self.copy_bytes_by_cause: dict[str, int] = {}
+        self.copy_seconds = 0.0
+        self.copy_seconds_by_cause: dict[str, float] = {}
+        self.copies_by_cause: dict[str, int] = {}
         self.stalls = 0
         self.stall_seconds = 0.0
         self.evictions = 0
@@ -254,7 +260,11 @@ class RollupWindow:
         self.free_bytes = 0
         self.kernels = 0
         self.kernel_seconds = 0.0
+        self.kernel_compute_seconds = 0.0
+        self.kernel_memory_seconds = 0.0
+        self.kernel_fixed_seconds = 0.0
         self.gcs = 0
+        self.gc_seconds = 0.0
         self.oom_retries = 0
         self.faults = 0
         self.recovery_steps = 0
@@ -297,6 +307,11 @@ class RollupWindow:
             "copy_bytes_by_cause": dict(
                 sorted(self.copy_bytes_by_cause.items())
             ),
+            "copy_seconds": self.copy_seconds,
+            "copy_seconds_by_cause": dict(
+                sorted(self.copy_seconds_by_cause.items())
+            ),
+            "copies_by_cause": dict(sorted(self.copies_by_cause.items())),
             "stalls": self.stalls,
             "stall_seconds": self.stall_seconds,
             "stall_fraction": self.stall_fraction,
@@ -309,7 +324,11 @@ class RollupWindow:
             "free_bytes": self.free_bytes,
             "kernels": self.kernels,
             "kernel_seconds": self.kernel_seconds,
+            "kernel_compute_seconds": self.kernel_compute_seconds,
+            "kernel_memory_seconds": self.kernel_memory_seconds,
+            "kernel_fixed_seconds": self.kernel_fixed_seconds,
             "gcs": self.gcs,
+            "gc_seconds": self.gc_seconds,
             "oom_retries": self.oom_retries,
             "faults": self.faults,
             "recovery_steps": self.recovery_steps,
@@ -432,6 +451,15 @@ class RollupAggregator:
             into.copy_bytes_by_cause[cause] = (
                 into.copy_bytes_by_cause.get(cause, 0) + nbytes
             )
+        into.copy_seconds += window.copy_seconds
+        for cause, seconds in window.copy_seconds_by_cause.items():
+            into.copy_seconds_by_cause[cause] = (
+                into.copy_seconds_by_cause.get(cause, 0.0) + seconds
+            )
+        for cause, count in window.copies_by_cause.items():
+            into.copies_by_cause[cause] = (
+                into.copies_by_cause.get(cause, 0) + count
+            )
         into.stalls += window.stalls
         into.stall_seconds += window.stall_seconds
         into.evictions += window.evictions
@@ -442,7 +470,11 @@ class RollupAggregator:
         into.free_bytes += window.free_bytes
         into.kernels += window.kernels
         into.kernel_seconds += window.kernel_seconds
+        into.kernel_compute_seconds += window.kernel_compute_seconds
+        into.kernel_memory_seconds += window.kernel_memory_seconds
+        into.kernel_fixed_seconds += window.kernel_fixed_seconds
         into.gcs += window.gcs
+        into.gc_seconds += window.gc_seconds
         into.oom_retries += window.oom_retries
         into.faults += window.faults
         into.recovery_steps += window.recovery_steps
@@ -848,13 +880,19 @@ class RuntimeMonitor:
         self.copy_cause = "unattributed"
         self._inflight: dict[int, tuple[float, int]] = {}  # seq -> (ts, nbytes)
         self.totals: dict[str, Any] = {
-            "copies": 0, "copy_bytes": 0, "stalls": 0, "stall_seconds": 0.0,
+            "copies": 0, "copy_bytes": 0, "copy_seconds": 0.0,
+            "stalls": 0, "stall_seconds": 0.0,
             "evictions": 0, "prefetches": 0, "allocs": 0, "frees": 0,
-            "kernels": 0, "kernel_seconds": 0.0, "gcs": 0, "oom_retries": 0,
+            "kernels": 0, "kernel_seconds": 0.0,
+            "kernel_compute_seconds": 0.0, "kernel_memory_seconds": 0.0,
+            "kernel_fixed_seconds": 0.0,
+            "gcs": 0, "gc_seconds": 0.0, "oom_retries": 0,
             "faults": 0, "recovery_steps": 0, "recoveries": 0,
             "copy_retries": 0, "strikes": 0, "quarantines": 0,
             "detaches": 0, "resizes": 0, "snapshots": 0, "restores": 0,
         }
+        self.copies_by_cause: dict[str, int] = {}
+        self.copy_seconds_by_cause: dict[str, float] = {}
         self.recovery_steps_by_rung: dict[str, int] = {}
         self.recoveries_by_step: dict[str, int] = {}
         # Per-tenant usage, estimated from stream-tagged alloc/free (see
@@ -928,10 +966,19 @@ class RuntimeMonitor:
         args = event.args
         if kind == KERNEL_END:
             seconds = float(args.get("seconds", 0.0))
+            compute = float(args.get("compute", 0.0))
+            memory = float(args.get("memory", 0.0))
+            fixed = float(args.get("fixed", 0.0))
             window.kernels += 1
             window.kernel_seconds += seconds
+            window.kernel_compute_seconds += compute
+            window.kernel_memory_seconds += memory
+            window.kernel_fixed_seconds += fixed
             totals["kernels"] += 1
             totals["kernel_seconds"] += seconds
+            totals["kernel_compute_seconds"] += compute
+            totals["kernel_memory_seconds"] += memory
+            totals["kernel_fixed_seconds"] += fixed
             self.kernel_latency.observe(seconds)
         elif kind == ALLOC:
             nbytes = int(args.get("nbytes", 0))
@@ -969,14 +1016,36 @@ class RuntimeMonitor:
                     self._tenant_used.pop(key, None)
         elif kind == COPY_START:
             nbytes = int(args.get("nbytes", 0))
+            seconds = float(args.get("seconds", 0.0))
             window.copies += 1
             window.copy_bytes += nbytes
+            window.copy_seconds += seconds
+            # Bytes attribute to the *root* cause (who started the cascade);
+            # seconds/counts attribute to the *innermost* cause (what the
+            # copy mechanically was — an eviction nested under a placement
+            # is still eviction work). The innermost keying also matches the
+            # cheap tier's ``copy_cause`` string, so the bottleneck taxonomy
+            # reads the same mechanism mix from either tier.
             cause = cause_kind(event.root)
             window.copy_bytes_by_cause[cause] = (
                 window.copy_bytes_by_cause.get(cause, 0) + nbytes
             )
+            mechanism = cause_kind(event.cause)
+            window.copy_seconds_by_cause[mechanism] = (
+                window.copy_seconds_by_cause.get(mechanism, 0.0) + seconds
+            )
+            window.copies_by_cause[mechanism] = (
+                window.copies_by_cause.get(mechanism, 0) + 1
+            )
             totals["copies"] += 1
             totals["copy_bytes"] += nbytes
+            totals["copy_seconds"] += seconds
+            self.copies_by_cause[mechanism] = (
+                self.copies_by_cause.get(mechanism, 0) + 1
+            )
+            self.copy_seconds_by_cause[mechanism] = (
+                self.copy_seconds_by_cause.get(mechanism, 0.0) + seconds
+            )
             self.inflight_copy_bytes += nbytes
             seq = args.get("seq")
             if seq is not None:
@@ -1004,8 +1073,11 @@ class RuntimeMonitor:
             window.prefetches += 1
             totals["prefetches"] += 1
         elif kind == GC:
+            seconds = float(args.get("seconds", 0.0))
             window.gcs += 1
+            window.gc_seconds += seconds
             totals["gcs"] += 1
+            totals["gc_seconds"] += seconds
         elif kind == OOM_RETRY:
             window.oom_retries += 1
             totals["oom_retries"] += 1
@@ -1085,7 +1157,14 @@ class RuntimeMonitor:
     # at ~50k notes per benchmark run even one extra call frame per note is
     # measurable against the <=5% overhead budget (docs/observability.md).
 
-    def note_kernel(self, ts: float, seconds: float) -> None:
+    def note_kernel(
+        self,
+        ts: float,
+        seconds: float,
+        compute: float = 0.0,
+        memory: float = 0.0,
+        fixed: float = 0.0,
+    ) -> None:
         r = self.rollups
         window = (
             r._cache_window if r._cache_lo <= ts < r._cache_hi
@@ -1097,9 +1176,15 @@ class RuntimeMonitor:
         window.events += 1
         window.kernels += 1
         window.kernel_seconds += seconds
+        window.kernel_compute_seconds += compute
+        window.kernel_memory_seconds += memory
+        window.kernel_fixed_seconds += fixed
         totals = self.totals
         totals["kernels"] += 1
         totals["kernel_seconds"] += seconds
+        totals["kernel_compute_seconds"] += compute
+        totals["kernel_memory_seconds"] += memory
+        totals["kernel_fixed_seconds"] += fixed
         self.kernel_latency.observe(seconds)
 
     def note_stall(self, ts: float, seconds: float, kernel: str = "") -> None:
@@ -1121,7 +1206,13 @@ class RuntimeMonitor:
         self.ring.append((STALL, ts, kernel, seconds))
 
     def note_copy(
-        self, start_ts: float, end_ts: float, nbytes: int, src: str, dst: str
+        self,
+        start_ts: float,
+        end_ts: float,
+        nbytes: int,
+        src: str,
+        dst: str,
+        seconds: float | None = None,
     ) -> None:
         # Mirrors the observe() pairing order exactly: the start window is
         # touched, the copy goes in flight, then the end window is touched
@@ -1129,21 +1220,38 @@ class RuntimeMonitor:
         # in-flight), then the copy lands. The cause comes from
         # ``copy_cause`` — a plain string the eviction sites set around
         # evict_object() in place of the full tier's tracer scopes.
+        # ``seconds`` is the exact copy duration when the caller has it;
+        # ``end_ts - start_ts`` recomputes it with float rounding, which
+        # would break note/observe totals parity.
         r = self.rollups
         window = (
             r._cache_window if r._cache_lo <= start_ts < r._cache_hi
             else r.window_for(start_ts)
         )
         self.events_seen += 2
+        if seconds is None:
+            seconds = end_ts - start_ts
         window.events += 1
         window.copies += 1
         window.copy_bytes += nbytes
+        window.copy_seconds += seconds
         cause = self.copy_cause
         by_cause = window.copy_bytes_by_cause
         by_cause[cause] = by_cause.get(cause, 0) + nbytes
+        by_seconds = window.copy_seconds_by_cause
+        by_seconds[cause] = by_seconds.get(cause, 0.0) + seconds
+        by_count = window.copies_by_cause
+        by_count[cause] = by_count.get(cause, 0) + 1
         totals = self.totals
         totals["copies"] += 1
         totals["copy_bytes"] += nbytes
+        totals["copy_seconds"] += seconds
+        self.copies_by_cause[cause] = (
+            self.copies_by_cause.get(cause, 0) + 1
+        )
+        self.copy_seconds_by_cause[cause] = (
+            self.copy_seconds_by_cause.get(cause, 0.0) + seconds
+        )
         self.inflight_copy_bytes += nbytes
         end_window = (
             r._cache_window if r._cache_lo <= end_ts < r._cache_hi
@@ -1248,7 +1356,9 @@ class RuntimeMonitor:
     def note_gc(self, ts: float, seconds: float) -> None:
         window = self._note_slow(ts)
         window.gcs += 1
+        window.gc_seconds += seconds
         self.totals["gcs"] += 1
+        self.totals["gc_seconds"] += seconds
         self.ring.append((GC, ts, seconds))
 
     def note_oom_retry(self, ts: float, obj: str = "") -> None:

@@ -24,6 +24,11 @@ from repro.workloads.trace import (
 )
 from repro.workloads.annotate import annotate
 from repro.workloads.serialize import load_trace, save_trace, trace_from_dict, trace_to_dict
+from repro.workloads.signatures import (
+    pointer_chase_trace,
+    scan_trace,
+    tiny_objects_trace,
+)
 from repro.workloads.synthetic import (
     filo_stack_trace,
     random_reuse_trace,
@@ -47,7 +52,10 @@ __all__ = [
     "trace_from_dict",
     "trace_to_dict",
     "filo_stack_trace",
+    "pointer_chase_trace",
     "random_reuse_trace",
+    "scan_trace",
     "shifting_reuse_trace",
     "streaming_trace",
+    "tiny_objects_trace",
 ]

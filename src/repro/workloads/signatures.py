@@ -1,0 +1,229 @@
+"""Movement-signature workloads for the bottleneck taxonomy (DAMOV-style).
+
+The paper's workloads are all dense, streaming-friendly tensor traffic.
+DAMOV's point is that data movement bottlenecks applications in different
+*places*; these three generators produce traces whose movement signatures
+sit squarely in one class each, so the taxonomy classifier
+(:mod:`repro.telemetry.taxonomy`) has ground truth to separate:
+
+* :func:`pointer_chase_trace` — **latency-bound**: a dependent walk over a
+  DRAM-resident node pool. Every hop is a tiny kernel whose launch overhead
+  and per-operand setup latency dwarf its byte traffic.
+* :func:`scan_trace` — **bandwidth-bound**: full scans of tables larger
+  than fast memory. Tables can never be promoted, so every scan streams
+  from NVRAM at device bandwidth; fixed costs amortise to nothing.
+* :func:`tiny_objects_trace` — **overhead/capacity-bound** (the KLOC
+  signature): a persistent pool of many small objects oversubscribing DRAM
+  plus a storm of short-lived temporaries. The runtime moves lots of small
+  objects whose per-transfer fixed overhead is comparable to their payload,
+  under continuous eviction pressure.
+
+All three thread one seeded :func:`numpy.random.default_rng` through their
+construction — no global RNG state — so adding or reordering workloads can
+never perturb existing golden digests. Sizes are paper-magnitude (pair with
+``ExperimentConfig.scale`` like every other workload).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.units import GB, MiB
+from repro.workloads.trace import Alloc, Free, IterEnd, Kernel, KernelTrace, TensorSpec
+
+__all__ = [
+    "pointer_chase_trace",
+    "scan_trace",
+    "tiny_objects_trace",
+]
+
+
+def pointer_chase_trace(
+    nodes: int = 768,
+    node_bytes: int = 8 * MiB,
+    steps: int = 384,
+    *,
+    fanout: int = 1,
+    seed: int = 0,
+) -> KernelTrace:
+    """Dependent pointer walk over a DRAM-sized node pool (latency-bound).
+
+    A graph traversal touches one node per hop; the next hop depends on the
+    last, so nothing batches and nothing streams. The pool (default 6 GiB at
+    paper magnitude) fits fast memory outright — there is no capacity story
+    and almost no byte traffic, just ``steps`` kernel launches each reading
+    ``fanout`` small operands. Kernels carry zero flops: the modelled time
+    is pure launch overhead plus per-operand setup, which is exactly the
+    transfer-count-dominated signature DAMOV calls latency-bound.
+
+    ``phase="traverse"`` keeps the annotation pass from archiving the pool
+    (archive hints are a forward-pass concept; archiving hot graph nodes
+    would manufacture movement the workload does not have).
+    """
+    if nodes < 1:
+        raise TraceError(f"need at least one node, got {nodes}")
+    if steps < 1:
+        raise TraceError(f"need at least one step, got {steps}")
+    if not 1 <= fanout <= nodes:
+        raise TraceError(f"fanout must be in [1, {nodes}], got {fanout}")
+    rng = np.random.default_rng(seed)
+    trace = KernelTrace(name=f"chase{nodes}x{steps}")
+    for i in range(nodes):
+        trace.add_tensor(
+            TensorSpec(f"n{i}", node_bytes, kind="state", persistent=True)
+        )
+        trace.append(Alloc(f"n{i}"))
+    cursor = trace.add_tensor(
+        TensorSpec("cursor", node_bytes, kind="state", persistent=True)
+    )
+    trace.append(Alloc(cursor.name))
+    current = int(rng.integers(0, nodes))
+    for k in range(steps):
+        neighbours = [current]
+        while len(neighbours) < fanout:
+            step = int(rng.integers(0, nodes))
+            if step not in neighbours:
+                neighbours.append(step)
+        trace.append(
+            Kernel(
+                name=f"hop{k}",
+                reads=tuple(f"n{i}" for i in neighbours),
+                writes=(cursor.name,),
+                flops=0.0,
+                phase="traverse",
+            )
+        )
+        current = int(rng.integers(0, nodes))
+    trace.append(IterEnd())
+    trace.validate()
+    return trace
+
+
+def scan_trace(
+    tables: int = 3,
+    table_bytes: int = 380 * GB,
+    passes: int = 4,
+    *,
+    flops_per_byte: float = 0.25,
+    summary_bytes: int = 16 * MiB,
+    seed: int = 0,
+) -> KernelTrace:
+    """Repeated full scans of NVRAM-resident tables (bandwidth-bound).
+
+    Each table (default 380 GB, more than double the paper's 180 GB DRAM)
+    can never fit fast memory, so every scan streams the whole table from
+    NVRAM at whatever bandwidth the device curve gives 28 reader threads.
+    Scans are ``hinted=False`` — announcing a ``will_read`` on a table that
+    cannot be promoted is pure hint noise — and fully read-sensitive, the
+    analytics-scan regime where cores wait on the memory bus. Fixed costs
+    (launch, setup) amortise over hundreds of gigabytes: the signature is
+    byte-volume, not transfer-count. The per-pass scan order is shuffled by
+    the seeded generator.
+    """
+    if tables < 1:
+        raise TraceError(f"need at least one table, got {tables}")
+    if passes < 1:
+        raise TraceError(f"need at least one pass, got {passes}")
+    rng = np.random.default_rng(seed)
+    trace = KernelTrace(name=f"scan{tables}x{passes}")
+    for i in range(tables):
+        trace.add_tensor(
+            TensorSpec(f"table{i}", table_bytes, kind="state", persistent=True)
+        )
+        trace.append(Alloc(f"table{i}"))
+    counter = 0
+    for _ in range(passes):
+        for i in rng.permutation(tables):
+            out = trace.add_tensor(TensorSpec(f"summary{counter}", summary_bytes))
+            trace.append(Alloc(out.name))
+            trace.append(
+                Kernel(
+                    name=f"scan{counter}",
+                    reads=(f"table{int(i)}",),
+                    writes=(out.name,),
+                    flops=table_bytes * flops_per_byte,
+                    phase="scan",
+                    read_sensitivity=1.0,
+                    hinted=False,
+                )
+            )
+            trace.append(Free(out.name))
+            counter += 1
+    trace.append(IterEnd())
+    trace.validate()
+    return trace
+
+
+def tiny_objects_trace(
+    base_objects: int = 3900,
+    base_bytes: int = 48 * MiB,
+    waves: int = 10,
+    temps_per_wave: int = 48,
+    temp_bytes: int = 8 * MiB,
+    touches_per_wave: int = 12,
+    *,
+    seed: int = 0,
+) -> KernelTrace:
+    """KLOC-style many-tiny-objects storm (overhead/capacity-bound).
+
+    A persistent pool of ``base_objects`` small objects slightly
+    oversubscribes DRAM (default ~183 GB against the paper's 180 GB), so
+    the runtime is permanently at capacity. Each wave then allocates a
+    burst of short-lived temporaries — every one forcing an eviction-sized
+    hole — and touches random pool objects, faulting spilled ones back in
+    and evicting others. All movement is small objects: at 48 MiB the
+    modelled per-transfer fixed cost (copy-engine setup plus device setup
+    latencies) is comparable to the payload time, the per-object-overhead
+    regime KLOC targets that dense tensor workloads never enter.
+    """
+    if base_objects < 1:
+        raise TraceError(f"need at least one base object, got {base_objects}")
+    if waves < 1:
+        raise TraceError(f"need at least one wave, got {waves}")
+    rng = np.random.default_rng(seed)
+    trace = KernelTrace(name=f"tiny{base_objects}x{waves}")
+    for i in range(base_objects):
+        trace.add_tensor(
+            TensorSpec(f"b{i}", base_bytes, kind="state", persistent=True)
+        )
+        trace.append(Alloc(f"b{i}"))
+    acc = trace.add_tensor(
+        TensorSpec("acc", temp_bytes, kind="state", persistent=True)
+    )
+    trace.append(Alloc(acc.name))
+    counter = 0
+    for _ in range(waves):
+        wave_temps = []
+        for _ in range(temps_per_wave):
+            temp = trace.add_tensor(TensorSpec(f"tmp{counter}", temp_bytes))
+            wave_temps.append(temp.name)
+            source = int(rng.integers(0, base_objects))
+            trace.append(Alloc(temp.name))
+            trace.append(
+                Kernel(
+                    name=f"storm{counter}",
+                    reads=(f"b{source}",),
+                    writes=(temp.name,),
+                    flops=1e6,
+                    phase="storm",
+                )
+            )
+            counter += 1
+        for _ in range(touches_per_wave):
+            target = int(rng.integers(0, base_objects))
+            trace.append(
+                Kernel(
+                    name=f"touch{counter}",
+                    reads=(f"b{target}",),
+                    writes=(acc.name,),
+                    flops=1e6,
+                    phase="touch",
+                )
+            )
+            counter += 1
+        for name in wave_temps:
+            trace.append(Free(name))
+    trace.append(IterEnd())
+    trace.validate()
+    return trace

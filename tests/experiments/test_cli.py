@@ -323,3 +323,47 @@ def test_serve_bad_rates_returns_2(capsys):
 def test_serve_bad_config_returns_2(capsys):
     assert main(["serve", "--scale", "1024", "--slots", "0"]) == 2
     assert "slot" in capsys.readouterr().err
+
+
+def test_taxonomy_text_report(capsys):
+    assert main(["taxonomy", "--scale", "2048"]) == 0
+    out = capsys.readouterr().out
+    assert "Bottleneck taxonomy" in out
+    for workload in ("pointer-chase", "scan", "tiny-objects", "stream-compute"):
+        assert workload in out
+    assert "capacity-bound" in out
+    assert "digest" in out
+
+
+def test_taxonomy_check_passes(capsys):
+    assert main(["taxonomy", "--scale", "2048", "--check"]) == 0
+    out = capsys.readouterr().out
+    assert "digests match" in out
+    assert "verdicts pinned" in out
+
+
+def test_taxonomy_json_report(capsys):
+    import json
+
+    assert main(
+        [
+            "taxonomy", "--scale", "2048", "--json",
+            "--workloads", "pointer-chase", "--modes", "CA:0,CA:LM",
+        ]
+    ) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["modes"] == ["CA:0", "CA:LM"]
+    entry = payload["workloads"]["pointer-chase"]
+    assert entry["verdict"] == "latency"
+    assert entry["monitor_verdict"] == "latency"
+    assert len(payload["digest"]) == 64
+
+
+def test_taxonomy_unknown_workload_returns_2(capsys):
+    assert main(["taxonomy", "--workloads", "scan,bogus"]) == 2
+    assert "unknown workloads" in capsys.readouterr().err
+
+
+def test_taxonomy_modes_must_include_reference(capsys):
+    assert main(["taxonomy", "--modes", "2LM:0,CA:0"]) == 2
+    assert "reference mode" in capsys.readouterr().err

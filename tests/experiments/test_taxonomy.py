@@ -1,0 +1,135 @@
+"""The taxonomy experiment: pinned verdicts, determinism, the contract."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.common import ExperimentConfig
+from repro.experiments.taxonomy import (
+    DEFAULT_WORKLOADS,
+    REFERENCE_MODE,
+    WORKLOADS,
+    check_taxonomy,
+    render,
+    run_taxonomy,
+)
+from repro.policies.modes import MODES
+
+SCALE = 2048  # verdicts are scale-invariant; smallest == fastest
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_taxonomy(ExperimentConfig(scale=SCALE, iterations=2))
+
+
+class TestRunTaxonomy:
+    def test_covers_the_full_matrix(self, result):
+        assert result.workloads == DEFAULT_WORKLOADS
+        assert result.modes == tuple(MODES)
+        assert len(result.cells) == len(DEFAULT_WORKLOADS) * len(MODES)
+        for cell in result.cells:
+            assert cell.seconds > 0
+
+    def test_pinned_reference_verdicts(self, result):
+        # The acceptance matrix: each signature classifies to its class at
+        # the reference mode.
+        for workload, expected in (
+            ("pointer-chase", "latency"),
+            ("scan", "bandwidth"),
+            ("tiny-objects", "capacity"),
+            ("stream-compute", "compute"),
+        ):
+            assert WORKLOADS[workload].expected == expected
+            assert result.reference_cell(workload).verdict == expected
+
+    def test_monitor_tier_agrees_with_the_full_trace(self, result):
+        for workload in result.workloads:
+            monitor = result.monitor_taxonomies[workload]
+            assert monitor.source == "monitor"
+            assert monitor.verdict == result.reference_cell(workload).verdict
+
+    def test_reference_cells_carry_drilldown_evidence(self, result):
+        for workload in result.workloads:
+            reference = result.reference_cell(workload)
+            assert reference.taxonomy.windows
+            assert reference.taxonomy.phases
+            assert reference.taxonomy.movement_intensity is not None
+        # Non-reference cells skip the (expensive) evidence.
+        other = result.cell("scan", "2LM:0")
+        assert other.taxonomy.windows == ()
+        assert other.top_moved == ()
+
+    def test_tiny_objects_evidence_names_eviction_traffic(self, result):
+        reference = result.reference_cell("tiny-objects")
+        assert reference.taxonomy.copies > 0
+        kinds = {c.kind for c in reference.taxonomy.causes}
+        assert "evict" in kinds
+        assert reference.top_moved
+        assert reference.taxonomy.movement_intensity > 0
+
+    def test_contract_is_clean(self, result):
+        assert check_taxonomy(result) == []
+
+    def test_deterministic_across_runs(self, result):
+        repeat = run_taxonomy(ExperimentConfig(scale=SCALE, iterations=2))
+        assert repeat.digest() == result.digest()
+
+    def test_winners_pick_the_fastest_mode(self, result):
+        winners = result.winners()
+        assert set(winners) == set(result.workloads)
+        for workload, mode in winners.items():
+            best = result.cell(workload, mode).seconds
+            assert all(
+                best <= result.cell(workload, m).seconds for m in result.modes
+            )
+
+
+class TestValidation:
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown workloads"):
+            run_taxonomy(workloads=("scan", "bogus"))
+
+    def test_duplicate_workloads_rejected(self):
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            run_taxonomy(workloads=("scan", "scan"))
+
+    def test_reference_mode_must_be_swept(self):
+        with pytest.raises(ConfigurationError, match="reference mode"):
+            run_taxonomy(modes=("2LM:0", "CA:0"))
+
+
+class TestReporting:
+    def test_render_shows_matrix_verdicts_and_digest(self, result):
+        text = render(result)
+        for workload in result.workloads:
+            assert workload in text
+        for mode in result.modes:
+            assert mode in text
+        assert "capacity-bound" in text
+        assert result.digest() in text
+
+    def test_to_json_shape(self, result):
+        import json
+
+        payload = result.to_json()
+        json.dumps(payload)  # fully serializable
+        assert payload["reference_mode"] == REFERENCE_MODE
+        assert len(payload["digest"]) == 64
+        for workload in result.workloads:
+            entry = payload["workloads"][workload]
+            assert entry["verdict"] == entry["monitor_verdict"]
+            assert entry["winner"] in result.modes
+            assert entry["attributed_fraction"] >= 0.95
+            cell = entry["cells"][REFERENCE_MODE]
+            assert sum(cell["fractions"].values()) == pytest.approx(1.0, abs=1e-5)
+
+    def test_subset_run_respects_workloads_and_modes(self):
+        result = run_taxonomy(
+            ExperimentConfig(scale=SCALE, iterations=1),
+            workloads=("pointer-chase",),
+            modes=("CA:0", REFERENCE_MODE),
+        )
+        assert result.workloads == ("pointer-chase",)
+        assert result.modes == ("CA:0", REFERENCE_MODE)
+        assert len(result.cells) == 2
+        assert check_taxonomy(result) == []

@@ -441,3 +441,25 @@ def test_cheap_tier_notes_agree_with_full_tier_totals():
         cheap.monitor.kernel_latency.summary()
         == full.monitor.kernel_latency.summary()
     )
+
+
+def test_copy_cause_seconds_rollups_agree_across_tiers():
+    """The per-cause copy seconds/counts rollups key by the copy's
+    *mechanism* (innermost scope in the full tier, ``copy_cause`` in the
+    cheap tier), so — unlike the root-keyed byte attribution — the two
+    tiers must land on identical maps, including under eviction pressure
+    where evictions nest inside placement scopes."""
+    from repro.experiments.common import ExperimentConfig, run_trace_mode
+    from repro.workloads.signatures import tiny_objects_trace
+
+    trace = tiny_objects_trace().scaled(2048)
+    cheap_cfg = ExperimentConfig(scale=2048, iterations=1, monitor=True)
+    full_cfg = ExperimentConfig(
+        scale=2048, iterations=1, tracing=True, monitor=True
+    )
+    cheap = run_trace_mode(trace, "CA:LM", cheap_cfg).monitor
+    full = run_trace_mode(trace, "CA:LM", full_cfg).monitor
+    assert cheap.copies_by_cause.get("evict", 0) > 0
+    assert cheap.copies_by_cause == full.copies_by_cause
+    assert cheap.copy_seconds_by_cause == full.copy_seconds_by_cause
+    assert sum(cheap.copies_by_cause.values()) == cheap.totals["copies"]

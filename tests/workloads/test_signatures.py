@@ -1,0 +1,132 @@
+"""The movement-signature generators: validity, seeding, class signatures."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.units import GB, MiB
+from repro.workloads.serialize import trace_to_dict
+from repro.workloads.signatures import (
+    pointer_chase_trace,
+    scan_trace,
+    tiny_objects_trace,
+)
+from repro.workloads.trace import Kernel
+
+
+def kernels(trace):
+    return [e for e in trace.events if isinstance(e, Kernel)]
+
+
+class TestPointerChase:
+    def test_one_tiny_dependent_kernel_per_hop(self):
+        trace = pointer_chase_trace(nodes=8, steps=5, fanout=2)
+        hops = kernels(trace)
+        assert len(hops) == 5
+        for hop in hops:
+            assert hop.flops == 0.0  # pure launch + setup: latency signature
+            assert hop.phase == "traverse"
+            assert len(hop.reads) == 2
+            assert hop.writes == ("cursor",)
+
+    def test_pool_fits_fast_memory(self):
+        trace = pointer_chase_trace()
+        # The latency story needs no capacity story: well under 180 GB DRAM.
+        assert trace.peak_live_bytes() < 20 * GB
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(TraceError):
+            pointer_chase_trace(nodes=0)
+        with pytest.raises(TraceError):
+            pointer_chase_trace(steps=0)
+        with pytest.raises(TraceError):
+            pointer_chase_trace(nodes=4, fanout=5)
+
+
+class TestScan:
+    def test_tables_exceed_fast_memory_and_scans_are_unhinted(self):
+        trace = scan_trace(tables=2, passes=1)
+        scans = kernels(trace)
+        assert len(scans) == 2
+        for scan in scans:
+            assert scan.phase == "scan"
+            assert scan.hinted is False
+            assert scan.read_sensitivity == 1.0
+            assert scan.flops > 0
+        # Any single table oversubscribes the paper's 180 GB DRAM.
+        assert trace.tensors["table0"].nbytes > 180 * GB
+
+    def test_every_pass_scans_every_table(self):
+        trace = scan_trace(tables=3, passes=4)
+        reads = [k.reads[0] for k in kernels(trace)]
+        assert len(reads) == 12
+        for i in range(3):
+            assert reads.count(f"table{i}") == 4
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(TraceError):
+            scan_trace(tables=0)
+        with pytest.raises(TraceError):
+            scan_trace(passes=0)
+
+
+class TestTinyObjects:
+    def test_pool_oversubscribes_dram_with_small_objects(self):
+        trace = tiny_objects_trace()
+        pool = [t for t in trace.tensors.values() if t.name.startswith("b")]
+        assert sum(t.nbytes for t in pool) > 180 * GB  # paper DRAM
+        assert all(t.nbytes <= 48 * MiB for t in pool)  # each one tiny
+
+    def test_temporaries_die_inside_their_wave(self):
+        trace = tiny_objects_trace(
+            base_objects=4, waves=2, temps_per_wave=3, touches_per_wave=1
+        )
+        storms = [k for k in kernels(trace) if k.phase == "storm"]
+        touches = [k for k in kernels(trace) if k.phase == "touch"]
+        assert len(storms) == 6
+        assert len(touches) == 2
+        assert not any(t.persistent for t in trace.tensors.values()
+                       if t.name.startswith("tmp"))
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(TraceError):
+            tiny_objects_trace(base_objects=0)
+        with pytest.raises(TraceError):
+            tiny_objects_trace(waves=0)
+
+
+class TestSeeding:
+    """Satellite contract: one seeded generator, no global RNG state."""
+
+    @pytest.mark.parametrize(
+        "build",
+        [pointer_chase_trace, scan_trace, tiny_objects_trace],
+        ids=["pointer-chase", "scan", "tiny-objects"],
+    )
+    def test_same_seed_reproduces_the_exact_trace(self, build):
+        assert trace_to_dict(build(seed=3)) == trace_to_dict(build(seed=3))
+
+    def test_different_seeds_differ(self):
+        a = trace_to_dict(pointer_chase_trace(seed=0))
+        b = trace_to_dict(pointer_chase_trace(seed=1))
+        assert a != b
+
+    @pytest.mark.parametrize(
+        "build",
+        [pointer_chase_trace, scan_trace, tiny_objects_trace],
+        ids=["pointer-chase", "scan", "tiny-objects"],
+    )
+    def test_construction_ignores_global_rng_state(self, build):
+        import numpy as np
+
+        np.random.seed(1234)
+        first = trace_to_dict(build())
+        np.random.seed(99)
+        np.random.random(100)
+        second = trace_to_dict(build())
+        assert first == second
+
+    def test_scaled_traces_stay_valid(self):
+        for build in (pointer_chase_trace, scan_trace, tiny_objects_trace):
+            scaled = build().scaled(2048)
+            scaled.validate()
+            assert scaled.peak_live_bytes() > 0
